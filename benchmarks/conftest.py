@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the
+paper (or an ablation of a design choice) under ``pytest-benchmark``.
+Each regeneration runs exactly once per benchmark (rounds=1): the quantity
+being "benchmarked" is the wall-clock cost of reproducing the artefact,
+and the artefact's headline numbers are attached to the benchmark's
+``extra_info`` so they appear in the saved benchmark data.
+
+The scales below are reduced relative to the defaults of
+``repro.experiments`` (shorter traces, slightly coarser register-size
+grids) so the full harness completes in a few minutes on a laptop; run the
+experiments through ``repro-experiments`` for the full-scale numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Dynamic instructions per benchmark simulation used by the harness.
+BENCH_TRACE_LENGTH = 4_000
+
+#: Register-file sizes used for the Figure 11 / Table 4 sweeps.
+BENCH_SIZES = (40, 48, 56, 64, 80, 96, 128, 160)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def figure11_sweep():
+    """One shared Figure 11 sweep reused by the Figure 11 and Table 4 benches."""
+    from repro.experiments import figure11
+
+    return figure11.run(trace_length=BENCH_TRACE_LENGTH, sizes=BENCH_SIZES,
+                        parallel=True)

@@ -1,0 +1,91 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* wrong-path injection on/off — how much of the early-release benefit and
+  of the register pressure comes from wrong-path instructions;
+* register reuse on a committed last use on/off (paper Section 3,
+  Renaming 2);
+* Release Queue depth (maximum pending branches) sensitivity.
+"""
+
+import pytest
+
+from repro.analysis.metrics import percentage_speedup
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.processor import simulate
+from repro.trace.workloads import get_workload
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH, run_once
+
+TIGHT = 48
+
+
+def run_point(benchmark_name, policy, **kwargs):
+    trace = get_workload(benchmark_name, BENCH_TRACE_LENGTH)
+    config = ProcessorConfig(release_policy=policy, num_physical_int=TIGHT,
+                             num_physical_fp=TIGHT, **kwargs)
+    return simulate(trace, config)
+
+
+def test_bench_ablation_wrong_path(benchmark):
+    """Early-release speedup with and without wrong-path injection."""
+
+    def run_ablation():
+        results = {}
+        for wrong_path in (True, False):
+            conv = run_point("swim", "conv", enable_wrong_path=wrong_path)
+            extended = run_point("swim", "extended", enable_wrong_path=wrong_path)
+            results[wrong_path] = (conv.ipc, extended.ipc)
+        return results
+
+    results = run_once(benchmark, run_ablation)
+    with_wp = percentage_speedup(results[True][1], results[True][0])
+    without_wp = percentage_speedup(results[False][1], results[False][0])
+    assert results[True][1] > 0 and results[False][1] > 0
+    benchmark.extra_info["extended_speedup_with_wrong_path_pct"] = round(with_wp, 1)
+    benchmark.extra_info["extended_speedup_without_wrong_path_pct"] = round(without_wp, 1)
+
+
+def test_bench_ablation_register_reuse(benchmark):
+    """The register-reuse shortcut of the basic mechanism (C=1 case)."""
+
+    def run_ablation():
+        with_reuse = run_point("swim", "basic", reuse_on_committed_lu=True)
+        without_reuse = run_point("swim", "basic", reuse_on_committed_lu=False)
+        return with_reuse, without_reuse
+
+    with_reuse, without_reuse = run_once(benchmark, run_ablation)
+    # Both variants must be functional wins over nothing; reuse additionally
+    # avoids allocations.
+    assert with_reuse.fp_registers.register_reuses > 0
+    assert without_reuse.fp_registers.register_reuses == 0
+    assert without_reuse.fp_registers.immediate_releases > 0
+    benchmark.extra_info["ipc_with_reuse"] = round(with_reuse.ipc, 3)
+    benchmark.extra_info["ipc_without_reuse"] = round(without_reuse.ipc, 3)
+    benchmark.extra_info["allocations_with_reuse"] = with_reuse.fp_registers.allocations
+    benchmark.extra_info["allocations_without_reuse"] = \
+        without_reuse.fp_registers.allocations
+
+
+@pytest.mark.parametrize("max_pending", [4, 20])
+def test_bench_ablation_release_queue_depth(benchmark, max_pending):
+    """Sensitivity of the extended mechanism to the pending-branch limit."""
+    result = run_once(benchmark, run_point, "gcc", "extended",
+                      max_pending_branches=max_pending)
+    assert result.ipc > 0
+    benchmark.extra_info["max_pending_branches"] = max_pending
+    benchmark.extra_info["ipc"] = round(result.ipc, 3)
+    benchmark.extra_info["checkpoint_stalls"] = \
+        result.dispatch_stalls.get("checkpoints_full", 0)
+
+
+def test_bench_simulator_throughput(benchmark):
+    """Raw simulator speed (simulated instructions per host second)."""
+    trace = get_workload("swim", BENCH_TRACE_LENGTH)
+    config = ProcessorConfig(release_policy="extended", num_physical_int=96,
+                             num_physical_fp=96)
+
+    stats = run_once(benchmark, simulate, trace, config)
+    seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["simulated_instructions"] = stats.committed_instructions
+    benchmark.extra_info["instructions_per_second"] = int(
+        stats.committed_instructions / seconds) if seconds else 0

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 10 (per-benchmark IPC at 48int+48FP registers)."""
+
+from repro.experiments import figure10
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH, run_once
+
+
+def test_bench_figure10(benchmark):
+    result = run_once(benchmark, figure10.run,
+                      trace_length=BENCH_TRACE_LENGTH, parallel=True)
+    fp_basic = result.suite_speedup_percent("fp", "basic")
+    fp_extended = result.suite_speedup_percent("fp", "extended")
+    int_extended = result.suite_speedup_percent("int", "extended")
+    # Shape checks against the paper (+6% basic / +8% extended FP, +5% int ext):
+    # early release must clearly help the FP suite and help it more than the
+    # integer suite at this very tight size.
+    assert fp_basic > 0
+    assert fp_extended > 0
+    assert fp_extended > int_extended
+    benchmark.extra_info["hm_ipc_fp_conv"] = round(result.harmonic_mean("fp", "conv"), 3)
+    benchmark.extra_info["hm_ipc_int_conv"] = round(result.harmonic_mean("int", "conv"), 3)
+    benchmark.extra_info["fp_basic_speedup_pct"] = round(fp_basic, 1)
+    benchmark.extra_info["fp_extended_speedup_pct"] = round(fp_extended, 1)
+    benchmark.extra_info["int_basic_speedup_pct"] = round(
+        result.suite_speedup_percent("int", "basic"), 1)
+    benchmark.extra_info["int_extended_speedup_pct"] = round(int_extended, 1)
+    benchmark.extra_info["paper_fp_basic_pct"] = 6.0
+    benchmark.extra_info["paper_fp_extended_pct"] = 8.0
+    benchmark.extra_info["paper_int_extended_pct"] = 5.0

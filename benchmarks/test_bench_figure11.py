@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 11 (harmonic-mean IPC vs register file size)."""
+
+from repro.experiments import figure11
+
+from benchmarks.conftest import BENCH_SIZES, BENCH_TRACE_LENGTH, run_once
+
+
+def test_bench_figure11(benchmark, figure11_sweep):
+    # The sweep itself is shared (session fixture); the benchmarked quantity
+    # is one full regeneration at the harness scale.
+    result = run_once(benchmark, figure11.run,
+                      trace_length=BENCH_TRACE_LENGTH, sizes=(40, 64, 96, 160),
+                      parallel=True)
+    # Shape checks on the full shared sweep (finer grid):
+    fp_speedups = dict(figure11_sweep.speedup_curve("fp", "extended"))
+    # Gains shrink as the file grows and essentially vanish at the loose end.
+    assert fp_speedups[min(BENCH_SIZES)] > fp_speedups[max(BENCH_SIZES)] - 1.0
+    assert abs(fp_speedups[max(BENCH_SIZES)]) < 6.0
+    # IPC curves are (weakly) increasing in the register count for both the
+    # quick regeneration and the shared sweep.
+    for suite in ("int", "fp"):
+        curve = dict(result.curve(suite, "conv"))
+        assert curve[160] >= curve[40] - 0.05
+    benchmark.extra_info["fp_extended_speedup_at_40_pct"] = round(fp_speedups[40], 1)
+    benchmark.extra_info["fp_extended_speedup_at_96_pct"] = round(fp_speedups[96], 1)
+    benchmark.extra_info["fp_extended_speedup_at_160_pct"] = round(fp_speedups[160], 1)
+    int_speedups = dict(figure11_sweep.speedup_curve("int", "extended"))
+    benchmark.extra_info["int_extended_speedup_at_40_pct"] = round(int_speedups[40], 1)
+    benchmark.extra_info["int_extended_speedup_at_96_pct"] = round(int_speedups[96], 1)
+    benchmark.extra_info["paper_fp_range_pct"] = "10 → 2 (40 → 104 regs)"
+    benchmark.extra_info["paper_int_range_pct"] = "11 → 2 (40 → 64 regs)"

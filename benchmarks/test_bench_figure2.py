@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the Figure 2 register-lifecycle example."""
+
+import pytest
+
+from repro.core.register_state import RegState
+from repro.experiments import figure2
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.parametrize("policy", ["conv", "basic", "extended"])
+def test_bench_figure2(benchmark, policy):
+    result = run_once(benchmark, figure2.run, policy)
+    durations = result.state_durations()
+    assert RegState.READY in durations
+    benchmark.extra_info["policy"] = policy
+    benchmark.extra_info["idle_cycles"] = durations.get(RegState.IDLE, 0)
+    # The paper's point: the early-release schemes remove the Idle interval.
+    if policy != "conv":
+        conv_idle = figure2.run("conv").state_durations().get(RegState.IDLE, 0)
+        assert durations.get(RegState.IDLE, 0) <= conv_idle

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 3 (Empty/Ready/Idle occupancy, conventional)."""
+
+from repro.experiments import figure3
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH, run_once
+
+
+def test_bench_figure3(benchmark):
+    result = run_once(benchmark, figure3.run,
+                      trace_length=BENCH_TRACE_LENGTH, parallel=True)
+    int_overhead = result.idle_overhead("int")
+    fp_overhead = result.idle_overhead("fp")
+    # Shape check (paper: 45.8% int vs 16.8% fp): both positive, int larger.
+    assert int_overhead > 0 and fp_overhead > 0
+    assert int_overhead > fp_overhead
+    benchmark.extra_info["idle_overhead_int_pct"] = round(int_overhead, 1)
+    benchmark.extra_info["idle_overhead_fp_pct"] = round(fp_overhead, 1)
+    benchmark.extra_info["paper_int_pct"] = 45.8
+    benchmark.extra_info["paper_fp_pct"] = 16.8
+    benchmark.extra_info["allocated_int"] = round(result.suite_mean("int").allocated, 1)
+    benchmark.extra_info["allocated_fp"] = round(result.suite_mean("fp").allocated, 1)

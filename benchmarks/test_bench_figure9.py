@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 9 (LUs Table vs register file delay/energy)."""
+
+import pytest
+
+from repro.experiments import figure9
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_figure9(benchmark):
+    result = run_once(benchmark, figure9.run)
+    assert result.access_time_ns["LUsT"][0] == pytest.approx(0.98, abs=1e-6)
+    assert result.lus_delay_margin_vs_smallest_int() == pytest.approx(0.26, abs=0.01)
+    benchmark.extra_info["lus_access_time_ns"] = result.access_time_ns["LUsT"][0]
+    benchmark.extra_info["lus_energy_pj"] = result.energy_pj["LUsT"][0]
+    benchmark.extra_info["int160_access_time_ns"] = round(
+        result.access_time_ns["INT"][-1], 3)
+    benchmark.extra_info["fp160_energy_pj"] = round(result.energy_pj["FP"][-1], 1)

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the Section 3.3 basic-mechanism speedups."""
+
+from repro.experiments import section33
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH, run_once
+
+
+def test_bench_section33(benchmark):
+    result = run_once(benchmark, section33.run,
+                      trace_length=BENCH_TRACE_LENGTH, sizes=(64, 48, 40),
+                      parallel=True)
+    # Shape: the basic mechanism helps the FP suite at tight sizes, and helps
+    # more as the file gets tighter (paper: 3% → 6% → 9%).
+    assert result.speedup_percent("fp", 40) > 0
+    assert result.speedup_percent("fp", 40) >= result.speedup_percent("fp", 64) - 1.0
+    for size in (64, 48, 40):
+        benchmark.extra_info[f"fp_basic_speedup_at_{size}_pct"] = round(
+            result.speedup_percent("fp", size), 1)
+        benchmark.extra_info[f"int_basic_speedup_at_{size}_pct"] = round(
+            result.speedup_percent("int", size), 1)
+    benchmark.extra_info["paper_fp_pct"] = {64: 3.0, 48: 6.0, 40: 9.0}
+    benchmark.extra_info["paper_int_pct"] = {64: 0.0, 48: 0.0, 40: 5.0}

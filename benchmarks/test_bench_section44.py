@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the Section 4.4 energy-neutrality and storage numbers."""
+
+import pytest
+
+from repro.experiments import section44
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_section44(benchmark):
+    result = run_once(benchmark, section44.run)
+    assert result.energy_ratio == pytest.approx(1.0, abs=0.05)
+    assert result.extended_storage_bytes == pytest.approx(1.22 * 1024, rel=0.01)
+    benchmark.extra_info["energy_conv_pj"] = round(result.energy_conv_pj, 1)
+    benchmark.extra_info["energy_early_pj"] = round(result.energy_early_pj, 1)
+    benchmark.extra_info["extended_storage_bytes"] = round(
+        result.extended_storage_bytes, 1)
+    benchmark.extra_info["lus_tables_bytes"] = round(result.lus_tables_bytes, 1)

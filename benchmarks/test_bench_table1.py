@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (processor survey)."""
+
+from repro.experiments import table1
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, table1.run)
+    rows = result.rows()
+    assert len(rows) == 4
+    benchmark.extra_info["processors"] = [row[0] for row in rows]
+    benchmark.extra_info["loose"] = [entry.name for entry in result.entries
+                                     if entry.paper_classification == "loose"]

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 4 (register file sizes giving equal IPC)."""
+
+from repro.experiments import table4
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_table4(benchmark, figure11_sweep):
+    result = run_once(benchmark, table4.derive, figure11_sweep)
+    fp_rows = result.rows_for("fp")
+    assert fp_rows
+    # The paper's qualitative claim: the FP file can shrink at equal IPC.
+    savings = [row.saved_percent for row in fp_rows if row.saved_percent is not None]
+    assert savings and max(savings) > 0
+    benchmark.extra_info["fp_mean_saving_pct"] = round(result.mean_saving_percent("fp"), 1)
+    benchmark.extra_info["int_mean_saving_pct"] = round(result.mean_saving_percent("int"), 1)
+    benchmark.extra_info["paper_fp_savings_pct"] = (7.2, 8.9)
+    benchmark.extra_info["paper_int_savings_pct"] = (12.5, 11.1)
+    benchmark.extra_info["rows"] = [
+        (row.suite, row.conv_size,
+         None if row.extended_size is None else round(row.extended_size, 1))
+        for row in result.rows]

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Collect the paper-vs-measured numbers recorded in EXPERIMENTS.md.
+
+Runs every experiment at a moderate scale (longer traces than the
+benchmark harness, shorter than a full overnight run) and writes a JSON
+summary that the documentation quotes.  Usage::
+
+    python scripts/collect_experiment_numbers.py [output.json] [trace_length]
+"""
+
+import json
+import sys
+import time
+
+from repro.experiments import (figure2, figure3, figure9, figure10, figure11,
+                               section33, section44, table4)
+from repro.core.register_state import RegState
+
+
+def main() -> int:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "experiment_numbers.json"
+    trace_length = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+    sizes = (40, 48, 56, 64, 72, 80, 96, 112, 128, 160)
+    started = time.time()
+    data = {"trace_length": trace_length, "register_sizes": list(sizes)}
+
+    # ----------------------------------------------------------- analytical
+    fig9 = figure9.run()
+    data["figure9"] = {
+        "lus_access_time_ns": fig9.access_time_ns["LUsT"][0],
+        "lus_energy_pj": fig9.energy_pj["LUsT"][0],
+        "delay_margin_vs_smallest_int": fig9.lus_delay_margin_vs_smallest_int(),
+        "energy_fraction_of_smallest_int": fig9.lus_energy_fraction_of_smallest_int(),
+        "int_access_time_ns": dict(zip(fig9.sizes, fig9.access_time_ns["INT"])),
+        "fp_access_time_ns": dict(zip(fig9.sizes, fig9.access_time_ns["FP"])),
+    }
+    sec44 = section44.run()
+    data["section44"] = {
+        "energy_conv_pj": sec44.energy_conv_pj,
+        "energy_early_pj": sec44.energy_early_pj,
+        "extended_storage_bytes": sec44.extended_storage_bytes,
+        "lus_tables_bytes": sec44.lus_tables_bytes,
+    }
+    data["figure2"] = {
+        policy: {state.value: cycles
+                 for state, cycles in figure2.run(policy).state_durations().items()}
+        for policy in ("conv", "basic", "extended")
+    }
+
+    # ----------------------------------------------------------- simulation
+    fig3 = figure3.run(trace_length=trace_length, parallel=True)
+    data["figure3"] = {
+        "idle_overhead_int_pct": fig3.idle_overhead("int"),
+        "idle_overhead_fp_pct": fig3.idle_overhead("fp"),
+        "rows": {suite: [[row.benchmark, row.empty, row.ready, row.idle]
+                         for row in fig3.rows[suite]]
+                 for suite in ("int", "fp")},
+    }
+
+    fig10 = figure10.run(trace_length=trace_length, parallel=True)
+    data["figure10"] = {
+        "ipc": {benchmark: {policy: fig10.ipc(benchmark, policy)
+                            for policy in ("conv", "basic", "extended")}
+                for benchmark in fig10.int_benchmarks + fig10.fp_benchmarks},
+        "hm": {suite: {policy: fig10.harmonic_mean(suite, policy)
+                       for policy in ("conv", "basic", "extended")}
+               for suite in ("int", "fp")},
+        "speedup_pct": {suite: {policy: fig10.suite_speedup_percent(suite, policy)
+                                for policy in ("basic", "extended")}
+                        for suite in ("int", "fp")},
+    }
+
+    sec33 = section33.run(trace_length=trace_length, parallel=True)
+    data["section33"] = {
+        f"{suite}@{size}": sec33.speedup_percent(suite, size)
+        for suite in ("fp", "int") for size in (64, 48, 40)
+    }
+
+    fig11 = figure11.run(trace_length=trace_length, sizes=sizes, parallel=True)
+    data["figure11"] = {
+        suite: {policy: dict(fig11.curve(suite, policy))
+                for policy in ("conv", "basic", "extended")}
+        for suite in ("int", "fp")
+    }
+    data["figure11_speedup_pct"] = {
+        suite: {policy: dict(fig11.speedup_curve(suite, policy))
+                for policy in ("basic", "extended")}
+        for suite in ("int", "fp")
+    }
+
+    tab4 = table4.derive(fig11)
+    data["table4"] = [
+        {"suite": row.suite, "conv": row.conv_size, "target_ipc": row.target_ipc,
+         "extended": row.extended_size, "saved_pct": row.saved_percent}
+        for row in tab4.rows
+    ]
+
+    data["elapsed_seconds"] = round(time.time() - started, 1)
+    with open(output_path, "w") as handle:
+        json.dump(data, handle, indent=2, default=float)
+    print(f"wrote {output_path} in {data['elapsed_seconds']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

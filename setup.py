@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so the package can be installed in environments without the
+``wheel`` package (offline machines), via::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

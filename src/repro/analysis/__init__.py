@@ -1,0 +1,53 @@
+"""Analysis layer: metrics, sweeps, parallel execution and reporting.
+
+This package turns raw :class:`repro.pipeline.stats.SimStats` objects into
+the quantities the paper reports (harmonic-mean IPC, speedups, iso-IPC
+register savings, Empty/Ready/Idle occupancy breakdowns) and provides the
+sweep driver used by the Figure 10/11 and Table 4 experiments, including a
+multiprocessing runner that exploits the embarrassing parallelism across
+(benchmark, policy, register-file size) simulation points.
+"""
+
+from repro.analysis.metrics import (
+    harmonic_mean,
+    geometric_mean,
+    speedup,
+    percentage_speedup,
+    iso_ipc_register_requirement,
+)
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepResult,
+    SweepConfig,
+    run_sweep,
+    run_simulation_point,
+)
+from repro.analysis.parallel import ParallelSweepRunner, available_workers
+from repro.analysis.occupancy import occupancy_breakdown, OccupancyRow
+from repro.analysis.reporting import (
+    format_table,
+    format_series,
+    ascii_bar_chart,
+    format_percent,
+)
+
+__all__ = [
+    "harmonic_mean",
+    "geometric_mean",
+    "speedup",
+    "percentage_speedup",
+    "iso_ipc_register_requirement",
+    "SweepPoint",
+    "SweepResult",
+    "SweepConfig",
+    "run_sweep",
+    "run_simulation_point",
+    "ParallelSweepRunner",
+    "available_workers",
+    "occupancy_breakdown",
+    "OccupancyRow",
+    "format_table",
+    "format_series",
+    "ascii_bar_chart",
+    "format_percent",
+]

@@ -1,0 +1,96 @@
+"""Performance metrics used by the paper's evaluation.
+
+The paper reports per-benchmark IPC (Figure 10), harmonic-mean IPC across
+each suite (Figures 10 and 11), relative speedups of the early-release
+policies over conventional release (Sections 3.3 and 5.1), and the
+register-file size needed to reach a given IPC (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean (the paper's "Hm" bars in Figures 10 and 11).
+
+    Raises :class:`ValueError` on an empty input or non-positive values —
+    the harmonic mean of IPCs is undefined for zero throughput.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("harmonic mean of an empty sequence is undefined")
+    if np.any(data <= 0):
+        raise ValueError("harmonic mean requires strictly positive values")
+    return float(data.size / np.sum(1.0 / data))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (used by some ablation reports)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("geometric mean of an empty sequence is undefined")
+    if np.any(data <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(data))))
+
+
+def speedup(new_ipc: float, baseline_ipc: float) -> float:
+    """Relative speedup ``new / baseline`` (1.0 = no change)."""
+    if baseline_ipc <= 0:
+        raise ValueError("baseline IPC must be positive")
+    return new_ipc / baseline_ipc
+
+
+def percentage_speedup(new_ipc: float, baseline_ipc: float) -> float:
+    """Speedup expressed as a percentage gain (the paper's "6 % speedup")."""
+    return (speedup(new_ipc, baseline_ipc) - 1.0) * 100.0
+
+
+def iso_ipc_register_requirement(sizes: Sequence[int], ipcs: Sequence[float],
+                                 target_ipc: float) -> Optional[float]:
+    """Smallest register-file size achieving ``target_ipc``.
+
+    ``sizes``/``ipcs`` describe one policy's IPC-vs-registers curve
+    (Figure 11); the answer is found by linear interpolation between the
+    two bracketing points, which is how Table 4 ("register file sizes
+    giving equal IPC") is derived from the sweep.  Returns ``None`` when
+    the target exceeds the curve's maximum.
+    """
+    if len(sizes) != len(ipcs):
+        raise ValueError("sizes and ipcs must have the same length")
+    if not sizes:
+        return None
+    order = np.argsort(sizes)
+    sizes_arr = np.asarray(sizes, dtype=float)[order]
+    ipcs_arr = np.asarray(ipcs, dtype=float)[order]
+    # IPC is (essentially) monotone in the register count; walk until the
+    # target is reached.
+    for index, (size, ipc) in enumerate(zip(sizes_arr, ipcs_arr)):
+        if ipc >= target_ipc:
+            if index == 0:
+                return float(size)
+            prev_size, prev_ipc = sizes_arr[index - 1], ipcs_arr[index - 1]
+            if ipc == prev_ipc:
+                return float(size)
+            fraction = (target_ipc - prev_ipc) / (ipc - prev_ipc)
+            return float(prev_size + fraction * (size - prev_size))
+    return None
+
+
+def summarize_speedups(ipc_by_benchmark: Dict[str, Dict[str, float]],
+                       baseline: str = "conv") -> Dict[str, Dict[str, float]]:
+    """Per-benchmark percentage speedups of every policy over ``baseline``.
+
+    ``ipc_by_benchmark`` maps benchmark → policy → IPC; the result maps
+    benchmark → policy → percentage speedup (the baseline maps to 0.0).
+    """
+    result: Dict[str, Dict[str, float]] = {}
+    for benchmark, by_policy in ipc_by_benchmark.items():
+        base = by_policy[baseline]
+        result[benchmark] = {
+            policy: percentage_speedup(ipc, base) for policy, ipc in by_policy.items()
+        }
+    return result

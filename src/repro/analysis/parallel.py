@@ -1,0 +1,63 @@
+"""Multiprocessing execution of simulation sweeps.
+
+Each (benchmark, policy, register-size) point of a sweep is an independent
+cycle-level simulation, so the sweep is embarrassingly parallel.  This is
+the pattern the session's HPC guides (and the mpi4py tutorial's
+scatter/gather examples) recommend: leave the inner simulation loop alone
+and parallelise the outer loop over independent work items.  On the target
+machines MPI is not available, so a :class:`concurrent.futures`
+process pool provides the workers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.sweep import SweepConfig, SweepPoint
+    from repro.pipeline.stats import SimStats
+
+
+def available_workers(max_workers: Optional[int] = None) -> int:
+    """Number of worker processes to use (bounded by the CPU count)."""
+    cpu_count = os.cpu_count() or 1
+    if max_workers is None:
+        return max(1, cpu_count - 1)
+    return max(1, min(max_workers, cpu_count))
+
+
+def _run_point(sweep_config: "SweepConfig", point: "SweepPoint") -> "SimStats":
+    """Worker entry point (module level so it can be pickled)."""
+    from repro.analysis.sweep import run_simulation_point
+
+    return run_simulation_point(sweep_config, point)
+
+
+class ParallelSweepRunner:
+    """Runs sweep points on a process pool and gathers the results."""
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = available_workers(max_workers)
+
+    def run(self, sweep_config: "SweepConfig",
+            points: Sequence["SweepPoint"]) -> Dict["SweepPoint", "SimStats"]:
+        """Run every point and return ``{point: stats}``.
+
+        Work is submitted point-by-point (rather than chunked) because the
+        simulation times of different points vary widely — small register
+        files and branch-heavy benchmarks take longer per instruction — and
+        fine-grained scheduling keeps all workers busy until the end.
+        """
+        results: Dict["SweepPoint", "SimStats"] = {}
+        if not points:
+            return results
+        workers = min(self.max_workers, len(points))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_run_point, sweep_config, point): point
+                       for point in points}
+            for future in as_completed(futures):
+                point = futures[future]
+                results[point] = future.result()
+        return results

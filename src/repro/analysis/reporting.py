@@ -1,0 +1,86 @@
+"""Plain-text rendering of tables and figure series.
+
+Every experiment regenerates its table or figure as text: fixed-width
+tables for the paper's tables, and series listings / ASCII bar charts for
+the figures, so the whole evaluation can be reproduced in a terminal with
+no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a percentage value with a sign (e.g. ``+6.2%``)."""
+    return f"{value:+.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None, float_digits: int = 3) -> str:
+    """Render a fixed-width text table.
+
+    Floats are rounded to ``float_digits``; every other cell is rendered
+    with ``str``.  Column widths adapt to the content.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{float_digits}f}"
+        return str(cell)
+
+    rendered_rows = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(list(headers)))
+    lines.append(format_row(["-" * width for width in widths]))
+    lines.extend(format_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[str, Sequence[Tuple[float, float]]],
+                  x_label: str, y_label: str,
+                  title: Optional[str] = None, float_digits: int = 3) -> str:
+    """Render one or more (x, y) series as a merged text table.
+
+    ``series`` maps a series name (e.g. "conv", "basic", "extended") to a
+    list of (x, y) points; all series are assumed to share the x values.
+    """
+    names = list(series)
+    if not names:
+        return title or ""
+    xs = [x for x, _ in series[names[0]]]
+    headers = [x_label] + [f"{name} {y_label}" for name in names]
+    rows = []
+    for index, x in enumerate(xs):
+        row: List[object] = [x]
+        for name in names:
+            row.append(series[name][index][1])
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_digits=float_digits)
+
+
+def ascii_bar_chart(values: Dict[str, float], width: int = 50,
+                    title: Optional[str] = None, unit: str = "") -> str:
+    """Render a horizontal ASCII bar chart (used for the Figure 3 bars)."""
+    if not values:
+        return title or ""
+    maximum = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        bar_length = 0 if maximum <= 0 else int(round(width * value / maximum))
+        lines.append(f"{label.ljust(label_width)} | "
+                     f"{'#' * bar_length} {value:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Simulation sweep driver (the engine behind Figures 10/11 and Table 4).
+
+A *sweep* is the cross product of benchmarks × release policies ×
+register-file sizes, each point being one cycle-level simulation.  The
+driver runs the points either serially or through the multiprocessing
+runner of :mod:`repro.analysis.parallel` (each point is independent — the
+"parallelise the outer loop" pattern of the session's HPC guides) and
+collects the results into a :class:`SweepResult` with the accessors the
+experiment modules need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import harmonic_mean, iso_ipc_register_requirement
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.processor import simulate
+from repro.pipeline.stats import SimStats
+from repro.trace.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation point of a sweep."""
+
+    benchmark: str
+    policy: str
+    num_registers: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.benchmark}/{self.policy}/P{self.num_registers}"
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Parameters shared by every point of a sweep.
+
+    ``num_registers`` of a point is applied to *both* the integer and the
+    FP file, exactly as the paper's "48int + 48FP" configurations.
+    """
+
+    benchmarks: Tuple[str, ...]
+    policies: Tuple[str, ...] = ("conv", "basic", "extended")
+    register_sizes: Tuple[int, ...] = (48,)
+    trace_length: int = 20_000
+    seed: int = 0
+    base_config: ProcessorConfig = field(default_factory=ProcessorConfig)
+
+    def points(self) -> List[SweepPoint]:
+        """Enumerate every simulation point of the sweep."""
+        return [SweepPoint(benchmark, policy, size)
+                for benchmark in self.benchmarks
+                for policy in self.policies
+                for size in self.register_sizes]
+
+    def config_for(self, point: SweepPoint) -> ProcessorConfig:
+        """Processor configuration of one sweep point."""
+        return replace(self.base_config,
+                       release_policy=point.policy,
+                       num_physical_int=point.num_registers,
+                       num_physical_fp=point.num_registers)
+
+
+def run_simulation_point(sweep_config: SweepConfig, point: SweepPoint) -> SimStats:
+    """Run the single simulation of ``point`` (used by both serial and
+    parallel execution paths; must stay a module-level function so the
+    multiprocessing runner can pickle it)."""
+    trace = get_workload(point.benchmark, sweep_config.trace_length,
+                         seed=sweep_config.seed)
+    return simulate(trace, sweep_config.config_for(point))
+
+
+class SweepResult:
+    """Results of a sweep, indexed by (benchmark, policy, register size)."""
+
+    def __init__(self, sweep_config: SweepConfig,
+                 results: Dict[SweepPoint, SimStats]) -> None:
+        self.config = sweep_config
+        self._results = dict(results)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def points(self) -> List[SweepPoint]:
+        """All points present in the result."""
+        return list(self._results)
+
+    def stats(self, benchmark: str, policy: str, num_registers: int) -> SimStats:
+        """Full statistics of one point."""
+        return self._results[SweepPoint(benchmark, policy, num_registers)]
+
+    def ipc(self, benchmark: str, policy: str, num_registers: int) -> float:
+        """IPC of one point."""
+        return self.stats(benchmark, policy, num_registers).ipc
+
+    # ------------------------------------------------------------------
+    def harmonic_mean_ipc(self, benchmarks: Sequence[str], policy: str,
+                          num_registers: int) -> float:
+        """Harmonic-mean IPC over ``benchmarks`` (the paper's Hm bars)."""
+        return harmonic_mean(self.ipc(benchmark, policy, num_registers)
+                             for benchmark in benchmarks)
+
+    def ipc_curve(self, benchmarks: Sequence[str], policy: str,
+                  ) -> List[Tuple[int, float]]:
+        """Harmonic-mean IPC as a function of register-file size (Figure 11)."""
+        return [(size, self.harmonic_mean_ipc(benchmarks, policy, size))
+                for size in self.config.register_sizes]
+
+    def iso_ipc_size(self, benchmarks: Sequence[str], policy: str,
+                     target_ipc: float) -> Optional[float]:
+        """Smallest register count at which ``policy`` reaches ``target_ipc``."""
+        curve = self.ipc_curve(benchmarks, policy)
+        sizes = [size for size, _ in curve]
+        ipcs = [ipc for _, ipc in curve]
+        return iso_ipc_register_requirement(sizes, ipcs, target_ipc)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "SweepResult") -> "SweepResult":
+        """Combine two sweeps run over disjoint point sets."""
+        merged = dict(self._results)
+        merged.update(other._results)
+        sizes = tuple(sorted(set(self.config.register_sizes)
+                             | set(other.config.register_sizes)))
+        benchmarks = tuple(dict.fromkeys(self.config.benchmarks
+                                         + other.config.benchmarks))
+        policies = tuple(dict.fromkeys(self.config.policies + other.config.policies))
+        config = replace(self.config, register_sizes=sizes, benchmarks=benchmarks,
+                         policies=policies)
+        return SweepResult(config, merged)
+
+
+def run_sweep(sweep_config: SweepConfig, parallel: bool = True,
+              max_workers: Optional[int] = None) -> SweepResult:
+    """Run every point of ``sweep_config`` and collect the results.
+
+    With ``parallel=True`` the points are distributed over a process pool
+    (one Python process per core by default); otherwise they run serially
+    in this process.
+    """
+    points = sweep_config.points()
+    if parallel and len(points) > 1:
+        from repro.analysis.parallel import ParallelSweepRunner
+
+        runner = ParallelSweepRunner(max_workers=max_workers)
+        results = runner.run(sweep_config, points)
+    else:
+        results = {point: run_simulation_point(sweep_config, point)
+                   for point in points}
+    return SweepResult(sweep_config, results)

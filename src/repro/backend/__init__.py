@@ -1,0 +1,21 @@
+"""Out-of-order back end: reorder structure, functional units, load/store queue.
+
+The Reorder Structure (ROS) follows the paper's terminology: a FIFO of all
+uncommitted instructions whose entries carry both the current-version
+destination identifier (as an indirect reorder buffer would) and the
+previous-version identifier (as an indirect history buffer would), plus
+the early-release bits added by the Section 3/4 mechanisms.
+"""
+
+from repro.backend.ros import ROSEntry, ReorderStructure
+from repro.backend.functional_units import FunctionalUnitPool, FUConfig
+from repro.backend.lsq import LoadStoreQueue, LSQEntry
+
+__all__ = [
+    "ROSEntry",
+    "ReorderStructure",
+    "FunctionalUnitPool",
+    "FUConfig",
+    "LoadStoreQueue",
+    "LSQEntry",
+]

@@ -1,0 +1,78 @@
+"""Functional unit pools (Table 2 of the paper).
+
+Eight simple integer units (1 cycle), four integer multipliers (7 cycles),
+six simple FP units (4 cycles), four FP multipliers (4 cycles), four FP
+dividers (16 cycles, not pipelined) and four load/store units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.isa import FUKind, FU_KIND, DEFAULT_LATENCY, OpClass
+
+
+@dataclass(frozen=True)
+class FUConfig:
+    """Number of units, result latency and pipelining of each pool."""
+
+    counts: Mapping[FUKind, int] = field(default_factory=lambda: {
+        FUKind.SIMPLE_INT: 8,
+        FUKind.INT_MULT: 4,
+        FUKind.SIMPLE_FP: 6,
+        FUKind.FP_MULT: 4,
+        FUKind.FP_DIV: 4,
+        FUKind.LOAD_STORE: 4,
+    })
+    latencies: Mapping[OpClass, int] = field(default_factory=lambda: dict(DEFAULT_LATENCY))
+    #: pools whose units are busy for the full latency of each operation.
+    unpipelined: frozenset = frozenset({FUKind.FP_DIV})
+
+
+class FunctionalUnitPool:
+    """Tracks per-cycle availability of every functional unit pool."""
+
+    def __init__(self, config: FUConfig | None = None) -> None:
+        self.config = config or FUConfig()
+        #: per pool: the cycle at which each unit can accept a new operation.
+        self._free_at: Dict[FUKind, List[int]] = {
+            kind: [0] * count for kind, count in self.config.counts.items()
+        }
+        self.issues: Dict[FUKind, int] = {kind: 0 for kind in self._free_at}
+        self.structural_stalls = 0
+
+    # ------------------------------------------------------------------
+    def latency_of(self, op: OpClass) -> int:
+        """Execution latency of ``op`` (excluding cache access time)."""
+        return self.config.latencies[op]
+
+    def kind_of(self, op: OpClass) -> FUKind:
+        """Functional unit pool that executes ``op``."""
+        return FU_KIND[op]
+
+    def can_issue(self, op: OpClass, cycle: int) -> bool:
+        """True when a unit of the right kind is available at ``cycle``."""
+        kind = FU_KIND[op]
+        return any(free <= cycle for free in self._free_at[kind])
+
+    def issue(self, op: OpClass, cycle: int) -> int:
+        """Reserve a unit for ``op`` at ``cycle``; returns the result latency.
+
+        Raises :class:`RuntimeError` when no unit is available (callers use
+        :meth:`can_issue` and count a structural stall instead).
+        """
+        kind = FU_KIND[op]
+        latency = self.config.latencies[op]
+        occupancy = latency if kind in self.config.unpipelined else 1
+        units = self._free_at[kind]
+        for index, free in enumerate(units):
+            if free <= cycle:
+                units[index] = cycle + occupancy
+                self.issues[kind] += 1
+                return latency
+        raise RuntimeError(f"no {kind.name} unit available at cycle {cycle}")
+
+    def note_structural_stall(self) -> None:
+        """Record that a ready instruction could not issue for lack of a unit."""
+        self.structural_stalls += 1

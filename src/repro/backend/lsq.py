@@ -1,0 +1,110 @@
+"""Load/Store Queue with store-to-load forwarding (Table 2: 64 entries).
+
+The paper's issue rule is conservative: "Loads are executed when all
+previously store addresses are known".  Store addresses become known when
+the store issues (address generation); stores update the data cache at
+commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class LSQEntry:
+    """One in-flight memory operation."""
+
+    seq: int
+    is_store: bool
+    address: int
+    addr_known: bool = False
+    done: bool = False
+
+
+class LoadStoreQueue:
+    """Program-ordered queue of in-flight loads and stores."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: List[LSQEntry] = []
+        self.forwarded_loads = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """True when dispatch of another memory operation must stall."""
+        return len(self._entries) >= self.capacity
+
+    def insert(self, seq: int, is_store: bool, address: int) -> LSQEntry:
+        """Add a renamed memory operation at the queue tail."""
+        if self.is_full:
+            raise RuntimeError("LSQ overflow: dispatch must stall instead")
+        if self._entries and seq <= self._entries[-1].seq:
+            raise ValueError("LSQ entries must be inserted in program order")
+        entry = LSQEntry(seq=seq, is_store=is_store, address=address)
+        self._entries.append(entry)
+        return entry
+
+    def find(self, seq: int) -> Optional[LSQEntry]:
+        """Entry for instruction ``seq``, or None."""
+        for entry in self._entries:
+            if entry.seq == seq:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    def load_may_issue(self, seq: int) -> bool:
+        """Paper issue rule: every older store's address must be known."""
+        for entry in self._entries:
+            if entry.seq >= seq:
+                break
+            if entry.is_store and not entry.addr_known:
+                return False
+        return True
+
+    def store_forwards_to(self, seq: int, address: int, line_mask: int = ~7) -> bool:
+        """True when the youngest older store to the same (8-byte) word
+        can forward its data to the load ``seq``."""
+        best: Optional[LSQEntry] = None
+        for entry in self._entries:
+            if entry.seq >= seq:
+                break
+            if entry.is_store and entry.addr_known and \
+                    (entry.address & line_mask) == (address & line_mask):
+                best = entry
+        if best is not None:
+            self.forwarded_loads += 1
+            return True
+        return False
+
+    def mark_address_known(self, seq: int) -> None:
+        """The memory operation ``seq`` has computed its effective address."""
+        entry = self.find(seq)
+        if entry is not None:
+            entry.addr_known = True
+
+    def mark_done(self, seq: int) -> None:
+        """The memory operation ``seq`` completed execution."""
+        entry = self.find(seq)
+        if entry is not None:
+            entry.done = True
+
+    # ------------------------------------------------------------------
+    def remove(self, seq: int) -> None:
+        """Remove the entry of ``seq`` (at commit)."""
+        self._entries = [entry for entry in self._entries if entry.seq != seq]
+
+    def squash_younger_than(self, seq: int) -> None:
+        """Drop every entry younger than ``seq`` (misprediction recovery)."""
+        self._entries = [entry for entry in self._entries if entry.seq <= seq]
+
+    def clear(self) -> None:
+        """Drop every entry (exception flush)."""
+        self._entries.clear()

@@ -1,0 +1,174 @@
+"""Reorder Structure (ROS) and its entries.
+
+Every renamed, uncommitted instruction occupies one :class:`ROSEntry`.
+The entry carries the conventional-renaming fields of paper Figure 1
+(``old_pd``, ``rd``, ``pd``) and the fields added by the basic mechanism
+in Figure 5 (logical/physical source identifiers, the previous-version
+release bit ``rel_old`` and the early-release bits ``rel1/rel2/reld``,
+stored here as a slot bitmask).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional, Tuple
+
+from repro.isa import Instruction, RegClass
+
+
+#: Bit of ``ROSEntry.early_release_mask`` corresponding to source slot *i*.
+def src_slot_bit(slot: int) -> int:
+    """Mask bit for source slot ``slot`` (0-based)."""
+    return 1 << slot
+
+
+#: Bit of ``ROSEntry.early_release_mask`` corresponding to the destination slot.
+DEST_SLOT_BIT = 1 << 3
+
+
+class ROSEntry:
+    """One uncommitted instruction in the Reorder Structure."""
+
+    __slots__ = (
+        "seq", "inst", "wrong_path", "resume_cursor", "prediction",
+        "predicted_taken", "fetch_mispredicted",
+        "dest_class", "dest_logical", "pd", "old_pd", "allocated_new", "reused",
+        "rel_old", "early_release_mask",
+        "src_regs", "wait_producers",
+        "issued", "completed", "complete_cycle", "rename_cycle", "issue_cycle",
+        "branch_resolved", "lsq_index", "exception", "mem_latency", "squashed",
+    )
+
+    def __init__(self, seq: int, inst: Instruction) -> None:
+        self.seq = seq
+        self.inst = inst
+        self.wrong_path = inst.wrong_path
+        self.resume_cursor = -1
+        self.prediction = None
+        self.predicted_taken = False
+        self.fetch_mispredicted = False
+
+        self.dest_class: Optional[RegClass] = None
+        self.dest_logical: Optional[int] = None
+        self.pd: Optional[int] = None
+        self.old_pd: Optional[int] = None
+        self.allocated_new = False
+        self.reused = False
+
+        #: conventional previous-version release enable (paper ``rel_old``).
+        self.rel_old = False
+        #: early-release bits: bits 0..2 = source slots, bit 3 = destination.
+        self.early_release_mask = 0
+
+        #: per source slot: (reg_class, logical, physical).
+        self.src_regs: List[Tuple[RegClass, int, int]] = []
+        #: producer sequence numbers this instruction still waits on.
+        self.wait_producers: set = set()
+
+        self.issued = False
+        self.completed = False
+        self.complete_cycle = -1
+        self.rename_cycle = -1
+        self.issue_cycle = -1
+        self.branch_resolved = False
+        self.lsq_index: Optional[int] = None
+        self.exception = False
+        self.mem_latency = 0
+        self.squashed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def has_dest(self) -> bool:
+        """True when the entry allocated (or reused) a destination register."""
+        return self.dest_class is not None
+
+    @property
+    def ready(self) -> bool:
+        """True when every source operand is available (may issue)."""
+        return not self.wait_producers
+
+    def physical_of_slot(self, slot_bit: int) -> Tuple[RegClass, int, Optional[int]]:
+        """Return ``(reg_class, physical, logical)`` for an early-release slot bit."""
+        if slot_bit == DEST_SLOT_BIT:
+            assert self.dest_class is not None and self.pd is not None
+            return self.dest_class, self.pd, self.dest_logical
+        slot = slot_bit.bit_length() - 1
+        reg_class, logical, physical = self.src_regs[slot]
+        return reg_class, physical, logical
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ROSEntry(seq={self.seq}, op={self.inst.op.name}, "
+                f"pd={self.pd}, old_pd={self.old_pd}, "
+                f"issued={self.issued}, completed={self.completed})")
+
+
+class ReorderStructure:
+    """FIFO of uncommitted instructions (the paper's ROS, Table 2: 128 entries)."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[ROSEntry] = deque()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ROSEntry]:
+        return iter(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """True when dispatch must stall."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no instruction is in flight."""
+        return not self._entries
+
+    def head(self) -> Optional[ROSEntry]:
+        """Oldest uncommitted instruction, or None when empty."""
+        return self._entries[0] if self._entries else None
+
+    def tail(self) -> Optional[ROSEntry]:
+        """Youngest uncommitted instruction, or None when empty."""
+        return self._entries[-1] if self._entries else None
+
+    # ------------------------------------------------------------------
+    def append(self, entry: ROSEntry) -> None:
+        """Insert a newly renamed instruction at the tail."""
+        if self.is_full:
+            raise RuntimeError("ROS overflow: dispatch must stall instead")
+        if self._entries and entry.seq <= self._entries[-1].seq:
+            raise ValueError("ROS entries must be appended in program order")
+        self._entries.append(entry)
+
+    def pop_head(self) -> ROSEntry:
+        """Remove and return the committing head entry."""
+        return self._entries.popleft()
+
+    def squash_younger_than(self, seq: int) -> List[ROSEntry]:
+        """Remove every entry younger than ``seq``; youngest first.
+
+        Returning youngest-first lets callers undo rename state in reverse
+        program order, which is required for walk-based free-list repair.
+        """
+        squashed: List[ROSEntry] = []
+        while self._entries and self._entries[-1].seq > seq:
+            squashed.append(self._entries.pop())
+        return squashed
+
+    def squash_all(self) -> List[ROSEntry]:
+        """Remove every entry (exception flush); youngest first."""
+        squashed = list(self._entries)[::-1]
+        self._entries.clear()
+        return squashed
+
+    def find(self, seq: int) -> Optional[ROSEntry]:
+        """Return the in-flight entry with sequence number ``seq`` (linear scan)."""
+        for entry in self._entries:
+            if entry.seq == seq:
+                return entry
+        return None

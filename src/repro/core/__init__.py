@@ -1,0 +1,87 @@
+"""The paper's contribution: physical-register release policies.
+
+Three policies are provided, all operating on the same rename substrate
+(:mod:`repro.rename`) and driven by the same pipeline hooks:
+
+* :class:`ConventionalRelease` — previous version released at next-version
+  commit (Section 2, the baseline every figure compares against);
+* :class:`BasicEarlyRelease` — release tied to the last-use commit when no
+  branches are pending between the last use and the redefinition
+  (Section 3);
+* :class:`ExtendedEarlyRelease` — conditional releases through a Release
+  Queue so speculative redefinitions can also release early (Section 4).
+
+Use :func:`make_release_policy` to construct a policy by its short name
+("conv", "basic", "extended"), which is how
+:class:`repro.pipeline.config.ProcessorConfig` selects the scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.core.register_state import (
+    OccupancyAverages,
+    OccupancyTotals,
+    RegisterOccupancyTracker,
+    RegState,
+)
+from repro.core.lus_table import DST_SLOT, LastUse, LastUsesTable
+from repro.core.release_policy import (
+    DestRenameOutcome,
+    PipelineView,
+    PolicyOptions,
+    ReleasePolicy,
+)
+from repro.core.conventional import ConventionalRelease
+from repro.core.basic import BasicEarlyRelease
+from repro.core.release_queue import ReleaseQueue, ReleaseQueueLevel
+from repro.core.extended import ExtendedEarlyRelease
+
+#: Registry of release policies by short name.
+POLICIES: Dict[str, Type[ReleasePolicy]] = {
+    ConventionalRelease.name: ConventionalRelease,
+    BasicEarlyRelease.name: BasicEarlyRelease,
+    ExtendedEarlyRelease.name: ExtendedEarlyRelease,
+    # Friendlier aliases.
+    "conventional": ConventionalRelease,
+}
+
+
+def make_release_policy(name: str, *args, options: Optional[PolicyOptions] = None,
+                        **kwargs) -> ReleasePolicy:
+    """Instantiate the release policy registered under ``name``.
+
+    ``name`` is one of ``"conv"``/``"conventional"``, ``"basic"`` or
+    ``"extended"``; the remaining arguments are forwarded to the policy
+    constructor (register class, register file, map table, IOMT, pipeline
+    view).
+    """
+    try:
+        policy_cls = POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(f"unknown release policy {name!r}; known: {known}") from None
+    return policy_cls(*args, options=options, **kwargs)
+
+
+__all__ = [
+    "RegState",
+    "OccupancyTotals",
+    "OccupancyAverages",
+    "RegisterOccupancyTracker",
+    "LastUse",
+    "LastUsesTable",
+    "DST_SLOT",
+    "DestRenameOutcome",
+    "PipelineView",
+    "PolicyOptions",
+    "ReleasePolicy",
+    "ConventionalRelease",
+    "BasicEarlyRelease",
+    "ExtendedEarlyRelease",
+    "ReleaseQueue",
+    "ReleaseQueueLevel",
+    "POLICIES",
+    "make_release_policy",
+]

@@ -1,0 +1,45 @@
+"""Conventional release policy (the paper's baseline, Section 2).
+
+The previous version of a logical register is released when the
+instruction that redefines the register (the next version, NV) commits:
+at rename the previous mapping is saved into the ROS entry (``old_pd``)
+and at commit it is handed back to the free list.  This retains registers
+through the whole Idle interval the paper measures in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.backend.ros import ROSEntry
+from repro.core.release_policy import DestRenameOutcome, ReleasePolicy
+
+
+class ConventionalRelease(ReleasePolicy):
+    """Release the previous version at next-version commit (paper Figure 1)."""
+
+    name: ClassVar[str] = "conv"
+
+    # ------------------------------------------------------------------
+    def rename_destination(self, entry: ROSEntry, logical: int,
+                           old_pd: int) -> DestRenameOutcome:
+        """Keep the previous version until this instruction commits."""
+        if self.map_table.is_stale(logical):
+            # The mapping was rebuilt from the IOMT after an exception while
+            # the architectural version had already been released (cannot
+            # happen under *pure* conventional release, but keep the same
+            # safety rule as the early-release policies).
+            return DestRenameOutcome(release_previous_at_commit=False)
+        return DestRenameOutcome(release_previous_at_commit=True)
+
+    # ------------------------------------------------------------------
+    def on_commit(self, entry: ROSEntry, cycle: int) -> None:
+        """Release ``old_pd`` now that the redefining instruction commits."""
+        if entry.dest_class is not self.reg_class:
+            return
+        assert entry.dest_logical is not None
+        if entry.rel_old and entry.allocated_new and entry.old_pd is not None:
+            self._release_physical(entry.old_pd, entry.dest_logical, cycle,
+                                   early=False)
+            self.conventional_releases += 1
+        self._note_architectural_update(entry.dest_logical)

@@ -1,0 +1,210 @@
+"""Release-policy interface shared by conventional and early-release schemes.
+
+A release policy instance manages the physical register file of *one*
+register class (the paper keeps separate integer and FP files and LUs
+Tables).  The pipeline calls the hooks below at well-defined points:
+
+=======================  ======================================================
+Hook                     Called
+=======================  ======================================================
+``note_source_use``      at rename, for every source operand of this class,
+                         *before* the destination is processed
+``rename_destination``   at rename, for a destination of this class, before a
+                         new physical register is allocated; decides whether
+                         the previous version can be reused and/or schedules
+                         its early release
+``note_dest_definition`` at rename, after the destination mapping is updated
+``on_branch_renamed``    at rename of a branch (any class)
+``on_branch_confirmed``  when a branch resolves correctly
+``on_branch_mispredicted`` when a branch resolves incorrectly, *before* the
+                         map table is restored
+``on_commit``            when an instruction reaches the commit stage
+``on_squash``            for every squashed entry, youngest first, after the
+                         destination allocation has been undone
+``on_exception_flush``   after a full pipeline flush
+=======================  ======================================================
+
+The policy sees the rest of the pipeline through the read-only
+:class:`PipelineView` protocol, which keeps the policies unit-testable
+without a full processor.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, ClassVar, Optional, Protocol, runtime_checkable
+
+from repro.backend.ros import ROSEntry
+from repro.isa import RegClass
+from repro.rename.iomt import InOrderMapTable
+from repro.rename.map_table import MapTable
+from repro.rename.register_file import PhysicalRegisterFile
+
+
+@runtime_checkable
+class PipelineView(Protocol):
+    """Read-only view of pipeline state needed by the release policies."""
+
+    def is_committed(self, seq: int) -> bool:
+        """True when instruction ``seq`` has committed (in-order commit watermark)."""
+        ...
+
+    def has_pending_branch_younger_than(self, seq: int) -> bool:
+        """True when an unresolved branch younger than ``seq`` exists."""
+        ...
+
+    def count_pending_branches(self) -> int:
+        """Number of unresolved branches currently in flight."""
+        ...
+
+    def ros_entry(self, seq: int) -> Optional[ROSEntry]:
+        """The in-flight ROS entry with sequence ``seq``, or None."""
+        ...
+
+    def current_cycle(self) -> int:
+        """The current simulation cycle."""
+        ...
+
+
+@dataclass(frozen=True)
+class DestRenameOutcome:
+    """Decision returned by :meth:`ReleasePolicy.rename_destination`.
+
+    Attributes
+    ----------
+    reuse_previous:
+        True when the previous-version physical register is reused as the
+        destination (no new allocation, mapping untouched) — the paper's
+        "register reuse" optimisation for an already-committed LU.
+    release_previous_at_commit:
+        True when the conventional release of the previous version (at NV
+        commit) stays enabled — i.e. the ``rel_old`` bit value.
+    released_immediately:
+        True when the previous version was released during this call.
+    scheduled_early:
+        True when an early release was scheduled (on the LU's commit or in
+        the Release Queue).
+    """
+
+    reuse_previous: bool = False
+    release_previous_at_commit: bool = True
+    released_immediately: bool = False
+    scheduled_early: bool = False
+
+
+@dataclass
+class PolicyOptions:
+    """Tunable behaviour shared by the early-release policies.
+
+    ``reuse_on_committed_lu`` enables the paper's register-reuse shortcut
+    ("we can reuse the same physical register leaving the mapping
+    untouched and not reclaiming any new register"); disabling it releases
+    the register and allocates a fresh one instead (an ablation knob).
+    """
+
+    reuse_on_committed_lu: bool = True
+
+
+class ReleasePolicy(abc.ABC):
+    """Base class for the physical-register release policies of one register class."""
+
+    #: short name used by :func:`repro.core.make_release_policy` and reports.
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, reg_class: RegClass, register_file: PhysicalRegisterFile,
+                 map_table: MapTable, iomt: InOrderMapTable, view: PipelineView,
+                 options: Optional[PolicyOptions] = None) -> None:
+        self.reg_class = reg_class
+        self.register_file = register_file
+        self.map_table = map_table
+        self.iomt = iomt
+        self.view = view
+        self.options = options or PolicyOptions()
+        #: logical registers whose *architectural* (IOMT) version has already
+        #: been released early.  Consulted only at exception-flush time to
+        #: mark the rebuilt map-table entries as stale (paper Section 4.3);
+        #: reset when a newer version of the logical register commits.
+        self.arch_version_released = [False] * map_table.num_logical
+        # statistics
+        self.early_releases_scheduled = 0
+        self.immediate_releases = 0
+        self.register_reuses = 0
+        self.conventional_releases = 0
+
+    # ------------------------------------------------------------------
+    # Rename-time hooks
+    # ------------------------------------------------------------------
+    def note_source_use(self, entry: ROSEntry, slot: int, logical: int,
+                        physical: int) -> None:
+        """Record that ``entry`` reads ``logical`` (operand slot ``slot``)."""
+
+    @abc.abstractmethod
+    def rename_destination(self, entry: ROSEntry, logical: int,
+                           old_pd: int) -> DestRenameOutcome:
+        """Decide how the previous version ``old_pd`` of ``logical`` will be released."""
+
+    def note_dest_definition(self, entry: ROSEntry, logical: int) -> None:
+        """Record that ``entry`` defines ``logical`` (after the mapping update)."""
+
+    def on_branch_renamed(self, entry: ROSEntry) -> None:
+        """A branch was renamed (a new speculation level begins)."""
+
+    # ------------------------------------------------------------------
+    # Resolution-time hooks
+    # ------------------------------------------------------------------
+    def on_branch_confirmed(self, branch_seq: int) -> None:
+        """Branch ``branch_seq`` resolved correctly."""
+
+    def on_branch_mispredicted(self, branch_seq: int) -> None:
+        """Branch ``branch_seq`` resolved incorrectly (younger state will be squashed)."""
+
+    # ------------------------------------------------------------------
+    # Commit / squash / flush hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_commit(self, entry: ROSEntry, cycle: int) -> None:
+        """Instruction ``entry`` commits: perform the releases this policy owns."""
+
+    def on_squash(self, entry: ROSEntry, cycle: int) -> None:
+        """Entry squashed (its own destination allocation is undone by the caller)."""
+
+    def on_exception_flush(self, cycle: int) -> None:
+        """The whole pipeline was flushed and the map table rebuilt from the IOMT.
+
+        The base implementation marks as *stale* every rebuilt mapping whose
+        architectural version had already been released early, so the next
+        redefinition of that logical register neither releases nor reuses
+        the (no longer owned) register.
+        """
+        for logical, released in enumerate(self.arch_version_released):
+            if released:
+                self.map_table.mark_stale(logical)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Any:
+        """Policy-private state to store in a branch checkpoint (None = nothing)."""
+        return None
+
+    def restore_state(self, snapshot: Any) -> None:
+        """Restore policy-private state from a branch checkpoint."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _release_physical(self, physical: int, logical: Optional[int],
+                          cycle: int, early: bool) -> None:
+        """Release ``physical``, flagging a stale architectural mapping if needed."""
+        self.register_file.release(physical, cycle, early=early)
+        if logical is not None and self.iomt.lookup(logical) == physical:
+            # The register still holds the architectural version of
+            # ``logical``: remember that the mapping is stale so an
+            # exception recovery (which rebuilds the map table from the
+            # IOMT) does not try to release or reuse it again.
+            self.arch_version_released[logical] = True
+
+    def _note_architectural_update(self, logical: int) -> None:
+        """A new version of ``logical`` committed: its mapping is live again."""
+        self.arch_version_released[logical] = False

@@ -1,0 +1,175 @@
+"""Release Queue (RelQue) of the extended mechanism (paper Section 4.1/4.2).
+
+One *level* exists per branch pending verification.  A level holds the
+conditional release schedulings made by next-version instructions decoded
+while that branch was the youngest pending branch:
+
+* ``rwns`` ("Release when Non-Speculative") — releases whose last-use
+  instruction has already committed; the paper stores these as a bit
+  vector over physical registers, here a set of ``(physical, logical)``
+  pairs (the logical register is carried only for the stale-architectural-
+  mapping bookkeeping, not because the hardware needs it).
+* ``rwc`` ("Release when Commit") — releases whose last-use instruction is
+  still in flight, keyed by the LU's ROS identifier with a 3-bit slot
+  mask, to be merged with the LU entry's plain early-release bits
+  (``RwC0``) once the speculation in front of the NV is resolved.
+
+Level movements follow the paper's steps: a branch confirmation merges its
+level into the next older one (or, for the oldest level, releases the
+``rwns`` registers and promotes the ``rwc`` bits to ``RwC0``); a
+misprediction clears the level and every younger one; the commit of an LU
+instruction moves its ``rwc`` bits into the same level's ``rwns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class ReleaseQueueLevel:
+    """Conditional releases guarded by one pending branch."""
+
+    branch_seq: int
+    rwns: Set[Tuple[int, Optional[int]]] = field(default_factory=set)
+    rwc: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_scheduled(self) -> int:
+        """Number of conditional releases held at this level."""
+        return len(self.rwns) + sum(bin(mask).count("1") for mask in self.rwc.values())
+
+
+class ReleaseQueue:
+    """The stack of conditional-release levels, one per pending branch."""
+
+    def __init__(self, capacity: int = 20) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._levels: List[ReleaseQueueLevel] = []
+        # statistics
+        self.confirm_releases = 0
+        self.squashed_schedulings = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    @property
+    def depth(self) -> int:
+        """Number of occupied levels (the TAIL pointer of the paper)."""
+        return len(self._levels)
+
+    def levels(self) -> List[ReleaseQueueLevel]:
+        """The levels, oldest branch first (for inspection/tests)."""
+        return list(self._levels)
+
+    def total_scheduled(self) -> int:
+        """Total number of conditional releases currently queued."""
+        return sum(level.n_scheduled for level in self._levels)
+
+    # ------------------------------------------------------------------
+    # Step 1: branch decode appends a level.
+    # ------------------------------------------------------------------
+    def push_level(self, branch_seq: int) -> None:
+        """A branch was renamed: append an empty level at TAIL."""
+        if len(self._levels) >= self.capacity:
+            raise RuntimeError("Release Queue overflow: rename must stall instead")
+        if self._levels and branch_seq <= self._levels[-1].branch_seq:
+            raise ValueError("levels must be pushed in program order")
+        self._levels.append(ReleaseQueueLevel(branch_seq=branch_seq))
+
+    # ------------------------------------------------------------------
+    # Step 2: speculative NV decode marks the TAIL level.
+    # ------------------------------------------------------------------
+    def schedule_committed_lu(self, physical: int, logical: Optional[int]) -> None:
+        """Conditional release of ``physical`` whose LU has already committed (RwNS)."""
+        if not self._levels:
+            raise RuntimeError("no pending branch: the release is not conditional")
+        self._levels[-1].rwns.add((physical, logical))
+
+    def schedule_inflight_lu(self, lu_seq: int, slot_bit: int) -> None:
+        """Conditional release tied to the in-flight LU ``lu_seq`` (RwC)."""
+        if not self._levels:
+            raise RuntimeError("no pending branch: the release is not conditional")
+        level = self._levels[-1]
+        level.rwc[lu_seq] = level.rwc.get(lu_seq, 0) | slot_bit
+
+    # ------------------------------------------------------------------
+    # Step 5: commit of an LU instruction moves its RwC bits to RwNS.
+    # ------------------------------------------------------------------
+    def on_lu_commit(self, lu_seq: int,
+                     slot_resolver: Callable[[int], Tuple[int, Optional[int]]]) -> None:
+        """The LU ``lu_seq`` commits before its speculation resolves.
+
+        ``slot_resolver`` maps a slot bit to ``(physical, logical)`` using
+        the committing ROS entry (the "decoding of the register
+        identifiers located at the ROS head" of the paper).
+        """
+        for level in self._levels:
+            mask = level.rwc.pop(lu_seq, 0)
+            bit = 1
+            while mask:
+                if mask & bit:
+                    level.rwns.add(slot_resolver(bit))
+                    mask &= ~bit
+                bit <<= 1
+
+    # ------------------------------------------------------------------
+    # Steps 3/4/6: branch resolution.
+    # ------------------------------------------------------------------
+    def on_branch_confirmed(self, branch_seq: int,
+                            release: Callable[[int, Optional[int]], None],
+                            promote_rwc0: Callable[[int, int], None]) -> None:
+        """Branch ``branch_seq`` verified correct: collapse its level.
+
+        For the oldest level this performs the Branch-Confirm Release of
+        the ``rwns`` registers (via ``release(physical, logical)``) and
+        promotes the ``rwc`` bits to the LU entries' plain early-release
+        bits (via ``promote_rwc0(lu_seq, mask)``); for any other level the
+        contents are OR-ed into the next older level.
+        """
+        index = self._find(branch_seq)
+        if index is None:
+            return
+        level = self._levels.pop(index)
+        if index == 0:
+            for physical, logical in level.rwns:
+                release(physical, logical)
+                self.confirm_releases += 1
+            for lu_seq, mask in level.rwc.items():
+                promote_rwc0(lu_seq, mask)
+        else:
+            older = self._levels[index - 1]
+            older.rwns |= level.rwns
+            for lu_seq, mask in level.rwc.items():
+                older.rwc[lu_seq] = older.rwc.get(lu_seq, 0) | mask
+
+    def on_branch_mispredicted(self, branch_seq: int) -> int:
+        """Branch ``branch_seq`` mispredicted: clear its level and all younger ones.
+
+        Returns the number of conditional releases squashed.
+        """
+        index = self._find(branch_seq)
+        if index is None:
+            return 0
+        dropped = sum(level.n_scheduled for level in self._levels[index:])
+        del self._levels[index:]
+        self.squashed_schedulings += dropped
+        return dropped
+
+    def clear(self) -> int:
+        """Full flush (exception): drop every level; returns schedulings dropped."""
+        dropped = self.total_scheduled()
+        self.squashed_schedulings += dropped
+        self._levels.clear()
+        return dropped
+
+    # ------------------------------------------------------------------
+    def _find(self, branch_seq: int) -> Optional[int]:
+        for index, level in enumerate(self._levels):
+            if level.branch_seq == branch_seq:
+                return index
+        return None

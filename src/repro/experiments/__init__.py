@@ -1,0 +1,49 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+=================  ===========================================================
+Module             Regenerates
+=================  ===========================================================
+``table1``         Table 1 — survey of commercial merged-register-file CPUs
+``figure2``        Figure 2 — physical-register state lifecycle example
+``figure3``        Figure 3 — Empty/Ready/Idle occupancy under conventional
+                   renaming (96 registers)
+``section33``      Section 3.3 — basic-mechanism speedups at 64/48/40 registers
+``figure9``        Figure 9 — LUs Table vs register file access time / energy
+``figure10``       Figure 10 — per-benchmark IPC at 48+48 registers
+``figure11``       Figure 11 — harmonic-mean IPC vs register file size
+``table4``         Table 4 — register file sizes giving equal IPC
+``section44``      Section 4.4 — energy neutrality and storage cost
+=================  ===========================================================
+
+Every module exposes ``run(...)`` returning a result object with a
+``format()`` method; ``repro.experiments.runner`` provides the
+``repro-experiments`` command-line entry point that runs any subset and
+prints the regenerated artefacts.
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported for convenience)
+    figure2,
+    figure3,
+    figure9,
+    figure10,
+    figure11,
+    section33,
+    section44,
+    table1,
+    table4,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "table1",
+    "figure2",
+    "figure3",
+    "figure9",
+    "figure10",
+    "figure11",
+    "section33",
+    "section44",
+    "table4",
+    "EXPERIMENTS",
+    "run_experiment",
+]

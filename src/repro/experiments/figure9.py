@@ -1,0 +1,78 @@
+"""Figure 9 — access time and energy of the LUs Table vs the register files.
+
+Both panels are regenerated from the analytical Rixner-style model
+(:mod:`repro.power.rixner_model`): access time (ns) and energy per access
+(pJ) of the integer file (44 ports), the FP file (50 ports) and the LUs
+Table (32 × 9 bits, 56 ports) as the number of registers grows from 40 to
+160.  The paper's headline observations are also checked: the LUs Table
+access time sits well below any register file (26 % below the smallest
+integer file) and its energy is about 20 % of the least demanding file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.reporting import format_series
+from repro.power.rixner_model import LUS_TABLE_GEOMETRY, RixnerModel
+
+#: Anchor values printed in the paper.
+PAPER_LUS_ACCESS_TIME_NS = 0.98
+PAPER_LUS_ENERGY_PJ = 193.2
+
+
+@dataclass
+class Figure9Result:
+    """Access-time and energy curves for INT / FP / LUs Table."""
+
+    sizes: List[int]
+    access_time_ns: Dict[str, List[float]] = field(default_factory=dict)
+    energy_pj: Dict[str, List[float]] = field(default_factory=dict)
+
+    def series(self, panel: str) -> Dict[str, List[Tuple[float, float]]]:
+        """(size, value) series of one panel ("time" or "energy")."""
+        data = self.access_time_ns if panel == "time" else self.energy_pj
+        return {name: list(zip(self.sizes, values)) for name, values in data.items()}
+
+    def lus_delay_margin_vs_smallest_int(self) -> float:
+        """Fractional delay advantage of the LUs Table over the smallest int file."""
+        smallest_int = self.access_time_ns["INT"][0]
+        lus = self.access_time_ns["LUsT"][0]
+        return 1.0 - lus / smallest_int
+
+    def lus_energy_fraction_of_smallest_int(self) -> float:
+        """LUs Table energy as a fraction of the least demanding register file."""
+        return self.energy_pj["LUsT"][0] / self.energy_pj["INT"][0]
+
+    def format(self) -> str:
+        """Render both panels as text tables."""
+        parts = [
+            format_series(self.series("time"), "registers", "ns",
+                          title="Figure 9a: access time (ns)", float_digits=3),
+            "",
+            format_series(self.series("energy"), "registers", "pJ",
+                          title="Figure 9b: energy per access (pJ)", float_digits=1),
+            "",
+            (f"LUs Table: {self.access_time_ns['LUsT'][0]:.2f} ns "
+             f"(paper: {PAPER_LUS_ACCESS_TIME_NS} ns), "
+             f"{self.energy_pj['LUsT'][0]:.1f} pJ "
+             f"(paper: {PAPER_LUS_ENERGY_PJ} pJ)"),
+            (f"delay margin vs smallest INT file: "
+             f"{100 * self.lus_delay_margin_vs_smallest_int():.0f}% "
+             f"(paper: 26%), energy fraction: "
+             f"{100 * self.lus_energy_fraction_of_smallest_int():.0f}% "
+             f"(paper: ~20%)"),
+        ]
+        return "\n".join(parts)
+
+
+def run(sizes: range = range(40, 161, 8)) -> Figure9Result:
+    """Regenerate both panels of Figure 9 from the analytical model."""
+    model = RixnerModel()
+    curves = model.figure9_curves(sizes)
+    result = Figure9Result(sizes=[size for size, _, _ in curves["INT"]])
+    for name, points in curves.items():
+        result.access_time_ns[name] = [time for _, time, _ in points]
+        result.energy_pj[name] = [energy for _, _, energy in points]
+    return result

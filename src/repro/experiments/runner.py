@@ -1,0 +1,103 @@
+"""Command-line entry point: regenerate any subset of the paper's artefacts.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments table1 figure9 section44      # the analytical ones
+    repro-experiments figure10 --trace-length 8000  # a quick simulation run
+    repro-experiments all --quick                   # everything, reduced size
+
+Simulation-based experiments accept ``--trace-length`` and ``--serial``;
+``--quick`` selects a configuration small enough for a laptop-scale smoke
+run (shorter traces, fewer register sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (figure2, figure3, figure9, figure10, figure11,
+                               section33, section44, table1, table4)
+
+#: Experiments that run cycle-level simulations (and therefore accept
+#: ``trace_length`` / ``parallel``).
+_SIMULATION_EXPERIMENTS = {"figure3", "figure10", "figure11", "table4", "section33"}
+
+#: Registry: experiment name → module with a ``run()`` function.
+EXPERIMENTS: Dict[str, object] = {
+    "table1": table1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "table4": table4,
+    "section33": section33,
+    "section44": section44,
+}
+
+#: Reduced parameters used by ``--quick`` runs.
+QUICK_TRACE_LENGTH = 6_000
+QUICK_SIZES = (40, 48, 64, 96, 160)
+
+
+def run_experiment(name: str, trace_length: Optional[int] = None,
+                   parallel: bool = True, quick: bool = False):
+    """Run one experiment by name and return its result object."""
+    if name not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known experiments: {known}")
+    module = EXPERIMENTS[name]
+    if name not in _SIMULATION_EXPERIMENTS:
+        return module.run()
+    kwargs = {"parallel": parallel}
+    if trace_length is not None:
+        kwargs["trace_length"] = trace_length
+    elif quick:
+        kwargs["trace_length"] = QUICK_TRACE_LENGTH
+    if quick and name in ("figure11", "table4"):
+        kwargs["sizes"] = QUICK_SIZES
+    return module.run(**kwargs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line interface (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of 'Hardware Schemes for "
+                    "Early Register Release' (ICPP 2002).")
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment names (%s) or 'all'"
+                             % ", ".join(sorted(EXPERIMENTS)))
+    parser.add_argument("--trace-length", type=int, default=None,
+                        help="dynamic instructions per benchmark simulation")
+    parser.add_argument("--serial", action="store_true",
+                        help="run simulations in this process instead of a pool")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced trace length and register-size grid")
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    for name in names:
+        start = time.time()
+        result = run_experiment(name, trace_length=args.trace_length,
+                                parallel=not args.serial, quick=args.quick)
+        elapsed = time.time() - start
+        print("=" * 72)
+        print(f"{name}  ({elapsed:.1f}s)")
+        print("=" * 72)
+        print(result.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

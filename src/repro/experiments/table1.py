@@ -1,0 +1,92 @@
+"""Table 1 — out-of-order processors with merged register files.
+
+The table is a survey of four commercial processors (MIPS R10K, MIPS
+R12K, Alpha 21264, Intel Pentium 4): physical register counts, port
+counts, and the size/name of the structure that reorders uncommitted
+instructions.  It motivates the paper's loose/tight classification
+(P ≥ L + N vs P < L + N), which this module also reports for each entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.reporting import format_table
+
+
+@dataclass(frozen=True)
+class ProcessorSurveyEntry:
+    """One column of Table 1.
+
+    ``paper_classification`` records how Section 2 of the paper classifies
+    the integer file ("loose" or "tight"); :attr:`is_loose` is the strict
+    P ≥ L + N check, which agrees with the paper except for the Pentium 4
+    borderline case the paper itself hedges on (flag-register renaming).
+    """
+
+    name: str
+    int_physical: int
+    int_ports: str
+    fp_physical: int
+    fp_ports: str
+    reorder_size: int
+    reorder_name: str
+    logical_int: int = 32
+    paper_classification: str = "tight"
+
+    @property
+    def is_loose(self) -> bool:
+        """Paper Section 2: loose ⇔ P ≥ L + N (never stalls for registers)."""
+        return self.int_physical >= self.logical_int + self.reorder_size
+
+
+#: The four processors of Table 1 (values transcribed from the paper).
+#: The Alpha 21264's two banks of 80 registers are *replicas* of the same
+#: architectural content, so the effective capacity is 80 (hence tight).
+TABLE1_ENTRIES: Tuple[ProcessorSurveyEntry, ...] = (
+    ProcessorSurveyEntry("MIPS R10K", 64, "7R 3W", 64, "5R 3W", 32, "Active List",
+                         paper_classification="loose"),
+    ProcessorSurveyEntry("MIPS R12K", 64, "7R 3W", 64, "5R 3W", 48, "Active List",
+                         paper_classification="tight"),
+    ProcessorSurveyEntry("Alpha 21264", 80, "2x (4R 6W), replicated", 72, "6R 4W",
+                         80, "In-Flight Window", paper_classification="tight"),
+    ProcessorSurveyEntry("Intel P4", 128, "n.a.", 128, "n.a.", 126,
+                         "Reorder Buffer", logical_int=8,
+                         paper_classification="loose"),
+)
+
+
+@dataclass
+class Table1Result:
+    """Regenerated Table 1 plus the loose/tight classification."""
+
+    entries: Tuple[ProcessorSurveyEntry, ...] = TABLE1_ENTRIES
+
+    def rows(self) -> List[List[object]]:
+        """Rows of the rendered table."""
+        return [[entry.name, entry.int_physical, entry.int_ports,
+                 entry.fp_physical, entry.fp_ports, entry.reorder_size,
+                 entry.reorder_name, entry.paper_classification]
+                for entry in self.entries]
+
+    def entry(self, name: str) -> Optional[ProcessorSurveyEntry]:
+        """Look up one processor by name."""
+        for candidate in self.entries:
+            if candidate.name == name:
+                return candidate
+        return None
+
+    def format(self) -> str:
+        """Render the table as text."""
+        return format_table(
+            ["Processor", "P int", "T int", "P fp", "T fp", "N", "Reorder structure",
+             "int file class"],
+            self.rows(),
+            title="Table 1: out-of-order processors with merged register files",
+        )
+
+
+def run() -> Table1Result:
+    """Regenerate Table 1 (static data; no simulation required)."""
+    return Table1Result()

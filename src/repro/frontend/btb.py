@@ -1,0 +1,69 @@
+"""Branch target buffer (BTB).
+
+The direction predictor says *taken or not*; the BTB supplies the target
+address at fetch time.  A predicted-taken branch that misses in the BTB
+cannot be redirected in the front end, so the fetch unit treats it as
+not-taken (and pays the full misprediction penalty if it was in fact
+taken) — the standard conservative model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class BranchTargetBuffer:
+    """Set-associative branch target buffer with LRU replacement."""
+
+    def __init__(self, entries: int = 2048, associativity: int = 4) -> None:
+        if entries <= 0 or associativity <= 0:
+            raise ValueError("entries and associativity must be positive")
+        if entries % associativity != 0:
+            raise ValueError("entries must be a multiple of associativity")
+        self.entries = entries
+        self.associativity = associativity
+        self.n_sets = entries // associativity
+        # Each set is a list of (tag, target) in LRU order (index 0 = MRU).
+        self._sets: List[List[Tuple[int, int]]] = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, pc: int) -> Tuple[int, int]:
+        index = (pc >> 2) % self.n_sets
+        tag = pc >> 2
+        return index, tag
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Return the predicted target for the branch at ``pc``, or None on miss."""
+        index, tag = self._locate(pc)
+        ways = self._sets[index]
+        for pos, (entry_tag, target) in enumerate(ways):
+            if entry_tag == tag:
+                ways.insert(0, ways.pop(pos))
+                self.hits += 1
+                return target
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target of the (taken) branch at ``pc``."""
+        index, tag = self._locate(pc)
+        ways = self._sets[index]
+        for pos, (entry_tag, _target) in enumerate(ways):
+            if entry_tag == tag:
+                ways.pop(pos)
+                break
+        ways.insert(0, (tag, target))
+        if len(ways) > self.associativity:
+            ways.pop()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (1.0 if there were no lookups)."""
+        total = self.hits + self.misses
+        return 1.0 if total == 0 else self.hits / total
+
+    def reset_statistics(self) -> None:
+        """Zero the hit/miss counters (contents are preserved)."""
+        self.hits = 0
+        self.misses = 0

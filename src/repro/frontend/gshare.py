@@ -1,0 +1,104 @@
+"""Gshare branch direction predictor with speculative history update.
+
+Table 2 of the paper specifies an ``18-bit gshare`` with *speculative
+updates* and up to 20 pending branches, i.e. the global history register
+(GHR) is updated with the predicted outcome at prediction time and must be
+repaired when a branch turns out to have been mispredicted.  The repair
+uses the history snapshot captured at prediction time (the same snapshot
+the rename checkpoints hold for the map tables).
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """Everything needed to update/repair the predictor for one branch.
+
+    Attributes
+    ----------
+    predicted_taken:
+        Direction predicted at fetch time.
+    table_index:
+        Index of the 2-bit counter consulted (captured so the update at
+        resolution uses the same entry that produced the prediction).
+    history_before:
+        GHR value *before* this branch was shifted in; used to rebuild the
+        correct history on a misprediction (correct outcome is shifted onto
+        this value).
+    """
+
+    predicted_taken: bool
+    table_index: int
+    history_before: int
+
+
+class GsharePredictor:
+    """Gshare: PC xor global-history indexed table of 2-bit saturating counters."""
+
+    def __init__(self, history_bits: int = 18, initial_counter: int = 2) -> None:
+        if not (1 <= history_bits <= 24):
+            raise ValueError("history_bits must be between 1 and 24")
+        self.history_bits = history_bits
+        self.table_size = 1 << history_bits
+        self._mask = self.table_size - 1
+        #: 2-bit saturating counters; 0-1 predict not taken, 2-3 predict taken.
+        self.table = array("b", [initial_counter]) * self.table_size
+        #: speculative global history register.
+        self.history = 0
+        # statistics
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+    def _index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ history) & self._mask
+
+    def predict(self, pc: int) -> PredictionRecord:
+        """Predict the branch at ``pc`` and speculatively update the history."""
+        history_before = self.history
+        index = self._index(pc, history_before)
+        predicted = self.table[index] >= 2
+        # Speculative history update with the *predicted* outcome.
+        self.history = ((history_before << 1) | int(predicted)) & self._mask
+        self.predictions += 1
+        return PredictionRecord(predicted_taken=predicted, table_index=index,
+                                history_before=history_before)
+
+    def resolve(self, record: PredictionRecord, taken: bool) -> bool:
+        """Update the counters with the actual outcome; return True on mispredict.
+
+        On a misprediction the speculative history is repaired: the history
+        that existed before the branch, extended with the *actual* outcome.
+        (Younger speculative history bits belong to squashed branches and
+        are discarded — exactly what restoring the checkpoint does in
+        hardware.)
+        """
+        counter = self.table[record.table_index]
+        if taken:
+            if counter < 3:
+                self.table[record.table_index] = counter + 1
+        else:
+            if counter > 0:
+                self.table[record.table_index] = counter - 1
+        mispredicted = taken != record.predicted_taken
+        if mispredicted:
+            self.mispredictions += 1
+            self.history = ((record.history_before << 1) | int(taken)) & self._mask
+        return mispredicted
+
+    # ------------------------------------------------------------------
+    @property
+    def accuracy(self) -> float:
+        """Fraction of resolved predictions that were correct (1.0 if none yet)."""
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def reset_statistics(self) -> None:
+        """Zero the prediction/misprediction counters (tables keep their state)."""
+        self.predictions = 0
+        self.mispredictions = 0

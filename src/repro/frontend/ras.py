@@ -1,0 +1,55 @@
+"""Return address stack (RAS).
+
+The synthetic workloads of this reproduction model calls/returns only
+implicitly (as ordinary branches), so the RAS is not on the critical path
+of any experiment; it is provided for completeness of the front-end
+substrate and is exercised by its own unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address stack.
+
+    Overflow overwrites the oldest entry and underflow returns ``None``,
+    matching the behaviour of real hardware RAS implementations (they
+    silently mispredict rather than fault).
+    """
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._stack: List[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Push a return address (a call was fetched)."""
+        self._stack.append(return_address)
+        self.pushes += 1
+        if len(self._stack) > self.depth:
+            self._stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        """Pop the predicted return address (a return was fetched)."""
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def snapshot(self) -> List[int]:
+        """Copy of the stack contents for checkpoint/restore."""
+        return list(self._stack)
+
+    def restore(self, snapshot: List[int]) -> None:
+        """Restore the stack contents from a checkpoint."""
+        self._stack = list(snapshot)
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,50 @@
+"""Instruction-set abstraction used by the trace generators and the simulator.
+
+The paper evaluates on SPEC95 binaries compiled for Alpha and run under
+SimpleScalar.  This reproduction is *trace driven*: the unit of work is a
+:class:`~repro.isa.instructions.Instruction` record carrying exactly the
+information the rename/issue/commit machinery needs — operation class,
+logical source/destination registers, branch behaviour and memory address —
+and nothing else (no values are computed; the simulator is timing-only).
+
+The register model follows the paper's Section 2: two logical register
+classes (integer and floating point) with 32 architectural registers each,
+renamed onto two separate merged physical register files.
+"""
+
+from repro.isa.registers import (
+    RegClass,
+    NUM_LOGICAL_INT,
+    NUM_LOGICAL_FP,
+    NUM_LOGICAL,
+    LogicalRegister,
+    logical_registers,
+)
+from repro.isa.opcodes import (
+    OpClass,
+    FUKind,
+    FU_KIND,
+    DEFAULT_LATENCY,
+    is_memory_op,
+    is_branch_op,
+    uses_fp_dest,
+)
+from repro.isa.instructions import Instruction, InstructionBuilder
+
+__all__ = [
+    "RegClass",
+    "NUM_LOGICAL_INT",
+    "NUM_LOGICAL_FP",
+    "NUM_LOGICAL",
+    "LogicalRegister",
+    "logical_registers",
+    "OpClass",
+    "FUKind",
+    "FU_KIND",
+    "DEFAULT_LATENCY",
+    "is_memory_op",
+    "is_branch_op",
+    "uses_fp_dest",
+    "Instruction",
+    "InstructionBuilder",
+]

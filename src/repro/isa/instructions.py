@@ -1,0 +1,212 @@
+"""Dynamic instruction records consumed by the simulator.
+
+An :class:`Instruction` is one entry of a dynamic trace.  It is immutable
+and deliberately small: the simulator annotates its own per-in-flight-copy
+state in the reorder structure (:class:`repro.backend.ros.ROSEntry`), never
+on the trace record itself, so the same trace can be replayed under many
+configurations (and across wrong-path squashes) without copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import (
+    OpClass,
+    is_branch_op,
+    is_load_op,
+    is_memory_op,
+    is_store_op,
+    uses_fp_dest,
+)
+from repro.isa.registers import NUM_LOGICAL, RegClass
+
+
+#: A register reference as carried by an instruction: (register class, index).
+RegRef = Tuple[RegClass, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One dynamic instruction of a trace.
+
+    Attributes
+    ----------
+    pc:
+        Instruction address.  Used by the fetch unit, the branch predictor
+        and the instruction cache.  Synthetic traces lay code out on a
+        4-byte grid like a RISC ISA.
+    op:
+        Operation class (:class:`repro.isa.opcodes.OpClass`).
+    dest:
+        Destination logical register, or ``None`` for stores, branches and
+        nops.
+    srcs:
+        Tuple of source logical registers (0, 1 or 2 entries).
+    taken:
+        For branches, the actual outcome recorded in the trace.
+    target:
+        For branches, the actual target address (used by the BTB model).
+    mem_addr:
+        For loads/stores, the effective address recorded in the trace.
+    wrong_path:
+        True for synthetic instructions injected past an unresolved,
+        mispredicted branch.  Wrong-path instructions are renamed and may
+        allocate physical registers and schedule conditional releases, but
+        they are squashed when the branch resolves and never commit.
+    """
+
+    pc: int
+    op: OpClass
+    dest: Optional[RegRef] = None
+    srcs: Tuple[RegRef, ...] = ()
+    taken: bool = False
+    target: int = 0
+    mem_addr: int = 0
+    wrong_path: bool = False
+
+    # ------------------------------------------------------------------
+    # Derived predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_branch(self) -> bool:
+        """True for control-flow instructions."""
+        return is_branch_op(self.op)
+
+    @property
+    def is_load(self) -> bool:
+        """True for loads of either register class."""
+        return is_load_op(self.op)
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores of either register class."""
+        return is_store_op(self.op)
+
+    @property
+    def is_mem(self) -> bool:
+        """True for loads and stores."""
+        return is_memory_op(self.op)
+
+    @property
+    def has_dest(self) -> bool:
+        """True when the instruction writes a logical register."""
+        return self.dest is not None
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the record is internally inconsistent.
+
+        Trace generators call this in debug/test paths; the simulator
+        assumes validated traces.
+        """
+        if self.dest is not None:
+            reg_class, index = self.dest
+            if not (0 <= index < NUM_LOGICAL[reg_class]):
+                raise ValueError(f"destination register out of range: {self.dest}")
+            if self.is_store or self.is_branch:
+                raise ValueError(f"{self.op.name} must not have a destination")
+            expected_class = RegClass.FP if uses_fp_dest(self.op) else RegClass.INT
+            if self.op is not OpClass.NOP and reg_class is not expected_class:
+                raise ValueError(
+                    f"{self.op.name} destination must be {expected_class.name}"
+                )
+        for reg_class, index in self.srcs:
+            if not (0 <= index < NUM_LOGICAL[reg_class]):
+                raise ValueError(f"source register out of range: {(reg_class, index)}")
+        if self.is_mem and self.mem_addr < 0:
+            raise ValueError("memory operations need a non-negative address")
+        if self.is_branch and self.target < 0:
+            raise ValueError("branches need a non-negative target")
+        if len(self.srcs) > 3:
+            raise ValueError("at most three source registers are supported")
+
+
+@dataclass
+class InstructionBuilder:
+    """Convenience factory producing validated :class:`Instruction` records.
+
+    The builder keeps a running program counter so callers describing a
+    straight-line kernel do not have to manage addresses by hand; branches
+    may override the next pc via :meth:`branch`.
+    """
+
+    pc: int = 0x1000
+    step: int = 4
+    validate: bool = True
+    emitted: list = field(default_factory=list)
+
+    def _emit(self, inst: Instruction) -> Instruction:
+        if self.validate:
+            inst.validate()
+        self.emitted.append(inst)
+        self.pc += self.step
+        return inst
+
+    def alu(self, dest: int, srcs: Tuple[int, ...] = (), *, fp: bool = False,
+            op: Optional[OpClass] = None) -> Instruction:
+        """Emit an ALU instruction.
+
+        ``fp`` selects the FP register class/default op (FP_ADD); ``op``
+        may override the operation class (e.g. ``OpClass.INT_MULT``).
+        """
+        reg_class = RegClass.FP if fp else RegClass.INT
+        if op is None:
+            op = OpClass.FP_ADD if fp else OpClass.INT_ALU
+        return self._emit(
+            Instruction(
+                pc=self.pc,
+                op=op,
+                dest=(reg_class, dest),
+                srcs=tuple((reg_class, s) for s in srcs),
+            )
+        )
+
+    def load(self, dest: int, addr_reg: int, mem_addr: int, *,
+             fp: bool = False) -> Instruction:
+        """Emit a load whose address operand is an integer register."""
+        op = OpClass.FP_LOAD if fp else OpClass.LOAD
+        dest_class = RegClass.FP if fp else RegClass.INT
+        return self._emit(
+            Instruction(
+                pc=self.pc,
+                op=op,
+                dest=(dest_class, dest),
+                srcs=((RegClass.INT, addr_reg),),
+                mem_addr=mem_addr,
+            )
+        )
+
+    def store(self, value_reg: int, addr_reg: int, mem_addr: int, *,
+              fp: bool = False) -> Instruction:
+        """Emit a store: sources are the value register and the address register."""
+        op = OpClass.FP_STORE if fp else OpClass.STORE
+        value_class = RegClass.FP if fp else RegClass.INT
+        return self._emit(
+            Instruction(
+                pc=self.pc,
+                op=op,
+                srcs=((value_class, value_reg), (RegClass.INT, addr_reg)),
+                mem_addr=mem_addr,
+            )
+        )
+
+    def branch(self, taken: bool, target: int, srcs: Tuple[int, ...] = ()) -> Instruction:
+        """Emit a conditional branch with the given actual outcome/target."""
+        return self._emit(
+            Instruction(
+                pc=self.pc,
+                op=OpClass.BRANCH,
+                srcs=tuple((RegClass.INT, s) for s in srcs),
+                taken=taken,
+                target=target,
+            )
+        )
+
+    def nop(self) -> Instruction:
+        """Emit a no-operation filler instruction."""
+        return self._emit(Instruction(pc=self.pc, op=OpClass.NOP))
+
+    def trace(self) -> list:
+        """Return (a copy of) every instruction emitted so far, in order."""
+        return list(self.emitted)

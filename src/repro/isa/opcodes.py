@@ -1,0 +1,127 @@
+"""Operation classes, functional-unit kinds, and latencies.
+
+The simulator does not interpret real opcodes; it only needs the
+*operation class* of each dynamic instruction, which determines
+
+* which functional-unit pool executes it (Table 2 of the paper),
+* its execution latency,
+* whether it reads/writes memory, and
+* whether it is a control-flow instruction.
+
+The latencies below are the ones listed in Table 2:
+
+=================  =====================  ========
+Operation class    Functional unit        Latency
+=================  =====================  ========
+INT_ALU            simple int (8 units)   1
+INT_MULT           int mult (4 units)     7
+FP_ADD             simple FP (6 units)    4
+FP_MULT            FP mult (4 units)      4
+FP_DIV             FP div (4 units)       16
+LOAD / STORE       load/store (4 units)   1 + memory
+BRANCH             simple int             1
+=================  =====================  ========
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+
+class OpClass(enum.IntEnum):
+    """Dynamic instruction operation class."""
+
+    INT_ALU = 0
+    INT_MULT = 1
+    FP_ADD = 2
+    FP_MULT = 3
+    FP_DIV = 4
+    LOAD = 5
+    STORE = 6
+    BRANCH = 7
+    FP_LOAD = 8
+    FP_STORE = 9
+    NOP = 10
+
+
+class FUKind(enum.IntEnum):
+    """Functional unit pools of the simulated processor (Table 2)."""
+
+    SIMPLE_INT = 0
+    INT_MULT = 1
+    SIMPLE_FP = 2
+    FP_MULT = 3
+    FP_DIV = 4
+    LOAD_STORE = 5
+
+
+#: Mapping from operation class to the functional-unit pool that executes it.
+FU_KIND: Mapping[OpClass, FUKind] = {
+    OpClass.INT_ALU: FUKind.SIMPLE_INT,
+    OpClass.INT_MULT: FUKind.INT_MULT,
+    OpClass.FP_ADD: FUKind.SIMPLE_FP,
+    OpClass.FP_MULT: FUKind.FP_MULT,
+    OpClass.FP_DIV: FUKind.FP_DIV,
+    OpClass.LOAD: FUKind.LOAD_STORE,
+    OpClass.STORE: FUKind.LOAD_STORE,
+    OpClass.FP_LOAD: FUKind.LOAD_STORE,
+    OpClass.FP_STORE: FUKind.LOAD_STORE,
+    OpClass.BRANCH: FUKind.SIMPLE_INT,
+    OpClass.NOP: FUKind.SIMPLE_INT,
+}
+
+#: Execution latency (cycles spent in the functional unit) per operation
+#: class.  Memory operations add the data-cache access latency on top of
+#: the 1-cycle address generation modelled here.
+DEFAULT_LATENCY: Mapping[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MULT: 7,
+    OpClass.FP_ADD: 4,
+    OpClass.FP_MULT: 4,
+    OpClass.FP_DIV: 16,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.FP_LOAD: 1,
+    OpClass.FP_STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.NOP: 1,
+}
+
+_MEMORY_OPS = frozenset(
+    {OpClass.LOAD, OpClass.STORE, OpClass.FP_LOAD, OpClass.FP_STORE}
+)
+_LOAD_OPS = frozenset({OpClass.LOAD, OpClass.FP_LOAD})
+_STORE_OPS = frozenset({OpClass.STORE, OpClass.FP_STORE})
+_FP_DEST_OPS = frozenset(
+    {OpClass.FP_ADD, OpClass.FP_MULT, OpClass.FP_DIV, OpClass.FP_LOAD}
+)
+
+
+def is_memory_op(op: OpClass) -> bool:
+    """True for loads and stores (integer or floating point)."""
+    return op in _MEMORY_OPS
+
+
+def is_load_op(op: OpClass) -> bool:
+    """True for integer and floating-point loads."""
+    return op in _LOAD_OPS
+
+
+def is_store_op(op: OpClass) -> bool:
+    """True for integer and floating-point stores."""
+    return op in _STORE_OPS
+
+
+def is_branch_op(op: OpClass) -> bool:
+    """True for control-flow instructions."""
+    return op is OpClass.BRANCH
+
+
+def uses_fp_dest(op: OpClass) -> bool:
+    """True when the natural destination register class of ``op`` is FP.
+
+    FP loads write a floating-point destination even though their address
+    operands are integer registers, mirroring real RISC ISAs.
+    """
+    return op in _FP_DEST_OPS

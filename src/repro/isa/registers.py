@@ -1,0 +1,77 @@
+"""Logical (architectural) register model.
+
+The paper's processor model (Table 2) uses the MIPS/Alpha-style split of
+32 integer and 32 floating-point logical registers, renamed onto two
+independent physical register files.  Register identity in this package is
+the pair ``(RegClass, index)``; the :class:`LogicalRegister` named tuple is
+a thin convenience wrapper used at API boundaries, while the hot simulator
+paths work directly with ``(int(reg_class), index)`` tuples for speed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, NamedTuple
+
+#: Number of architected integer registers (MIPS/Alpha ISA convention, and
+#: the value L=32 used throughout the paper).
+NUM_LOGICAL_INT = 32
+
+#: Number of architected floating-point registers.
+NUM_LOGICAL_FP = 32
+
+#: Number of logical registers per class, indexed by :class:`RegClass` value.
+NUM_LOGICAL = (NUM_LOGICAL_INT, NUM_LOGICAL_FP)
+
+
+class RegClass(enum.IntEnum):
+    """Register class: integer or floating point.
+
+    The two classes are renamed onto *separate* physical register files,
+    exactly as in the paper ("We consider only integer registers for
+    integer programs and FP registers for FP programs", Section 2), so the
+    class is part of every register identity.
+    """
+
+    INT = 0
+    FP = 1
+
+    @property
+    def num_logical(self) -> int:
+        """Number of architected registers in this class."""
+        return NUM_LOGICAL[self]
+
+    @property
+    def short_name(self) -> str:
+        """Two/three-letter label used in reports ("int" / "fp")."""
+        return "int" if self is RegClass.INT else "fp"
+
+
+class LogicalRegister(NamedTuple):
+    """An architectural register: a ``(reg_class, index)`` pair.
+
+    Instances compare equal to plain tuples with the same contents, which
+    lets the simulator's hot paths use bare tuples without conversion.
+    """
+
+    reg_class: RegClass
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        prefix = "r" if self.reg_class is RegClass.INT else "f"
+        return f"{prefix}{self.index}"
+
+    @property
+    def is_valid(self) -> bool:
+        """True when the index is within the architected range of its class."""
+        return 0 <= self.index < NUM_LOGICAL[self.reg_class]
+
+
+def logical_registers(reg_class: RegClass) -> Iterator[LogicalRegister]:
+    """Iterate over every architectural register of ``reg_class``.
+
+    >>> len(list(logical_registers(RegClass.INT)))
+    32
+    """
+    for index in range(NUM_LOGICAL[reg_class]):
+        yield LogicalRegister(reg_class, index)

@@ -1,0 +1,20 @@
+"""Memory hierarchy models (Table 2 of the paper).
+
+* L1 instruction cache: 32 KB, 2-way, 32-byte lines, 1-cycle hit.
+* L1 data cache: 32 KB, 2-way, 64-byte lines, 1-cycle hit.
+* Unified L2: 1 MB, 2-way, 64-byte lines, 12-cycle hit.
+* Main memory: unbounded, 50-cycle access.
+
+The caches are timing-only (no data storage) set-associative LRU caches.
+"""
+
+from repro.memory.cache import Cache, CacheConfig, AccessResult
+from repro.memory.hierarchy import MemoryHierarchy, MemoryConfig
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "AccessResult",
+    "MemoryHierarchy",
+    "MemoryConfig",
+]

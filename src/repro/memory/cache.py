@@ -1,0 +1,122 @@
+"""Timing-only set-associative cache with LRU replacement.
+
+The cache stores tags only (no data — the simulator never computes
+values).  Writes are modelled as write-back / write-allocate, the
+SimpleScalar default the paper's configuration inherits; dirty evictions
+are counted but add no extra latency (the write-back buffer is assumed to
+hide them, again following sim-outorder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    hit_latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size must be a multiple of associativity * line size")
+        if self.hit_latency < 1:
+            raise ValueError("hit latency must be at least one cycle")
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a cache access."""
+
+    hit: bool
+    latency: int
+    evicted_dirty: bool = False
+
+
+class Cache:
+    """One level of a (timing-only) set-associative LRU cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._n_sets = config.n_sets
+        self._line_shift = config.line_bytes.bit_length() - 1
+        # Each set: list of [tag, dirty] in LRU order (index 0 = MRU).
+        self._sets: List[List[List[int]]] = [[] for _ in range(self._n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address >> self._line_shift
+        return line % self._n_sets, line
+
+    def probe(self, address: int) -> bool:
+        """Return True when ``address`` is resident, without updating LRU or stats."""
+        index, tag = self._locate(address)
+        return any(entry[0] == tag for entry in self._sets[index])
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Access ``address``; allocate the line on a miss (write-allocate).
+
+        Returns the hit/miss outcome with the *local* latency of this level
+        (the hierarchy composes levels into full miss latencies).
+        """
+        index, tag = self._locate(address)
+        ways = self._sets[index]
+        for pos, entry in enumerate(ways):
+            if entry[0] == tag:
+                ways.insert(0, ways.pop(pos))
+                if is_write:
+                    entry[1] = 1
+                self.hits += 1
+                return AccessResult(hit=True, latency=self.config.hit_latency)
+        self.misses += 1
+        evicted_dirty = False
+        ways.insert(0, [tag, 1 if is_write else 0])
+        if len(ways) > self.config.associativity:
+            victim = ways.pop()
+            if victim[1]:
+                evicted_dirty = True
+                self.writebacks += 1
+        return AccessResult(hit=False, latency=self.config.hit_latency,
+                            evicted_dirty=evicted_dirty)
+
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        """Total number of accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction (0.0 if the cache has not been accessed)."""
+        return 0.0 if self.accesses == 0 else self.misses / self.accesses
+
+    def flush(self) -> None:
+        """Invalidate all lines (statistics are preserved)."""
+        self._sets = [[] for _ in range(self._n_sets)]
+
+    def reset_statistics(self) -> None:
+        """Zero the hit/miss/writeback counters (contents are preserved).
+
+        Used after the warm-up pass so reported miss rates reflect the
+        measured run only.
+        """
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0

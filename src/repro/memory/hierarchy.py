@@ -1,0 +1,75 @@
+"""Two-level cache hierarchy plus main memory (Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.cache import AccessResult, Cache, CacheConfig
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Geometry/latency of the whole memory system (defaults = paper Table 2)."""
+
+    l1i: CacheConfig = CacheConfig("L1I", size_bytes=32 * 1024, associativity=2,
+                                   line_bytes=32, hit_latency=1)
+    l1d: CacheConfig = CacheConfig("L1D", size_bytes=32 * 1024, associativity=2,
+                                   line_bytes=64, hit_latency=1)
+    l2: CacheConfig = CacheConfig("L2", size_bytes=1024 * 1024, associativity=2,
+                                  line_bytes=64, hit_latency=12)
+    main_memory_latency: int = 50
+
+
+class MemoryHierarchy:
+    """L1I + L1D backed by a unified L2 and flat-latency main memory.
+
+    The hierarchy returns the *total* access latency seen by the requester:
+    L1 hit latency on a hit, plus the L2 hit latency on an L1 miss, plus
+    the main-memory latency on an L2 miss.  No bandwidth contention or
+    MSHR limits are modelled (SimpleScalar's default configuration, which
+    the paper uses, services misses without port contention as well).
+    """
+
+    def __init__(self, config: Optional[MemoryConfig] = None) -> None:
+        self.config = config or MemoryConfig()
+        self.l1i = Cache(self.config.l1i)
+        self.l1d = Cache(self.config.l1d)
+        self.l2 = Cache(self.config.l2)
+        self.memory_accesses = 0
+
+    # ------------------------------------------------------------------
+    def _access(self, l1: Cache, address: int, is_write: bool) -> int:
+        result = l1.access(address, is_write=is_write)
+        latency = result.latency
+        if result.hit:
+            return latency
+        l2_result = self.l2.access(address, is_write=False)
+        latency += l2_result.latency
+        if not l2_result.hit:
+            self.memory_accesses += 1
+            latency += self.config.main_memory_latency
+        return latency
+
+    def instruction_access(self, pc: int) -> int:
+        """Fetch access: total latency in cycles for the line holding ``pc``."""
+        return self._access(self.l1i, pc, is_write=False)
+
+    def data_read(self, address: int) -> int:
+        """Load access: total latency in cycles."""
+        return self._access(self.l1d, address, is_write=False)
+
+    def data_write(self, address: int) -> int:
+        """Store access (performed at commit): total latency in cycles.
+
+        The returned latency is informational; stores retire into the
+        write buffer and do not stall commit.
+        """
+        return self._access(self.l1d, address, is_write=True)
+
+    def reset_statistics(self) -> None:
+        """Zero hit/miss counters of every level (contents are preserved)."""
+        self.l1i.reset_statistics()
+        self.l1d.reset_statistics()
+        self.l2.reset_statistics()
+        self.memory_accesses = 0

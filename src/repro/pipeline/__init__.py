@@ -1,0 +1,13 @@
+"""Cycle-level out-of-order processor model.
+
+:class:`~repro.pipeline.config.ProcessorConfig` carries the paper's
+Table 2 parameters (all overridable), :class:`~repro.pipeline.processor.Processor`
+is the pipeline itself, and :func:`~repro.pipeline.processor.simulate`
+is the one-call entry point used by the experiment harness.
+"""
+
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.stats import SimStats
+from repro.pipeline.processor import Processor, simulate
+
+__all__ = ["ProcessorConfig", "SimStats", "Processor", "simulate"]

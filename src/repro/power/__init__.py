@@ -1,0 +1,34 @@
+"""Register-file delay/energy and storage-cost models.
+
+Section 4.4 of the paper uses the register-file access-time and energy
+model of Rixner et al. (HPCA-6, 2000) for a 0.18 µm technology to show
+that the Last-Uses Table is far off the critical path (Figure 9) and that
+early release is energy neutral, and a simple storage model to show that
+the extended mechanism costs about 1.22 KB of state on an Alpha-21264-like
+machine.  :mod:`repro.power.rixner_model` and :mod:`repro.power.storage`
+reimplement both models analytically.
+"""
+
+from repro.power.rixner_model import (
+    RegisterFileGeometry,
+    RixnerModel,
+    LUS_TABLE_GEOMETRY,
+    INT_FILE_PORTS,
+    FP_FILE_PORTS,
+)
+from repro.power.storage import (
+    StorageModel,
+    extended_mechanism_storage_bits,
+    lus_table_storage_bits,
+)
+
+__all__ = [
+    "RegisterFileGeometry",
+    "RixnerModel",
+    "LUS_TABLE_GEOMETRY",
+    "INT_FILE_PORTS",
+    "FP_FILE_PORTS",
+    "StorageModel",
+    "extended_mechanism_storage_bits",
+    "lus_table_storage_bits",
+]

@@ -1,0 +1,34 @@
+"""Register renaming substrate (paper Figure 1).
+
+The components of the conventional allocate/release mechanism:
+
+* :class:`~repro.rename.map_table.MapTable` — speculative logical→physical
+  mapping consulted/updated at rename;
+* :class:`~repro.rename.iomt.InOrderMapTable` — the architectural
+  (retirement) mapping, updated at commit and used for precise-exception
+  recovery;
+* :class:`~repro.rename.free_list.FreeList` — pool of free physical
+  registers;
+* :class:`~repro.rename.register_file.PhysicalRegisterFile` — one merged
+  physical register file (free list + producer tracking + occupancy
+  accounting);
+* :class:`~repro.rename.checkpoints.CheckpointStack` — per-pending-branch
+  copies of the map table (and of the release policy's Last-Uses Table)
+  used for misprediction recovery.
+"""
+
+from repro.rename.free_list import FreeList, FreeListError
+from repro.rename.map_table import MapTable
+from repro.rename.iomt import InOrderMapTable
+from repro.rename.register_file import PhysicalRegisterFile
+from repro.rename.checkpoints import Checkpoint, CheckpointStack
+
+__all__ = [
+    "FreeList",
+    "FreeListError",
+    "MapTable",
+    "InOrderMapTable",
+    "PhysicalRegisterFile",
+    "Checkpoint",
+    "CheckpointStack",
+]

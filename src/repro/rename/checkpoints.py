@@ -1,0 +1,130 @@
+"""Per-branch checkpoints (map table + Last-Uses Table copies).
+
+The paper assumes the classic checkpoint-repair scheme: "we assume that an
+LUs Table copy is made at each branch prediction, so that a branch
+misprediction recovery can retrieve the proper copy" (Section 3.1), on top
+of the usual Map Table copies.  The processor supports up to 20 branches
+pending verification (Table 2); renaming a branch when all checkpoints are
+in use stalls the front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.isa import RegClass
+
+
+@dataclass
+class Checkpoint:
+    """State snapshot taken when a branch is renamed.
+
+    Attributes
+    ----------
+    branch_seq:
+        Sequence number of the branch instruction owning this checkpoint.
+    map_snapshots:
+        Map Table contents per register class.
+    policy_snapshots:
+        Release-policy private state per register class (the Last-Uses
+        Table copy for the early-release policies; ``None`` for
+        conventional release).
+    """
+
+    branch_seq: int
+    map_snapshots: Dict[RegClass, Tuple[int, ...]]
+    policy_snapshots: Dict[RegClass, Any] = field(default_factory=dict)
+
+
+class CheckpointStack:
+    """Ordered collection of at most ``capacity`` outstanding branch checkpoints."""
+
+    def __init__(self, capacity: int = 20) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._checkpoints: List[Checkpoint] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    @property
+    def is_full(self) -> bool:
+        """True when renaming another branch must stall."""
+        return len(self._checkpoints) >= self.capacity
+
+    def pending_branch_seqs(self) -> List[int]:
+        """Sequence numbers of all unresolved branches, oldest first."""
+        return [cp.branch_seq for cp in self._checkpoints]
+
+    def newest_pending_seq(self) -> Optional[int]:
+        """Sequence number of the youngest unresolved branch, or None."""
+        return self._checkpoints[-1].branch_seq if self._checkpoints else None
+
+    def has_pending_younger_than(self, seq: int) -> bool:
+        """True when an unresolved branch younger than ``seq`` exists.
+
+        This is exactly the "pending branches between the LU and NV
+        instructions" test of the basic mechanism: at NV rename time every
+        unresolved branch is older than NV, so an unresolved branch younger
+        than the LU instruction lies between the two.
+        """
+        newest = self.newest_pending_seq()
+        return newest is not None and newest > seq
+
+    def count_pending(self) -> int:
+        """Number of unresolved branches (the RelQue TAIL level number)."""
+        return len(self._checkpoints)
+
+    # ------------------------------------------------------------------
+    def push(self, checkpoint: Checkpoint) -> None:
+        """Record the checkpoint of a newly renamed branch (program order)."""
+        if self.is_full:
+            raise RuntimeError("checkpoint stack overflow: rename must stall instead")
+        if self._checkpoints and checkpoint.branch_seq <= self._checkpoints[-1].branch_seq:
+            raise ValueError("checkpoints must be pushed in program order")
+        self._checkpoints.append(checkpoint)
+
+    def confirm(self, branch_seq: int) -> Optional[Checkpoint]:
+        """Branch ``branch_seq`` resolved correctly: discard (and return) its checkpoint.
+
+        Branches may resolve out of order, so the checkpoint can be
+        anywhere in the stack.  Returns None if the branch is unknown
+        (e.g. already squashed by an older misprediction).
+        """
+        for pos, checkpoint in enumerate(self._checkpoints):
+            if checkpoint.branch_seq == branch_seq:
+                return self._checkpoints.pop(pos)
+        return None
+
+    def mispredict(self, branch_seq: int) -> Optional[Checkpoint]:
+        """Branch ``branch_seq`` mispredicted: pop its checkpoint and all younger ones.
+
+        Returns the checkpoint to restore from, or None if the branch is
+        unknown (already squashed).
+        """
+        for pos, checkpoint in enumerate(self._checkpoints):
+            if checkpoint.branch_seq == branch_seq:
+                recovered = checkpoint
+                del self._checkpoints[pos:]
+                return recovered
+        return None
+
+    def squash_younger_than(self, seq: int) -> List[Checkpoint]:
+        """Drop every checkpoint belonging to a branch younger than ``seq``.
+
+        Used by exception recovery (``seq`` = the excepting instruction) and
+        returned for inspection/tests.
+        """
+        kept = [cp for cp in self._checkpoints if cp.branch_seq <= seq]
+        dropped = [cp for cp in self._checkpoints if cp.branch_seq > seq]
+        self._checkpoints = kept
+        return dropped
+
+    def clear(self) -> List[Checkpoint]:
+        """Drop every checkpoint (full pipeline flush); returns the dropped ones."""
+        dropped = self._checkpoints
+        self._checkpoints = []
+        return dropped

@@ -1,0 +1,47 @@
+"""In-Order Map Table (IOMT) — the architectural/retirement mapping.
+
+Updated at commit with the destination mapping of each committing
+instruction; consulted for precise-exception recovery so the Reorder
+Structure never has to be rolled back entry by entry (paper Section 2).
+Intel's name for the same structure is the Retirement Register Alias
+Table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+class InOrderMapTable:
+    """Architectural logical→physical mapping for one register class."""
+
+    def __init__(self, num_logical: int, initial_mapping: Sequence[int]) -> None:
+        if len(initial_mapping) != num_logical:
+            raise ValueError("initial mapping must cover every logical register")
+        self.num_logical = num_logical
+        self._map: List[int] = list(initial_mapping)
+
+    def lookup(self, logical: int) -> int:
+        """Architectural physical register of ``logical``."""
+        return self._map[logical]
+
+    def commit_mapping(self, logical: int, physical: int) -> int:
+        """Record that the new version of ``logical`` committed.
+
+        Returns the previous architectural mapping (the register the
+        conventional policy releases at this point).
+        """
+        previous = self._map[logical]
+        self._map[logical] = physical
+        return previous
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Immutable copy (used to rebuild the speculative map on exceptions)."""
+        return tuple(self._map)
+
+    def mapped_registers(self) -> Tuple[int, ...]:
+        """Physical registers currently holding architectural state."""
+        return tuple(self._map)
+
+    def __len__(self) -> int:
+        return self.num_logical

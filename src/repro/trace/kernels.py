@@ -1,0 +1,632 @@
+"""Parameterised instruction-stream kernels.
+
+Each kernel models one characteristic inner-loop shape of the SPEC95
+programs the paper evaluates and emits concrete
+:class:`~repro.isa.instructions.Instruction` records one *iteration* at a
+time.  The workload profiles in :mod:`repro.trace.workloads` compose and
+calibrate these kernels per benchmark.
+
+All kernels share the same conventions:
+
+* every static instruction of the loop body has a fixed pc, so the gshare
+  predictor, BTB and instruction cache observe a realistic, repetitive
+  static code footprint;
+* destination registers are drawn from :class:`RegisterRotation` windows,
+  so the def-to-redefine distance (register lifetime under conventional
+  release) is controlled by the window size;
+* data-dependent branches are modelled as *hammocks*: when the branch is
+  taken the next few body instructions are skipped, exactly as the
+  dynamic stream of a real if-then region would look.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.isa import Instruction, OpClass, RegClass
+from repro.trace.synthetic import (
+    BranchSite,
+    PointerChaseStream,
+    RandomStream,
+    RegisterRotation,
+    StridedStream,
+)
+
+INT = RegClass.INT
+FP = RegClass.FP
+
+
+@dataclass
+class KernelParams:
+    """Tunable knobs shared by the kernel generators.
+
+    Only a subset is meaningful to any given kernel; unspecified knobs keep
+    their defaults.  See the individual kernel classes for which knobs they
+    honour.
+    """
+
+    #: base address of the kernel's code (each kernel gets a disjoint range).
+    pc_base: int = 0x10000
+    #: base address of the kernel's data.
+    data_base: int = 0x100000
+    #: number of independent array streams (FP kernels).
+    n_streams: int = 4
+    #: length of the dependent arithmetic chain per loaded value.
+    chain_len: int = 3
+    #: FP destination-register rotation window size.
+    fp_window: int = 20
+    #: integer destination-register rotation window size.
+    int_window: int = 8
+    #: loop branch trip count.
+    trip_count: int = 128
+    #: probability that a data-dependent branch is taken.
+    branch_bias: float = 0.75
+    #: number of static data-dependent branch sites (branchy kernels).
+    n_branch_sites: int = 12
+    #: instructions per basic block in branchy kernels.
+    block_len: int = 4
+    #: instructions skipped when a hammock branch is taken.
+    hammock_len: int = 3
+    #: memory footprint per stream, in bytes.
+    mem_footprint: int = 1 << 17
+    #: address stride of the FP array streams, in bytes.  64 (one element per
+    #: cache line, e.g. a column walk or a padded multi-field array) makes the
+    #: streams L1-resident-never / L2-resident, the regime of the SPECfp95
+    #: streaming codes; 8 models a dense unit-stride walk.
+    stream_stride: int = 64
+    #: emit one FP divide every this many iterations (0 = never).
+    div_interval: int = 0
+    #: emit one integer multiply every this many iterations (0 = never).
+    mult_interval: int = 0
+    #: length of the dependent load chain (pointer-chase kernel).
+    load_chain_len: int = 3
+    #: number of nodes in the pointer-chase working set.
+    chase_nodes: int = 2048
+    #: fraction of iterations that perform a store.
+    store_fraction: float = 1.0
+    #: number of independent work chains per iteration (integer kernels);
+    #: controls the instruction-level parallelism of the synthetic code.
+    n_parallel_chains: int = 3
+    #: fraction of data-dependent branch sites whose outcome follows a
+    #: repeating (history-predictable) pattern rather than a history-correlated
+    #: function.
+    pattern_fraction: float = 0.5
+    #: flip probability of history-correlated branch outcomes; sets the floor
+    #: of the achievable branch misprediction rate for the integer codes.
+    branch_noise: float = 0.05
+
+
+class _KernelBase:
+    """Shared plumbing: pc bookkeeping, iteration counting, branch history."""
+
+    def __init__(self, params: KernelParams) -> None:
+        self.params = params
+        self.iteration = 0
+        #: recent branch outcomes of the whole kernel (LSB = most recent);
+        #: consumed by history-correlated branch sites.
+        self.ghist = 0
+
+    def _branch_outcome(self, site: BranchSite, rng: np.random.Generator) -> bool:
+        """Draw the site's next outcome and append it to the global history."""
+        taken = site.next_outcome(rng, self.ghist)
+        self.ghist = ((self.ghist << 1) | int(taken)) & 0xFFFF
+        return taken
+
+    # Subclasses implement this.
+    def emit_iteration(self, rng: np.random.Generator) -> List[Instruction]:
+        """Return the dynamic instructions of one loop iteration."""
+        raise NotImplementedError
+
+    def prologue(self, rng: np.random.Generator) -> List[Instruction]:
+        """Return set-up instructions executed once before the loop."""
+        return []
+
+
+class StreamingFPKernel(_KernelBase):
+    """Unit-stride streaming FP loop (swim / mgrid style).
+
+    Per iteration and per stream: one FP load, a short dependent FP chain
+    against persistent coefficient registers, and one FP store.  Induction
+    variables are updated with integer ALU operations and a single
+    highly-predictable loop branch closes the iteration.
+    """
+
+    #: FP registers reserved for loop-invariant coefficients.
+    N_COEF = 4
+
+    def __init__(self, params: KernelParams) -> None:
+        super().__init__(params)
+        p = params
+        value_regs = list(range(self.N_COEF, self.N_COEF + p.fp_window))
+        self.fp_rot = RegisterRotation(value_regs)
+        self.int_rot = RegisterRotation(list(range(1, 1 + p.int_window)))
+        self.streams = [
+            StridedStream(base=p.data_base + s * (p.mem_footprint + 4096),
+                          stride=p.stream_stride, footprint=p.mem_footprint)
+            for s in range(p.n_streams)
+        ]
+        self.out_stream = StridedStream(
+            base=p.data_base + p.n_streams * (p.mem_footprint + 4096),
+            stride=p.stream_stride, footprint=p.mem_footprint)
+        body = p.n_streams * (4 + p.chain_len) + 3
+        self.loop_branch = BranchSite(
+            pc=p.pc_base + 4 * body, target=p.pc_base,
+            kind="loop", trip=p.trip_count)
+
+    def prologue(self, rng: np.random.Generator) -> List[Instruction]:
+        """Define the coefficient registers once, before the loop."""
+        out = []
+        pc = self.params.pc_base - 4 * self.N_COEF
+        for c in range(self.N_COEF):
+            out.append(Instruction(pc=pc, op=OpClass.FP_ADD, dest=(FP, c), srcs=()))
+            pc += 4
+        return out
+
+    def emit_iteration(self, rng: np.random.Generator) -> List[Instruction]:
+        p = self.params
+        out: List[Instruction] = []
+        pc = p.pc_base
+        addr_reg = self.int_rot.next_dest()
+        out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, addr_reg),
+                               srcs=((INT, self.int_rot.recent(2)),)))
+        pc += 4
+        last_values = []
+        for s, stream in enumerate(self.streams):
+            # Per-stream address arithmetic (integer overhead of compiled code).
+            stream_addr = self.int_rot.next_dest()
+            out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, stream_addr),
+                                   srcs=((INT, addr_reg),)))
+            pc += 4
+            load_dest = self.fp_rot.next_dest()
+            out.append(Instruction(pc=pc, op=OpClass.FP_LOAD, dest=(FP, load_dest),
+                                   srcs=((INT, stream_addr),),
+                                   mem_addr=stream.next_address(rng)))
+            pc += 4
+            prev = load_dest
+            for c in range(p.chain_len):
+                dest = self.fp_rot.next_dest()
+                coef = (s + c) % self.N_COEF
+                op = OpClass.FP_MULT if (c % 2 == 1) else OpClass.FP_ADD
+                out.append(Instruction(pc=pc, op=op, dest=(FP, dest),
+                                       srcs=((FP, prev), (FP, coef))))
+                pc += 4
+                prev = dest
+            last_values.append(prev)
+            index_reg = self.int_rot.next_dest()
+            out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, index_reg),
+                                   srcs=((INT, stream_addr),)))
+            pc += 4
+            out.append(Instruction(pc=pc, op=OpClass.FP_STORE,
+                                   srcs=((FP, prev), (INT, index_reg)),
+                                   mem_addr=self.out_stream.next_address(rng)))
+            pc += 4
+        if p.div_interval and self.iteration % p.div_interval == 0 and last_values:
+            dest = self.fp_rot.next_dest()
+            out.append(Instruction(pc=pc, op=OpClass.FP_DIV, dest=(FP, dest),
+                                   srcs=((FP, last_values[0]), (FP, 0))))
+        pc += 4
+        idx_reg = self.int_rot.next_dest()
+        out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, idx_reg),
+                               srcs=((INT, addr_reg),)))
+        pc += 4
+        out.append(Instruction(pc=self.loop_branch.pc, op=OpClass.BRANCH,
+                               srcs=((INT, idx_reg),),
+                               taken=self._branch_outcome(self.loop_branch, rng),
+                               target=self.loop_branch.target))
+        self.iteration += 1
+        return out
+
+
+class StencilFPKernel(_KernelBase):
+    """Neighbour-gather stencil loop (tomcatv / applu / hydro2d style).
+
+    Each iteration loads several neighbouring points, combines them in a
+    long cross-dependent FP chain, performs an occasional FP divide, and
+    stores one or two results.  The long chains plus the divides keep many
+    FP values live at once — this is the highest-register-pressure kernel.
+    """
+
+    N_COEF = 6
+
+    def __init__(self, params: KernelParams) -> None:
+        super().__init__(params)
+        p = params
+        value_regs = list(range(self.N_COEF, self.N_COEF + p.fp_window))
+        self.fp_rot = RegisterRotation(value_regs)
+        self.int_rot = RegisterRotation(list(range(1, 1 + p.int_window)))
+        self.streams = [
+            StridedStream(base=p.data_base + s * (p.mem_footprint + 8192),
+                          stride=p.stream_stride, footprint=p.mem_footprint)
+            for s in range(p.n_streams)
+        ]
+        self.out_stream = StridedStream(
+            base=p.data_base + (p.n_streams + 1) * (p.mem_footprint + 8192),
+            stride=p.stream_stride, footprint=p.mem_footprint)
+        body = 2 + 2 * p.n_streams + 2 * p.chain_len + 4
+        self.loop_branch = BranchSite(pc=p.pc_base + 4 * body, target=p.pc_base,
+                                      kind="loop", trip=p.trip_count)
+
+    def prologue(self, rng: np.random.Generator) -> List[Instruction]:
+        """Define the stencil coefficient registers once."""
+        out = []
+        pc = self.params.pc_base - 4 * self.N_COEF
+        for c in range(self.N_COEF):
+            out.append(Instruction(pc=pc, op=OpClass.FP_MULT, dest=(FP, c), srcs=()))
+            pc += 4
+        return out
+
+    def emit_iteration(self, rng: np.random.Generator) -> List[Instruction]:
+        p = self.params
+        out: List[Instruction] = []
+        pc = p.pc_base
+        addr_reg = self.int_rot.next_dest()
+        out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, addr_reg),
+                               srcs=((INT, self.int_rot.recent(2)),)))
+        pc += 4
+        addr2_reg = self.int_rot.next_dest()
+        out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, addr2_reg),
+                               srcs=((INT, addr_reg),)))
+        pc += 4
+        loaded: List[int] = []
+        for s, stream in enumerate(self.streams):
+            stream_addr = self.int_rot.next_dest()
+            out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, stream_addr),
+                                   srcs=((INT, addr_reg if s % 2 == 0 else addr2_reg),)))
+            pc += 4
+            dest = self.fp_rot.next_dest()
+            out.append(Instruction(pc=pc, op=OpClass.FP_LOAD, dest=(FP, dest),
+                                   srcs=((INT, stream_addr),),
+                                   mem_addr=stream.next_address(rng)))
+            pc += 4
+            loaded.append(dest)
+        # Cross-combine neighbours: a reduction tree followed by a chain.
+        prev = loaded[0]
+        for i, other in enumerate(loaded[1:]):
+            dest = self.fp_rot.next_dest()
+            op = OpClass.FP_ADD if i % 2 == 0 else OpClass.FP_MULT
+            out.append(Instruction(pc=pc, op=op, dest=(FP, dest),
+                                   srcs=((FP, prev), (FP, other))))
+            pc += 4
+            prev = dest
+        for c in range(p.chain_len):
+            dest = self.fp_rot.next_dest()
+            coef = c % self.N_COEF
+            op = OpClass.FP_MULT if c % 2 == 0 else OpClass.FP_ADD
+            out.append(Instruction(pc=pc, op=op, dest=(FP, dest),
+                                   srcs=((FP, prev), (FP, coef))))
+            pc += 4
+            prev = dest
+        if p.div_interval and self.iteration % p.div_interval == 0:
+            dest = self.fp_rot.next_dest()
+            out.append(Instruction(pc=pc, op=OpClass.FP_DIV, dest=(FP, dest),
+                                   srcs=((FP, prev), (FP, 1))))
+            prev = dest
+        pc += 4
+        out.append(Instruction(pc=pc, op=OpClass.FP_STORE,
+                               srcs=((FP, prev), (INT, addr_reg)),
+                               mem_addr=self.out_stream.next_address(rng)))
+        pc += 4
+        idx_reg = self.int_rot.next_dest()
+        out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, idx_reg),
+                               srcs=((INT, addr_reg),)))
+        pc += 4
+        out.append(Instruction(pc=self.loop_branch.pc, op=OpClass.BRANCH,
+                               srcs=((INT, idx_reg),),
+                               taken=self._branch_outcome(self.loop_branch, rng),
+                               target=self.loop_branch.target))
+        self.iteration += 1
+        return out
+
+
+class IntComputeKernel(_KernelBase):
+    """Integer compute loop with a data-dependent hammock (compress style).
+
+    Each iteration runs ``n_parallel_chains`` *independent* short work
+    chains (load + a few dependent ALU operations each), combines one value
+    into a running result, takes one data-dependent hammock branch, stores
+    a result and closes with the loop branch.  The independent chains give
+    the out-of-order core realistic integer ILP; the serial part of the
+    iteration is only the induction variable and the combine step.
+    """
+
+    def __init__(self, params: KernelParams) -> None:
+        super().__init__(params)
+        p = params
+        self.int_rot = RegisterRotation(list(range(1, 1 + p.int_window)))
+        self.data = RandomStream(base=p.data_base, footprint=p.mem_footprint)
+        self.out = StridedStream(base=p.data_base + 2 * p.mem_footprint,
+                                 stride=8, footprint=p.mem_footprint)
+        chain_block = 1 + p.chain_len
+        body = 1 + p.n_parallel_chains * chain_block + p.hammock_len + 4
+        self.hammock_branch = BranchSite(
+            pc=p.pc_base + 4 * (1 + p.n_parallel_chains * chain_block),
+            target=p.pc_base + 4 * (1 + p.n_parallel_chains * chain_block
+                                    + p.hammock_len + 1),
+            kind="correlated", bias=p.branch_bias, noise=p.branch_noise)
+        self.loop_branch = BranchSite(pc=p.pc_base + 4 * body, target=p.pc_base,
+                                      kind="loop", trip=p.trip_count)
+
+    def emit_iteration(self, rng: np.random.Generator) -> List[Instruction]:
+        p = self.params
+        out: List[Instruction] = []
+        pc = p.pc_base
+        addr_reg = self.int_rot.next_dest()
+        out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, addr_reg),
+                               srcs=((INT, self.int_rot.recent(2)),)))
+        pc += 4
+        chain_heads: List[int] = []
+        for chain in range(p.n_parallel_chains):
+            load_dest = self.int_rot.next_dest()
+            out.append(Instruction(pc=pc, op=OpClass.LOAD, dest=(INT, load_dest),
+                                   srcs=((INT, addr_reg),),
+                                   mem_addr=self.data.next_address(rng)))
+            pc += 4
+            prev = load_dest
+            for _ in range(p.chain_len):
+                dest = self.int_rot.next_dest()
+                out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, dest),
+                                       srcs=((INT, prev),)))
+                pc += 4
+                prev = dest
+            chain_heads.append(prev)
+        combine = self.int_rot.next_dest()
+        out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, combine),
+                               srcs=((INT, chain_heads[0]),
+                                     (INT, chain_heads[-1]))))
+        pc += 4
+        taken = self._branch_outcome(self.hammock_branch, rng)
+        out.append(Instruction(pc=self.hammock_branch.pc, op=OpClass.BRANCH,
+                               srcs=((INT, chain_heads[0]),), taken=taken,
+                               target=self.hammock_branch.target))
+        pc = self.hammock_branch.pc + 4
+        if not taken:
+            prev = combine
+            for _ in range(p.hammock_len):
+                dest = self.int_rot.next_dest()
+                out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, dest),
+                                       srcs=((INT, prev),)))
+                pc += 4
+                prev = dest
+        else:
+            pc = self.hammock_branch.target
+        if p.mult_interval and self.iteration % p.mult_interval == 0:
+            dest = self.int_rot.next_dest()
+            out.append(Instruction(pc=pc, op=OpClass.INT_MULT, dest=(INT, dest),
+                                   srcs=((INT, chain_heads[-1]),)))
+        pc += 4
+        if rng.random() < p.store_fraction:
+            out.append(Instruction(pc=pc, op=OpClass.STORE,
+                                   srcs=((INT, combine), (INT, addr_reg)),
+                                   mem_addr=self.out.next_address(rng)))
+        pc += 4
+        out.append(Instruction(pc=self.loop_branch.pc, op=OpClass.BRANCH,
+                               srcs=((INT, addr_reg),),
+                               taken=self._branch_outcome(self.loop_branch, rng),
+                               target=self.loop_branch.target))
+        self.iteration += 1
+        return out
+
+
+class BranchyKernel(_KernelBase):
+    """Branch-dense control flow (gcc / go style).
+
+    The static code consists of ``n_branch_sites`` short basic blocks, each
+    ending in a data-dependent branch whose bias varies per site.  Every
+    iteration walks all blocks, taking or skipping each block's hammock
+    according to the branch outcome, and closes with a loop branch.
+    """
+
+    #: repeating outcome patterns assigned round-robin to "pattern" sites.
+    _PATTERNS = (
+        (True, True, False),
+        (True, False, True, True),
+        (True, True, True, False, True),
+        (False, True, True),
+        (True, True, True, True, False, True),
+    )
+
+    def __init__(self, params: KernelParams) -> None:
+        super().__init__(params)
+        p = params
+        self.int_rot = RegisterRotation(list(range(1, 1 + p.int_window)))
+        self.data = RandomStream(base=p.data_base, footprint=p.mem_footprint)
+        self.sites: List[BranchSite] = []
+        rng = np.random.default_rng(p.pc_base)  # deterministic per-site behaviour
+        block_span = 4 * (p.block_len + p.hammock_len + 1)
+        for s in range(p.n_branch_sites):
+            block_pc = p.pc_base + s * block_span
+            branch_pc = block_pc + 4 * p.block_len
+            target = block_pc + block_span
+            if rng.random() < p.pattern_fraction:
+                pattern = self._PATTERNS[s % len(self._PATTERNS)]
+                self.sites.append(BranchSite(pc=branch_pc, target=target,
+                                             kind="pattern", pattern=pattern))
+            else:
+                bias = float(np.clip(p.branch_bias + rng.normal(0.0, 0.08),
+                                     0.60, 0.97))
+                self.sites.append(BranchSite(pc=branch_pc, target=target,
+                                             kind="correlated", bias=bias,
+                                             noise=p.branch_noise))
+        self.loop_branch = BranchSite(
+            pc=p.pc_base + p.n_branch_sites * block_span,
+            target=p.pc_base, kind="loop", trip=p.trip_count)
+
+    def emit_iteration(self, rng: np.random.Generator) -> List[Instruction]:
+        p = self.params
+        out: List[Instruction] = []
+        for s, site in enumerate(self.sites):
+            block_pc = site.pc - 4 * p.block_len
+            pc = block_pc
+            # Each block computes from registers defined a few blocks ago, so
+            # consecutive blocks are (mostly) independent of each other.
+            local = self.int_rot.recent(3)
+            for i in range(p.block_len):
+                if i == 0 and s % 3 == 0:
+                    dest = self.int_rot.next_dest()
+                    out.append(Instruction(pc=pc, op=OpClass.LOAD, dest=(INT, dest),
+                                           srcs=((INT, local),),
+                                           mem_addr=self.data.next_address(rng)))
+                elif i == p.block_len - 1 and s % 4 == 3:
+                    out.append(Instruction(
+                        pc=pc, op=OpClass.STORE,
+                        srcs=((INT, local), (INT, self.int_rot.recent(4))),
+                        mem_addr=self.data.next_address(rng)))
+                    pc += 4
+                    continue
+                else:
+                    dest = self.int_rot.next_dest()
+                    out.append(Instruction(
+                        pc=pc, op=OpClass.INT_ALU, dest=(INT, dest),
+                        srcs=((INT, local), (INT, self.int_rot.recent(5)))))
+                local = dest
+                pc += 4
+            taken = self._branch_outcome(site, rng)
+            out.append(Instruction(pc=site.pc, op=OpClass.BRANCH,
+                                   srcs=((INT, local),), taken=taken,
+                                   target=site.target))
+            if not taken:
+                pc = site.pc + 4
+                for _ in range(p.hammock_len):
+                    dest = self.int_rot.next_dest()
+                    out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, dest),
+                                           srcs=((INT, local),)))
+                    local = dest
+                    pc += 4
+        out.append(Instruction(pc=self.loop_branch.pc, op=OpClass.BRANCH,
+                               srcs=((INT, self.int_rot.recent(1)),),
+                               taken=self._branch_outcome(self.loop_branch, rng),
+                               target=self.loop_branch.target))
+        self.iteration += 1
+        return out
+
+
+class PointerChaseKernel(_KernelBase):
+    """Dependent-load pointer chasing with interpreted-code control flow (li / perl).
+
+    Models an interpreter working over linked data: two *interleaved*
+    pointer chases (the interpreter typically walks the expression and the
+    environment at the same time, so the chases overlap in the machine),
+    per-node integer work that does not feed back into the chase, a
+    highly regular dispatch branch (pattern) plus one data-dependent
+    branch, and an occasional store.
+    """
+
+    def __init__(self, params: KernelParams) -> None:
+        super().__init__(params)
+        p = params
+        self.int_rot = RegisterRotation(list(range(1, 1 + p.int_window)))
+        self.chases = [
+            PointerChaseStream(base=p.data_base + i * (p.chase_nodes * 32 + 4096),
+                               n_nodes=p.chase_nodes, seed=p.pc_base + i)
+            for i in range(2)
+        ]
+        self.data = RandomStream(base=p.data_base + (1 << 20),
+                                 footprint=p.mem_footprint)
+        body = 2 * p.load_chain_len * 3 + 8
+        self.pattern_branch = BranchSite(
+            pc=p.pc_base + 4 * (2 * p.load_chain_len * 3),
+            target=p.pc_base + 4 * (2 * p.load_chain_len * 3 + 3),
+            kind="pattern", pattern=(True, False, True, True))
+        self.cond_branch = BranchSite(
+            pc=p.pc_base + 4 * (2 * p.load_chain_len * 3 + 4),
+            target=p.pc_base + 4 * (2 * p.load_chain_len * 3 + 4 + p.hammock_len + 1),
+            kind="correlated", bias=p.branch_bias, noise=p.branch_noise)
+        self.loop_branch = BranchSite(pc=p.pc_base + 4 * body + 64, target=p.pc_base,
+                                      kind="loop", trip=p.trip_count)
+        #: dedicated pointer registers (outside the rotation window) so each
+        #: chase is a true ``p = p->next`` chain across iterations.
+        self._ptr_regs = [p.int_window + 1 + i for i in range(2)]
+
+    def prologue(self, rng: np.random.Generator) -> List[Instruction]:
+        """Initialise the two chase pointer registers."""
+        out = []
+        pc = self.params.pc_base - 4 * len(self._ptr_regs)
+        for reg in self._ptr_regs:
+            out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, reg), srcs=()))
+            pc += 4
+        return out
+
+    def emit_iteration(self, rng: np.random.Generator) -> List[Instruction]:
+        p = self.params
+        out: List[Instruction] = []
+        pc = p.pc_base
+        work_values: List[int] = []
+        for step in range(p.load_chain_len):
+            for chase_id, chase in enumerate(self.chases):
+                ptr_reg = self._ptr_regs[chase_id]
+                # p = p->next: the load reads and redefines the pointer register.
+                out.append(Instruction(pc=pc, op=OpClass.LOAD, dest=(INT, ptr_reg),
+                                       srcs=((INT, ptr_reg),),
+                                       mem_addr=chase.next_address(rng)))
+                pc += 4
+                # Per-node work: depends on the loaded value but nothing else
+                # depends on it, so it runs in parallel with the next hop.
+                work = self.int_rot.next_dest()
+                out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, work),
+                                       srcs=((INT, ptr_reg),)))
+                pc += 4
+                work_values.append(work)
+        taken = self._branch_outcome(self.pattern_branch, rng)
+        out.append(Instruction(pc=self.pattern_branch.pc, op=OpClass.BRANCH,
+                               srcs=((INT, work_values[0]),), taken=taken,
+                               target=self.pattern_branch.target))
+        pc = self.pattern_branch.target if taken else self.pattern_branch.pc + 4
+        if not taken:
+            for _ in range(2):
+                dest = self.int_rot.next_dest()
+                out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, dest),
+                                       srcs=((INT, work_values[-1]),)))
+                pc += 4
+        taken = self._branch_outcome(self.cond_branch, rng)
+        out.append(Instruction(pc=self.cond_branch.pc, op=OpClass.BRANCH,
+                               srcs=((INT, work_values[-1]),), taken=taken,
+                               target=self.cond_branch.target))
+        pc = self.cond_branch.target if taken else self.cond_branch.pc + 4
+        if not taken:
+            for _ in range(p.hammock_len):
+                dest = self.int_rot.next_dest()
+                out.append(Instruction(pc=pc, op=OpClass.INT_ALU, dest=(INT, dest),
+                                       srcs=((INT, self.int_rot.recent(2)),)))
+                pc += 4
+        if rng.random() < p.store_fraction:
+            out.append(Instruction(
+                pc=pc, op=OpClass.STORE,
+                srcs=((INT, work_values[-1]), (INT, self._ptr_regs[0])),
+                mem_addr=self.data.next_address(rng)))
+        out.append(Instruction(pc=self.loop_branch.pc, op=OpClass.BRANCH,
+                               srcs=((INT, work_values[0]),),
+                               taken=self._branch_outcome(self.loop_branch, rng),
+                               target=self.loop_branch.target))
+        self.iteration += 1
+        return out
+
+
+# ----------------------------------------------------------------------
+# Factory helpers (the names exported by :mod:`repro.trace`).
+# ----------------------------------------------------------------------
+def streaming_fp_kernel(params: Optional[KernelParams] = None) -> StreamingFPKernel:
+    """Create a :class:`StreamingFPKernel` with the given (or default) parameters."""
+    return StreamingFPKernel(params or KernelParams())
+
+
+def stencil_fp_kernel(params: Optional[KernelParams] = None) -> StencilFPKernel:
+    """Create a :class:`StencilFPKernel` with the given (or default) parameters."""
+    return StencilFPKernel(params or KernelParams())
+
+
+def int_compute_kernel(params: Optional[KernelParams] = None) -> IntComputeKernel:
+    """Create an :class:`IntComputeKernel` with the given (or default) parameters."""
+    return IntComputeKernel(params or KernelParams())
+
+
+def branchy_kernel(params: Optional[KernelParams] = None) -> BranchyKernel:
+    """Create a :class:`BranchyKernel` with the given (or default) parameters."""
+    return BranchyKernel(params or KernelParams())
+
+
+def pointer_chase_kernel(params: Optional[KernelParams] = None) -> PointerChaseKernel:
+    """Create a :class:`PointerChaseKernel` with the given (or default) parameters."""
+    return PointerChaseKernel(params or KernelParams())

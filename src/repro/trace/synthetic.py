@@ -1,0 +1,232 @@
+"""Low-level building blocks for synthetic trace generation.
+
+Three properties of the dynamic instruction stream drive everything the
+paper measures, and each has a dedicated helper here:
+
+* **register lifetime structure** — :class:`RegisterRotation` controls how
+  far apart definitions of the same logical register are (the
+  def-to-redefine distance is what the conventional release policy pays
+  for) and is shared by all kernels;
+* **branch behaviour** — :class:`BranchSite` produces outcome streams with
+  a controlled amount of learnable structure (loop trip counts, biased
+  data-dependent branches, repeating patterns) so the simulated gshare
+  predictor reaches realistic accuracy on each benchmark class;
+* **memory locality** — :class:`StridedStream` and :class:`RandomStream`
+  produce address streams whose footprint relative to the cache sizes in
+  Table 2 yields the intended hit rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+
+class AddressStream(Protocol):
+    """Protocol for effective-address generators used by loads and stores."""
+
+    def next_address(self, rng: np.random.Generator) -> int:
+        """Return the next effective address of the stream."""
+        ...
+
+
+@dataclass
+class StridedStream:
+    """Sequential array walk: ``base + (i * stride) mod footprint``.
+
+    Models the unit- or small-stride array traversals of the SPEC95 FP
+    codes (swim, mgrid, ...).  ``footprint`` bounds the touched region so
+    the L1/L2 behaviour can be dialled in: a footprint larger than the
+    32 KB L1 but smaller than the 1 MB L2 gives the "misses L1, hits L2"
+    regime typical of these programs.
+    """
+
+    base: int
+    stride: int = 8
+    footprint: int = 1 << 18
+    offset: int = 0
+
+    def next_address(self, rng: np.random.Generator) -> int:
+        """Return the next address and advance the walk."""
+        addr = self.base + (self.offset % self.footprint)
+        self.offset += self.stride
+        return addr
+
+    def reset(self) -> None:
+        """Restart the walk from the stream base."""
+        self.offset = 0
+
+
+@dataclass
+class RandomStream:
+    """Uniformly random addresses over a working set.
+
+    Models the irregular heap/pointer accesses of the integer codes.  A
+    working set comparable to (or somewhat larger than) the L1 data cache
+    produces the moderate L1 miss rates typical of gcc/go/li.
+    """
+
+    base: int
+    footprint: int = 1 << 15
+    align: int = 8
+
+    def next_address(self, rng: np.random.Generator) -> int:
+        """Return a random aligned address inside the working set."""
+        span = max(self.footprint // self.align, 1)
+        return self.base + int(rng.integers(0, span)) * self.align
+
+
+@dataclass
+class PointerChaseStream:
+    """Pseudo pointer-chasing: the next address depends on the previous one.
+
+    A fixed random permutation over ``n_nodes`` "nodes" is walked one node
+    per call, reproducing the dependent-load behaviour of linked-list and
+    tree traversals (li, perl) without simulating data values.
+    """
+
+    base: int
+    n_nodes: int = 4096
+    node_size: int = 32
+    seed: int = 1234
+    _order: Optional[np.ndarray] = field(default=None, repr=False)
+    _pos: int = 0
+
+    def _ensure_order(self) -> None:
+        if self._order is None:
+            rng = np.random.default_rng(self.seed)
+            self._order = rng.permutation(self.n_nodes)
+
+    def next_address(self, rng: np.random.Generator) -> int:
+        """Return the address of the next node in the chase order."""
+        self._ensure_order()
+        node = int(self._order[self._pos % self.n_nodes])
+        self._pos += 1
+        return self.base + node * self.node_size
+
+
+@dataclass
+class RegisterRotation:
+    """Round-robin allocator over a window of logical register indices.
+
+    Calling :meth:`next_dest` returns the logical register to use as the
+    next destination; the same register will not be returned again until
+    ``len(window)`` further calls, so the def-to-redefine distance (and
+    with it the register lifetime seen by the release policies) is
+    directly proportional to the window size times the number of
+    instructions emitted between destination writes.
+
+    :meth:`recent` returns recently defined registers to be used as
+    sources, which keeps the def-to-last-use distance short relative to
+    the redefine distance — the gap between the two is exactly the Idle
+    interval the paper's early-release schemes reclaim.
+    """
+
+    window: Sequence[int]
+    _cursor: int = 0
+    _history: List[int] = field(default_factory=list)
+
+    def next_dest(self) -> int:
+        """Return the next destination register of the rotation."""
+        reg = self.window[self._cursor % len(self.window)]
+        self._cursor += 1
+        self._history.append(reg)
+        if len(self._history) > 4 * len(self.window):
+            del self._history[: 2 * len(self.window)]
+        return reg
+
+    def recent(self, k: int = 1) -> int:
+        """Return the register defined ``k`` destinations ago (1 = most recent).
+
+        Before any destination has been produced, the first register of the
+        window is returned so callers always get a valid source.
+        """
+        if not self._history:
+            return self.window[0]
+        k = min(k, len(self._history))
+        return self._history[-k]
+
+    @property
+    def live_count(self) -> int:
+        """Number of distinct registers handed out so far (≤ window size)."""
+        return min(self._cursor, len(self.window))
+
+
+@dataclass
+class BranchSite:
+    """A static branch with a parameterised outcome model.
+
+    ``kind`` selects the outcome model:
+
+    ``"loop"``
+        Taken ``trip - 1`` consecutive times, then not taken once
+        (classic backward loop branch).  Almost perfectly predictable by
+        gshare once warmed up, provided the trip count is not tiny.
+    ``"bernoulli"``
+        Independent outcomes, taken with probability ``bias``.  The best
+        any predictor can do is ``max(bias, 1 - bias)``; used sparingly,
+        for genuinely data-dependent branches.
+    ``"pattern"``
+        A repeating fixed pattern of outcomes (e.g. "TTNT"), learnable by
+        a history-based predictor; used for well-structured but non-loop
+        control flow.
+    ``"correlated"``
+        The outcome is a fixed (per-site, pseudo-random) boolean function
+        of the recent *global* branch history, flipped with probability
+        ``noise``.  This reproduces what makes real integer branches
+        predictable: they correlate with the outcomes of preceding
+        branches, so a global-history predictor learns them, while the
+        ``noise`` term sets the floor on the achievable misprediction
+        rate.  Callers must pass the running global outcome history to
+        :meth:`next_outcome`.
+    """
+
+    pc: int
+    target: int
+    kind: str = "loop"
+    trip: int = 64
+    bias: float = 0.5
+    pattern: Sequence[bool] = ()
+    #: probability of flipping the history-determined outcome ("correlated").
+    noise: float = 0.05
+    #: number of global-history bits the correlated outcome depends on.
+    context_bits: int = 8
+    _count: int = 0
+    _context_table: dict = field(default_factory=dict, repr=False)
+
+    def next_outcome(self, rng: np.random.Generator, global_history: int = 0) -> bool:
+        """Return the actual outcome (taken?) of the next dynamic instance.
+
+        ``global_history`` (least-significant bit = most recent branch
+        outcome of the whole kernel) is only consulted by ``"correlated"``
+        sites.
+        """
+        self._count += 1
+        if self.kind == "loop":
+            return (self._count % self.trip) != 0
+        if self.kind == "bernoulli":
+            return bool(rng.random() < self.bias)
+        if self.kind == "pattern":
+            if not self.pattern:
+                return False
+            return bool(self.pattern[(self._count - 1) % len(self.pattern)])
+        if self.kind == "correlated":
+            context = global_history & ((1 << self.context_bits) - 1)
+            outcome = self._context_table.get(context)
+            if outcome is None:
+                # The per-context outcome is a fixed property of the site,
+                # drawn once with a deterministic per-site generator so the
+                # warm-up and measured segments see the same function.
+                site_rng = np.random.default_rng((self.pc << 10) ^ context)
+                outcome = bool(site_rng.random() < self.bias)
+                self._context_table[context] = outcome
+            if self.noise > 0.0 and rng.random() < self.noise:
+                outcome = not outcome
+            return outcome
+        raise ValueError(f"unknown branch site kind: {self.kind!r}")
+
+    def reset(self) -> None:
+        """Reset the dynamic instance counter (used between trace segments)."""
+        self._count = 0

@@ -1,0 +1,270 @@
+"""SPEC95-like benchmark profiles (the paper's Table 3 workload).
+
+The paper simulates five SPECint95 programs (compress, gcc, go, li, perl)
+and five SPECfp95 programs (mgrid, tomcatv, applu, swim, hydro2d).  Each
+profile below pairs one of the :mod:`repro.trace.kernels` generators with
+parameters chosen so the synthetic trace lands in the dynamic regime
+published for that program:
+
+* branch density and predictability (integer codes are branch-dense and
+  comparatively hard to predict; FP codes have few, highly regular
+  branches),
+* register lifetime structure (FP codes carry many long-lived values →
+  high register pressure; integer codes recycle a handful of registers
+  quickly → low pressure but proportionally large *Idle* time),
+* memory locality relative to the Table 2 cache sizes.
+
+Absolute dynamic instruction counts are scaled down from the paper's
+47M–472M to the tens of thousands so that a pure-Python cycle-level
+simulation completes in seconds; see DESIGN.md for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.isa import Instruction, RegClass
+from repro.trace.kernels import (
+    BranchyKernel,
+    IntComputeKernel,
+    KernelParams,
+    PointerChaseKernel,
+    StencilFPKernel,
+    StreamingFPKernel,
+    _KernelBase,
+)
+from repro.trace.records import Trace
+
+#: Default trace length (dynamic instructions) used by the experiment
+#: harness when the caller does not override it.
+DEFAULT_TRACE_LENGTH = 30_000
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Description of one synthetic benchmark.
+
+    Attributes
+    ----------
+    name:
+        SPEC95 program name this profile stands in for.
+    suite:
+        ``"int"`` or ``"fp"`` — which half of Table 3 the program belongs
+        to, and therefore which physical register file the paper's figures
+        measure for it.
+    kernel:
+        Name of the kernel generator class used ("streaming", "stencil",
+        "int_compute", "branchy", "pointer_chase").
+    params:
+        Kernel parameters (see :class:`repro.trace.kernels.KernelParams`).
+    paper_instructions_m:
+        Dynamic instruction count (millions) the paper reports in Table 3,
+        kept for documentation purposes.
+    paper_input:
+        The input set listed in Table 3.
+    description:
+        One-line characterisation of the dynamic behaviour being modelled.
+    """
+
+    name: str
+    suite: str
+    kernel: str
+    params: KernelParams
+    paper_instructions_m: int = 0
+    paper_input: str = ""
+    description: str = ""
+
+    @property
+    def focus_class(self) -> RegClass:
+        """Register class whose file the paper measures for this program."""
+        return RegClass.INT if self.suite == "int" else RegClass.FP
+
+
+_KERNEL_FACTORIES: Dict[str, Callable[[KernelParams], _KernelBase]] = {
+    "streaming": StreamingFPKernel,
+    "stencil": StencilFPKernel,
+    "int_compute": IntComputeKernel,
+    "branchy": BranchyKernel,
+    "pointer_chase": PointerChaseKernel,
+}
+
+
+def _profile(name: str, suite: str, kernel: str, paper_m: int, paper_input: str,
+             description: str, **param_overrides) -> BenchmarkProfile:
+    params = KernelParams(**param_overrides)
+    return BenchmarkProfile(
+        name=name, suite=suite, kernel=kernel, params=params,
+        paper_instructions_m=paper_m, paper_input=paper_input,
+        description=description,
+    )
+
+
+#: The ten benchmark profiles, keyed by program name (paper Table 3).
+WORKLOADS: Dict[str, BenchmarkProfile] = {
+    # ------------------------------------------------------------- integer
+    "compress": _profile(
+        "compress", "int", "int_compute", 170, "40000 e 2231",
+        "dictionary compression: integer hash/shift chains, one "
+        "data-dependent branch per element, moderate locality",
+        pc_base=0x10000, data_base=0x1_00000,
+        chain_len=3, int_window=8, branch_bias=0.88, hammock_len=3,
+        n_parallel_chains=4, branch_noise=0.06, trip_count=64,
+        mem_footprint=1 << 14, mult_interval=6,
+    ),
+    "gcc": _profile(
+        "gcc", "int", "branchy", 145, "genrecog.i",
+        "compiler passes: short basic blocks, dense mixed-bias branches, "
+        "pointer-rich data structures",
+        pc_base=0x20000, data_base=0x2_00000,
+        n_branch_sites=24, block_len=4, hammock_len=2, int_window=10,
+        branch_bias=0.88, pattern_fraction=0.45, branch_noise=0.04,
+        trip_count=48, mem_footprint=1 << 13,
+    ),
+    "go": _profile(
+        "go", "int", "branchy", 146, "9 9",
+        "game tree search: very branch dense and hard to predict",
+        pc_base=0x30000, data_base=0x3_00000,
+        n_branch_sites=32, block_len=3, hammock_len=2, int_window=10,
+        branch_bias=0.80, pattern_fraction=0.30, branch_noise=0.06,
+        trip_count=40, mem_footprint=1 << 13,
+    ),
+    "li": _profile(
+        "li", "int", "pointer_chase", 243, "7 queens",
+        "lisp interpreter: dependent load chains through cons cells, "
+        "regular dispatch branches",
+        pc_base=0x40000, data_base=0x4_00000,
+        load_chain_len=3, int_window=9, branch_bias=0.92, hammock_len=2,
+        branch_noise=0.04, trip_count=32, chase_nodes=224,
+        mem_footprint=1 << 13,
+        store_fraction=0.6,
+    ),
+    "perl": _profile(
+        "perl", "int", "pointer_chase", 47, "scrabbl.in",
+        "interpreter dispatch: pointer chasing plus hash probing, "
+        "moderately predictable branches",
+        pc_base=0x50000, data_base=0x5_00000,
+        load_chain_len=2, int_window=9, branch_bias=0.91, hammock_len=3,
+        branch_noise=0.04, trip_count=48, chase_nodes=256,
+        mem_footprint=1 << 13,
+        store_fraction=0.8,
+    ),
+    # ------------------------------------------------------------- floating point
+    "mgrid": _profile(
+        "mgrid", "fp", "streaming", 169, "test (5/18 grid)",
+        "multigrid relaxation: unit-stride sweeps, long FP chains, "
+        "almost no data-dependent branches",
+        pc_base=0x60000, data_base=0x6_00000,
+        n_streams=3, chain_len=3, fp_window=18, int_window=8,
+        trip_count=256, mem_footprint=1 << 15, stream_stride=8,
+        div_interval=0,
+    ),
+    "tomcatv": _profile(
+        "tomcatv", "fp", "stencil", 191, "test",
+        "mesh generation: wide stencils, divides, the highest FP register "
+        "pressure of the suite",
+        pc_base=0x70000, data_base=0x7_00000,
+        n_streams=5, chain_len=4, fp_window=24, int_window=8,
+        trip_count=200, mem_footprint=1 << 15, stream_stride=8,
+        div_interval=4,
+    ),
+    "applu": _profile(
+        "applu", "fp", "stencil", 398, "train (dt=1.5e-03, 13^3)",
+        "implicit CFD solver: blocked stencils with periodic divides",
+        pc_base=0x80000, data_base=0x8_00000,
+        n_streams=4, chain_len=3, fp_window=20, int_window=8,
+        trip_count=100, mem_footprint=1 << 15, stream_stride=8,
+        div_interval=6,
+    ),
+    "swim": _profile(
+        "swim", "fp", "streaming", 431, "train",
+        "shallow-water model: pure streaming sweeps over large arrays",
+        pc_base=0x90000, data_base=0x9_00000,
+        n_streams=4, chain_len=2, fp_window=20, int_window=8,
+        trip_count=512, mem_footprint=1 << 15, stream_stride=8,
+        div_interval=0,
+    ),
+    "hydro2d": _profile(
+        "hydro2d", "fp", "stencil", 472, "test (ISTEP=1)",
+        "hydrodynamics: stencil sweeps with long chains and divides",
+        pc_base=0xA0000, data_base=0xA_00000,
+        n_streams=4, chain_len=4, fp_window=22, int_window=8,
+        trip_count=150, mem_footprint=1 << 15, stream_stride=8,
+        div_interval=8,
+    ),
+}
+
+
+def integer_workloads() -> List[str]:
+    """Names of the five SPECint95-like benchmarks, in the paper's order."""
+    return ["compress", "gcc", "go", "li", "perl"]
+
+
+def fp_workloads() -> List[str]:
+    """Names of the five SPECfp95-like benchmarks, in the paper's order."""
+    return ["mgrid", "tomcatv", "applu", "swim", "hydro2d"]
+
+
+def all_workloads() -> List[str]:
+    """All ten benchmark names, integer suite first (paper Table 3 order)."""
+    return integer_workloads() + fp_workloads()
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Return the profile for benchmark ``name`` (raises ``KeyError`` if unknown)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown benchmark {name!r}; known benchmarks: {known}") from None
+
+
+def make_kernel(profile: BenchmarkProfile) -> _KernelBase:
+    """Instantiate the kernel generator described by ``profile``."""
+    factory = _KERNEL_FACTORIES[profile.kernel]
+    return factory(profile.params)
+
+
+def generate_trace(profile: BenchmarkProfile,
+                   n_instructions: int = DEFAULT_TRACE_LENGTH,
+                   seed: int = 0) -> Trace:
+    """Generate a dynamic trace of roughly ``n_instructions`` for ``profile``.
+
+    Generation is iteration-granular: the trace ends at the first loop
+    iteration boundary at or after ``n_instructions``, so traces are a few
+    instructions longer than requested rather than cut mid-iteration.
+    """
+    if n_instructions <= 0:
+        raise ValueError("n_instructions must be positive")
+    # Derive a per-benchmark stream from a *stable* digest of the name (the
+    # built-in str hash is salted per interpreter run, which would make
+    # traces irreproducible across sessions).
+    name_digest = sum((index + 1) * ord(char)
+                      for index, char in enumerate(profile.name))
+    rng = np.random.default_rng(seed + name_digest % (1 << 16))
+    kernel = make_kernel(profile)
+    instructions: List[Instruction] = list(kernel.prologue(rng))
+    while len(instructions) < n_instructions:
+        instructions.extend(kernel.emit_iteration(rng))
+    return Trace(name=profile.name, focus_class=profile.focus_class,
+                 instructions=instructions, seed=seed)
+
+
+@lru_cache(maxsize=64)
+def _cached_workload(name: str, n_instructions: int, seed: int) -> Trace:
+    return generate_trace(get_profile(name), n_instructions, seed)
+
+
+def get_workload(name: str, n_instructions: int = DEFAULT_TRACE_LENGTH,
+                 seed: int = 0) -> Trace:
+    """Return (and cache) the synthetic trace for benchmark ``name``.
+
+    Traces are deterministic functions of ``(name, n_instructions, seed)``,
+    so repeated calls — e.g. the same benchmark simulated under the three
+    release policies — reuse the cached object.
+    """
+    return _cached_workload(name, n_instructions, seed)

@@ -1,0 +1,142 @@
+"""Wrong-path instruction synthesis.
+
+SimpleScalar's ``sim-outorder`` is execution driven: after a branch
+misprediction it keeps fetching and renaming the *actual* wrong-path
+instructions until the branch resolves, and those instructions consume
+physical registers, issue-queue slots and — for the paper's Section 4
+mechanism — schedule conditional releases that must be squashed.
+
+A trace-driven simulator only has the correct path, so this module
+supplies a statistically similar stand-in: after the fetch unit follows a
+mispredicted branch it draws instructions from a
+:class:`WrongPathGenerator` seeded with the benchmark's instruction mix
+until the branch resolves.  The injected instructions exercise the exact
+same rename / conditional-release / squash machinery (see DESIGN.md,
+"Reproduction substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.isa import Instruction, OpClass, RegClass
+from repro.trace.records import Trace
+
+
+@dataclass
+class WrongPathMix:
+    """Operation mix used when synthesising wrong-path instructions.
+
+    The fractions need not sum to one; the remainder is filled with integer
+    ALU operations.
+    """
+
+    load: float = 0.22
+    store: float = 0.10
+    branch: float = 0.12
+    fp: float = 0.0
+    fp_load_share: float = 0.4
+
+    @staticmethod
+    def from_trace(trace: Trace) -> "WrongPathMix":
+        """Derive a mix from the correct-path trace statistics."""
+        summary = trace.summary()
+        fp_ops = sum(frac for name, frac in summary.mix.items()
+                     if name in ("FP_ADD", "FP_MULT", "FP_DIV"))
+        return WrongPathMix(
+            load=summary.load_fraction,
+            store=summary.store_fraction,
+            branch=summary.branch_fraction,
+            fp=fp_ops,
+        )
+
+
+class WrongPathGenerator:
+    """Generates synthetic instructions for the wrong path of a misprediction.
+
+    Wrong-path control flow is simplified in one respect: wrong-path
+    branches always resolve the way they were predicted, so they never
+    trigger *nested* recoveries (the fetch unit enforces this by stamping
+    the predicted outcome into the injected record).  They still allocate
+    rename checkpoints and Release Queue levels, which is the resource
+    pressure that matters for the mechanisms under study.
+    """
+
+    def __init__(self, mix: WrongPathMix, seed: int = 0,
+                 int_window: int = 10, fp_window: int = 16) -> None:
+        self.mix = mix
+        self._rng = np.random.default_rng(seed)
+        self._int_regs = list(range(1, 1 + int_window))
+        self._fp_regs = list(range(0, fp_window))
+        self._int_cursor = 0
+        self._fp_cursor = 0
+        self._data_base = 0xF00000
+
+    # ------------------------------------------------------------------
+    def _next_int_reg(self) -> int:
+        reg = self._int_regs[self._int_cursor % len(self._int_regs)]
+        self._int_cursor += 1
+        return reg
+
+    def _next_fp_reg(self) -> int:
+        reg = self._fp_regs[self._fp_cursor % len(self._fp_regs)]
+        self._fp_cursor += 1
+        return reg
+
+    def _random_addr(self) -> int:
+        return self._data_base + int(self._rng.integers(0, 1 << 11)) * 8
+
+    # ------------------------------------------------------------------
+    def next_instruction(self, pc: int) -> Instruction:
+        """Synthesise the wrong-path instruction at address ``pc``."""
+        rng = self._rng
+        draw = rng.random()
+        mix = self.mix
+        int_src = (RegClass.INT, self._int_regs[self._int_cursor % len(self._int_regs)])
+        if draw < mix.branch:
+            return Instruction(pc=pc, op=OpClass.BRANCH, srcs=(int_src,),
+                               taken=bool(rng.random() < 0.5),
+                               target=pc + int(rng.integers(8, 256)) * 4,
+                               wrong_path=True)
+        draw -= mix.branch
+        if draw < mix.load:
+            if rng.random() < mix.fp_load_share and mix.fp > 0:
+                return Instruction(pc=pc, op=OpClass.FP_LOAD,
+                                   dest=(RegClass.FP, self._next_fp_reg()),
+                                   srcs=(int_src,), mem_addr=self._random_addr(),
+                                   wrong_path=True)
+            return Instruction(pc=pc, op=OpClass.LOAD,
+                               dest=(RegClass.INT, self._next_int_reg()),
+                               srcs=(int_src,), mem_addr=self._random_addr(),
+                               wrong_path=True)
+        draw -= mix.load
+        if draw < mix.store:
+            value_src = (RegClass.INT, self._next_int_reg())
+            return Instruction(pc=pc, op=OpClass.STORE,
+                               srcs=(value_src, int_src),
+                               mem_addr=self._random_addr(), wrong_path=True)
+        draw -= mix.store
+        if draw < mix.fp:
+            op = OpClass.FP_MULT if rng.random() < 0.5 else OpClass.FP_ADD
+            return Instruction(pc=pc, op=op,
+                               dest=(RegClass.FP, self._next_fp_reg()),
+                               srcs=((RegClass.FP, self._fp_regs[self._fp_cursor % len(self._fp_regs)]),),
+                               wrong_path=True)
+        return Instruction(pc=pc, op=OpClass.INT_ALU,
+                           dest=(RegClass.INT, self._next_int_reg()),
+                           srcs=(int_src,), wrong_path=True)
+
+    def next_instructions(self, pc: int, count: int) -> List[Instruction]:
+        """Synthesise ``count`` consecutive wrong-path instructions from ``pc``."""
+        out: List[Instruction] = []
+        for i in range(count):
+            out.append(self.next_instruction(pc + 4 * i))
+        return out
+
+    @staticmethod
+    def for_trace(trace: Trace, seed: int = 0) -> "WrongPathGenerator":
+        """Build a generator whose mix mirrors ``trace``."""
+        return WrongPathGenerator(WrongPathMix.from_trace(trace), seed=seed)

@@ -1,0 +1,92 @@
+"""Tests for the performance metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (geometric_mean, harmonic_mean,
+                                    iso_ipc_register_requirement,
+                                    percentage_speedup, speedup,
+                                    summarize_speedups)
+
+
+class TestMeans:
+    def test_harmonic_mean_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4 / 3)
+
+    def test_harmonic_mean_of_equal_values(self):
+        assert harmonic_mean([2.5, 2.5, 2.5]) == pytest.approx(2.5)
+
+    def test_harmonic_below_geometric_below_arithmetic(self):
+        values = [1.0, 2.0, 4.0]
+        assert harmonic_mean(values) < geometric_mean(values) < sum(values) / 3
+
+    def test_harmonic_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_harmonic_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_geometric_mean_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestSpeedup:
+    def test_speedup(self):
+        assert speedup(2.2, 2.0) == pytest.approx(1.1)
+
+    def test_percentage(self):
+        assert percentage_speedup(2.16, 2.0) == pytest.approx(8.0)
+
+    def test_slowdown_is_negative(self):
+        assert percentage_speedup(1.9, 2.0) < 0
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_summarize_speedups(self):
+        table = {"swim": {"conv": 2.0, "extended": 2.2},
+                 "gcc": {"conv": 1.5, "extended": 1.5}}
+        result = summarize_speedups(table)
+        assert result["swim"]["extended"] == pytest.approx(10.0)
+        assert result["swim"]["conv"] == pytest.approx(0.0)
+        assert result["gcc"]["extended"] == pytest.approx(0.0)
+
+
+class TestIsoIPC:
+    SIZES = [40, 48, 56, 64]
+    IPCS = [1.0, 1.5, 2.0, 2.5]
+
+    def test_exact_point(self):
+        assert iso_ipc_register_requirement(self.SIZES, self.IPCS, 2.0) == 56
+
+    def test_interpolated_point(self):
+        result = iso_ipc_register_requirement(self.SIZES, self.IPCS, 1.75)
+        assert result == pytest.approx(52.0)
+
+    def test_below_minimum_returns_smallest(self):
+        assert iso_ipc_register_requirement(self.SIZES, self.IPCS, 0.5) == 40
+
+    def test_unreachable_target_returns_none(self):
+        assert iso_ipc_register_requirement(self.SIZES, self.IPCS, 3.0) is None
+
+    def test_unsorted_input_handled(self):
+        sizes = [64, 40, 56, 48]
+        ipcs = [2.5, 1.0, 2.0, 1.5]
+        assert iso_ipc_register_requirement(sizes, ipcs, 2.0) == 56
+
+    def test_flat_segment(self):
+        result = iso_ipc_register_requirement([40, 48, 56], [1.0, 2.0, 2.0], 2.0)
+        assert result == pytest.approx(48.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            iso_ipc_register_requirement([1, 2], [1.0], 1.0)
+
+    def test_empty_input(self):
+        assert iso_ipc_register_requirement([], [], 1.0) is None

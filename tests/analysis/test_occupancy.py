@@ -1,0 +1,67 @@
+"""Tests for the Figure 3 occupancy helpers."""
+
+import pytest
+
+from repro.analysis.occupancy import (OccupancyRow, idle_overhead_percent,
+                                      mean_row, occupancy_breakdown)
+from repro.core.register_state import OccupancyAverages
+from repro.pipeline.stats import RegisterFileStats, SimStats
+
+
+def make_stats(benchmark="swim", empty=10.0, ready=30.0, idle=5.0, focus="fp"):
+    file_stats = RegisterFileStats(occupancy=OccupancyAverages(empty, ready, idle))
+    stats = SimStats(benchmark=benchmark)
+    if focus == "fp":
+        stats.fp_registers = file_stats
+    else:
+        stats.int_registers = file_stats
+    return stats
+
+
+class TestOccupancyRow:
+    def test_derived_quantities(self):
+        row = OccupancyRow("swim", "fp", empty=10.0, ready=30.0, idle=8.0)
+        assert row.allocated == pytest.approx(48.0)
+        assert row.used == pytest.approx(40.0)
+        assert row.idle_overhead_percent == pytest.approx(20.0)
+
+    def test_zero_used(self):
+        row = OccupancyRow("x", "int", 0.0, 0.0, 5.0)
+        assert row.idle_overhead_percent == 0.0
+
+
+class TestBreakdown:
+    def test_extracts_focus_file(self):
+        row = occupancy_breakdown(make_stats(), "fp")
+        assert row.benchmark == "swim"
+        assert row.ready == pytest.approx(30.0)
+
+    def test_int_focus(self):
+        row = occupancy_breakdown(make_stats(benchmark="gcc", focus="int"), "int")
+        assert row.register_class == "int"
+        assert row.empty == pytest.approx(10.0)
+
+    def test_missing_occupancy_defaults_to_zero(self):
+        stats = SimStats(benchmark="x")
+        row = occupancy_breakdown(stats, "int")
+        assert row.allocated == 0.0
+
+
+class TestAggregation:
+    def test_mean_row(self):
+        rows = [OccupancyRow("a", "int", 10, 20, 10),
+                OccupancyRow("b", "int", 20, 40, 20)]
+        mean = mean_row(rows)
+        assert mean.benchmark == "Amean"
+        assert mean.empty == pytest.approx(15.0)
+        assert mean.idle == pytest.approx(15.0)
+
+    def test_mean_row_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_row([])
+
+    def test_idle_overhead_percent_matches_paper_definition(self):
+        # idle / (empty + ready) over the suite means.
+        rows = [OccupancyRow("a", "int", 10, 20, 15),
+                OccupancyRow("b", "int", 10, 20, 12)]
+        assert idle_overhead_percent(rows) == pytest.approx(100 * 13.5 / 30.0)

@@ -1,0 +1,52 @@
+"""Tests for the multiprocessing sweep runner."""
+
+import pytest
+
+from repro.analysis.parallel import ParallelSweepRunner, available_workers
+from repro.analysis.sweep import SweepConfig, SweepPoint, run_sweep
+from repro.pipeline.config import ProcessorConfig
+
+FAST = ProcessorConfig(warmup=False, enable_wrong_path=False)
+
+
+class TestAvailableWorkers:
+    def test_default_leaves_one_core(self):
+        import os
+        assert available_workers() <= max(1, (os.cpu_count() or 1))
+
+    def test_explicit_bound(self):
+        assert available_workers(2) <= 2
+        assert available_workers(10_000) >= 1
+
+    def test_at_least_one(self):
+        assert available_workers(0) == 1
+
+
+class TestParallelRunner:
+    def test_empty_points(self):
+        runner = ParallelSweepRunner(max_workers=2)
+        assert runner.run(SweepConfig(benchmarks=("swim",)), []) == {}
+
+    def test_runs_all_points(self):
+        config = SweepConfig(benchmarks=("swim", "gcc"), policies=("conv",),
+                             register_sizes=(48,), trace_length=500,
+                             base_config=FAST)
+        runner = ParallelSweepRunner(max_workers=2)
+        results = runner.run(config, config.points())
+        assert len(results) == 2
+        for point, stats in results.items():
+            assert stats.benchmark == point.benchmark
+            assert stats.ipc > 0
+
+    def test_parallel_and_serial_agree(self):
+        # The simulations are deterministic, so both execution modes must
+        # produce identical IPC values.
+        config = SweepConfig(benchmarks=("swim",), policies=("conv", "extended"),
+                             register_sizes=(48,), trace_length=600,
+                             base_config=FAST)
+        serial = run_sweep(config, parallel=False)
+        parallel = run_sweep(config, parallel=True, max_workers=2)
+        for point in config.points():
+            assert serial.ipc(point.benchmark, point.policy, point.num_registers) \
+                == pytest.approx(parallel.ipc(point.benchmark, point.policy,
+                                              point.num_registers))

@@ -1,0 +1,68 @@
+"""Tests for the plain-text table/series/chart renderers."""
+
+from repro.analysis.reporting import (ascii_bar_chart, format_percent,
+                                      format_series, format_table)
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        text = format_table(["name", "ipc"], [["swim", 2.345], ["gcc", 1.5]])
+        assert "name" in text and "swim" in text and "2.345" in text
+
+    def test_title_underlined(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert set(lines[1]) == {"="}
+
+    def test_float_digits(self):
+        text = format_table(["x"], [[1.23456]], float_digits=1)
+        assert "1.2" in text and "1.2345" not in text
+
+    def test_column_alignment(self):
+        text = format_table(["col", "value"], [["a", 1], ["longer", 2]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_non_float_cells_stringified(self):
+        text = format_table(["a"], [[None], [True]])
+        assert "None" in text and "True" in text
+
+
+class TestFormatSeries:
+    def test_series_merged_on_x(self):
+        series = {"conv": [(40, 1.0), (48, 1.2)], "ext": [(40, 1.1), (48, 1.3)]}
+        text = format_series(series, "registers", "IPC")
+        assert "conv IPC" in text and "ext IPC" in text
+        assert "40" in text and "1.3" in text
+
+    def test_empty_series(self):
+        assert format_series({}, "x", "y", title="nothing") == "nothing"
+
+
+class TestAsciiBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        bar_a = lines[0].count("#")
+        bar_b = lines[1].count("#")
+        assert bar_a == 10 and bar_b == 5
+
+    def test_title_and_units(self):
+        chart = ascii_bar_chart({"x": 1.0}, title="Chart", unit=" regs")
+        assert chart.startswith("Chart")
+        assert "regs" in chart
+
+    def test_empty_chart(self):
+        assert ascii_bar_chart({}, title="t") == "t"
+
+    def test_zero_values(self):
+        chart = ascii_bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in chart
+
+
+class TestFormatPercent:
+    def test_sign_included(self):
+        assert format_percent(6.24) == "+6.2%"
+        assert format_percent(-3.0) == "-3.0%"
+        assert format_percent(0.0) == "+0.0%"

@@ -1,0 +1,89 @@
+"""Tests for the sweep driver (serial path; the pool is tested separately)."""
+
+import pytest
+
+from repro.analysis.sweep import (SweepConfig, SweepPoint, SweepResult,
+                                  run_simulation_point, run_sweep)
+from repro.pipeline.config import ProcessorConfig
+
+FAST = ProcessorConfig(warmup=False, enable_wrong_path=False)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    config = SweepConfig(benchmarks=("swim", "gcc"), policies=("conv", "extended"),
+                         register_sizes=(48, 96), trace_length=800,
+                         base_config=FAST)
+    return config, run_sweep(config, parallel=False)
+
+
+class TestSweepConfig:
+    def test_points_enumeration(self):
+        config = SweepConfig(benchmarks=("a", "b"), policies=("conv",),
+                             register_sizes=(40, 48))
+        points = config.points()
+        assert len(points) == 4
+        assert SweepPoint("a", "conv", 40) in points
+
+    def test_config_for_point(self):
+        config = SweepConfig(benchmarks=("swim",), base_config=FAST)
+        point = SweepPoint("swim", "extended", 56)
+        processor_config = config.config_for(point)
+        assert processor_config.release_policy == "extended"
+        assert processor_config.num_physical_int == 56
+        assert processor_config.num_physical_fp == 56
+        assert processor_config.warmup is False       # base config preserved
+
+
+class TestRunSweep:
+    def test_all_points_present(self, tiny_sweep):
+        config, result = tiny_sweep
+        assert len(result) == len(config.points())
+        for point in config.points():
+            assert result.ipc(point.benchmark, point.policy, point.num_registers) > 0
+
+    def test_stats_identify_their_point(self, tiny_sweep):
+        _config, result = tiny_sweep
+        stats = result.stats("gcc", "extended", 48)
+        assert stats.benchmark == "gcc"
+        assert stats.release_policy == "extended"
+
+    def test_harmonic_mean_between_min_and_max(self, tiny_sweep):
+        _config, result = tiny_sweep
+        ipcs = [result.ipc(name, "conv", 96) for name in ("swim", "gcc")]
+        hm = result.harmonic_mean_ipc(["swim", "gcc"], "conv", 96)
+        assert min(ipcs) <= hm <= max(ipcs)
+
+    def test_ipc_curve_shape(self, tiny_sweep):
+        _config, result = tiny_sweep
+        curve = result.ipc_curve(["swim"], "conv")
+        assert [size for size, _ in curve] == [48, 96]
+
+    def test_iso_ipc_size(self, tiny_sweep):
+        _config, result = tiny_sweep
+        target = result.harmonic_mean_ipc(["swim"], "conv", 48)
+        needed = result.iso_ipc_size(["swim"], "extended", target)
+        assert needed is not None
+        assert needed <= 96
+
+    def test_missing_point_raises(self, tiny_sweep):
+        _config, result = tiny_sweep
+        with pytest.raises(KeyError):
+            result.stats("swim", "conv", 12345)
+
+    def test_run_simulation_point_standalone(self):
+        config = SweepConfig(benchmarks=("swim",), trace_length=500,
+                             base_config=FAST)
+        stats = run_simulation_point(config, SweepPoint("swim", "basic", 64))
+        assert stats.committed_instructions >= 500
+
+    def test_merge(self, tiny_sweep):
+        config, result = tiny_sweep
+        other_config = SweepConfig(benchmarks=("swim",), policies=("basic",),
+                                   register_sizes=(48,), trace_length=800,
+                                   base_config=FAST)
+        other = run_sweep(other_config, parallel=False)
+        merged = result.merge(other)
+        assert merged.ipc("swim", "basic", 48) > 0
+        assert merged.ipc("gcc", "extended", 96) > 0
+        assert "basic" in merged.config.policies

@@ -1,0 +1,77 @@
+"""Tests for the functional unit pools."""
+
+import pytest
+
+from repro.backend.functional_units import FUConfig, FunctionalUnitPool
+from repro.isa import FUKind, OpClass
+
+
+class TestDefaults:
+    def test_paper_unit_counts(self):
+        config = FUConfig()
+        assert config.counts[FUKind.SIMPLE_INT] == 8
+        assert config.counts[FUKind.INT_MULT] == 4
+        assert config.counts[FUKind.SIMPLE_FP] == 6
+        assert config.counts[FUKind.FP_MULT] == 4
+        assert config.counts[FUKind.FP_DIV] == 4
+        assert config.counts[FUKind.LOAD_STORE] == 4
+
+    def test_fp_div_unpipelined(self):
+        assert FUKind.FP_DIV in FUConfig().unpipelined
+
+
+class TestIssue:
+    def test_latency_returned(self):
+        pool = FunctionalUnitPool()
+        assert pool.issue(OpClass.INT_ALU, 0) == 1
+        assert pool.issue(OpClass.FP_DIV, 0) == 16
+
+    def test_pipelined_unit_reusable_next_cycle(self):
+        pool = FunctionalUnitPool()
+        for _ in range(6):
+            pool.issue(OpClass.FP_ADD, 0)
+        assert not pool.can_issue(OpClass.FP_ADD, 0)     # all 6 busy this cycle
+        assert pool.can_issue(OpClass.FP_ADD, 1)         # pipelined: free next cycle
+
+    def test_unpipelined_unit_blocks_for_latency(self):
+        pool = FunctionalUnitPool()
+        for _ in range(4):
+            pool.issue(OpClass.FP_DIV, 0)
+        assert not pool.can_issue(OpClass.FP_DIV, 1)
+        assert not pool.can_issue(OpClass.FP_DIV, 15)
+        assert pool.can_issue(OpClass.FP_DIV, 16)
+
+    def test_per_cycle_capacity(self):
+        pool = FunctionalUnitPool()
+        issued = 0
+        while pool.can_issue(OpClass.INT_ALU, 0):
+            pool.issue(OpClass.INT_ALU, 0)
+            issued += 1
+        assert issued == 8
+
+    def test_issue_without_capacity_raises(self):
+        pool = FunctionalUnitPool()
+        for _ in range(4):
+            pool.issue(OpClass.LOAD, 0)
+        with pytest.raises(RuntimeError):
+            pool.issue(OpClass.STORE, 0)
+
+    def test_branches_share_simple_int(self):
+        pool = FunctionalUnitPool()
+        for _ in range(8):
+            pool.issue(OpClass.BRANCH, 0)
+        assert not pool.can_issue(OpClass.INT_ALU, 0)
+
+    def test_statistics(self):
+        pool = FunctionalUnitPool()
+        pool.issue(OpClass.INT_ALU, 0)
+        pool.issue(OpClass.FP_MULT, 0)
+        pool.note_structural_stall()
+        assert pool.issues[FUKind.SIMPLE_INT] == 1
+        assert pool.issues[FUKind.FP_MULT] == 1
+        assert pool.structural_stalls == 1
+
+    def test_latency_of_and_kind_of(self):
+        pool = FunctionalUnitPool()
+        assert pool.latency_of(OpClass.INT_MULT) == 7
+        assert pool.kind_of(OpClass.FP_LOAD) is FUKind.LOAD_STORE

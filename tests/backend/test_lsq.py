@@ -1,0 +1,122 @@
+"""Tests for the load/store queue (conservative load issue + forwarding)."""
+
+import pytest
+
+from repro.backend.lsq import LoadStoreQueue
+
+
+class TestInsertRemove:
+    def test_program_order_enforced(self):
+        lsq = LoadStoreQueue(capacity=8)
+        lsq.insert(3, is_store=False, address=0x10)
+        with pytest.raises(ValueError):
+            lsq.insert(2, is_store=True, address=0x20)
+
+    def test_capacity(self):
+        lsq = LoadStoreQueue(capacity=2)
+        lsq.insert(0, False, 0)
+        lsq.insert(1, False, 8)
+        assert lsq.is_full
+        with pytest.raises(RuntimeError):
+            lsq.insert(2, False, 16)
+
+    def test_default_capacity_matches_paper(self):
+        assert LoadStoreQueue().capacity == 64
+
+    def test_remove(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, False, 0)
+        lsq.insert(1, True, 8)
+        lsq.remove(0)
+        assert len(lsq) == 1
+        assert lsq.find(0) is None and lsq.find(1) is not None
+
+    def test_squash_younger_than(self):
+        lsq = LoadStoreQueue()
+        for seq in range(4):
+            lsq.insert(seq, seq % 2 == 0, seq * 8)
+        lsq.squash_younger_than(1)
+        assert [entry.seq for entry in lsq._entries] == [0, 1]
+
+    def test_clear(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, True, 0)
+        lsq.clear()
+        assert len(lsq) == 0
+
+
+class TestLoadIssueRule:
+    """Paper rule: loads wait for all previous store addresses."""
+
+    def test_load_blocked_by_unknown_store_address(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, is_store=True, address=0x100)
+        lsq.insert(1, is_store=False, address=0x200)
+        assert not lsq.load_may_issue(1)
+        lsq.mark_address_known(0)
+        assert lsq.load_may_issue(1)
+
+    def test_load_not_blocked_by_younger_store(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, is_store=False, address=0x200)
+        lsq.insert(1, is_store=True, address=0x100)
+        assert lsq.load_may_issue(0)
+
+    def test_load_not_blocked_by_other_loads(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, is_store=False, address=0x100)
+        lsq.insert(1, is_store=False, address=0x200)
+        assert lsq.load_may_issue(1)
+
+    def test_multiple_pending_stores(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, True, 0x100)
+        lsq.insert(1, True, 0x180)
+        lsq.insert(2, False, 0x200)
+        lsq.mark_address_known(0)
+        assert not lsq.load_may_issue(2)
+        lsq.mark_address_known(1)
+        assert lsq.load_may_issue(2)
+
+
+class TestForwarding:
+    def test_forward_from_matching_store(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, True, 0x100)
+        lsq.insert(1, False, 0x100)
+        lsq.mark_address_known(0)
+        assert lsq.store_forwards_to(1, 0x100)
+        assert lsq.forwarded_loads == 1
+
+    def test_no_forward_from_different_address(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, True, 0x100)
+        lsq.insert(1, False, 0x180)
+        lsq.mark_address_known(0)
+        assert not lsq.store_forwards_to(1, 0x180)
+
+    def test_no_forward_from_unknown_address(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, True, 0x100)
+        lsq.insert(1, False, 0x100)
+        assert not lsq.store_forwards_to(1, 0x100)
+
+    def test_no_forward_from_younger_store(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, False, 0x100)
+        lsq.insert(1, True, 0x100)
+        lsq.mark_address_known(1)
+        assert not lsq.store_forwards_to(0, 0x100)
+
+    def test_word_granularity(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, True, 0x100)
+        lsq.insert(1, False, 0x104)     # same 8-byte word
+        lsq.mark_address_known(0)
+        assert lsq.store_forwards_to(1, 0x104)
+
+    def test_mark_done(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, False, 0x100)
+        lsq.mark_done(0)
+        assert lsq.find(0).done

@@ -1,0 +1,119 @@
+"""Tests for the Reorder Structure and its entries."""
+
+import pytest
+
+from repro.backend.ros import DEST_SLOT_BIT, ROSEntry, ReorderStructure, src_slot_bit
+from repro.isa import Instruction, OpClass, RegClass
+
+
+def make_entry(seq, op=OpClass.INT_ALU):
+    inst = Instruction(pc=0x1000 + 4 * seq, op=op, dest=(RegClass.INT, 1),
+                       srcs=((RegClass.INT, 2),))
+    return ROSEntry(seq, inst)
+
+
+class TestROSEntry:
+    def test_initial_state(self):
+        entry = make_entry(0)
+        assert not entry.issued and not entry.completed and not entry.squashed
+        assert entry.early_release_mask == 0
+        assert entry.ready                      # no producers recorded yet
+
+    def test_ready_tracks_producers(self):
+        entry = make_entry(0)
+        entry.wait_producers.add(5)
+        assert not entry.ready
+        entry.wait_producers.discard(5)
+        assert entry.ready
+
+    def test_slot_bits(self):
+        assert src_slot_bit(0) == 1
+        assert src_slot_bit(1) == 2
+        assert src_slot_bit(2) == 4
+        assert DEST_SLOT_BIT == 8
+
+    def test_physical_of_slot_source(self):
+        entry = make_entry(0)
+        entry.src_regs.append((RegClass.INT, 2, 17))
+        reg_class, physical, logical = entry.physical_of_slot(src_slot_bit(0))
+        assert reg_class is RegClass.INT and physical == 17 and logical == 2
+
+    def test_physical_of_slot_dest(self):
+        entry = make_entry(0)
+        entry.dest_class = RegClass.FP
+        entry.dest_logical = 4
+        entry.pd = 33
+        reg_class, physical, logical = entry.physical_of_slot(DEST_SLOT_BIT)
+        assert reg_class is RegClass.FP and physical == 33 and logical == 4
+
+    def test_has_dest(self):
+        entry = make_entry(0)
+        assert not entry.has_dest
+        entry.dest_class = RegClass.INT
+        assert entry.has_dest
+
+
+class TestReorderStructure:
+    def test_fifo_order(self):
+        ros = ReorderStructure(capacity=8)
+        for seq in range(3):
+            ros.append(make_entry(seq))
+        assert ros.head().seq == 0
+        assert ros.tail().seq == 2
+        assert len(ros) == 3
+
+    def test_capacity(self):
+        ros = ReorderStructure(capacity=2)
+        ros.append(make_entry(0))
+        ros.append(make_entry(1))
+        assert ros.is_full
+        with pytest.raises(RuntimeError):
+            ros.append(make_entry(2))
+
+    def test_program_order_enforced(self):
+        ros = ReorderStructure(capacity=8)
+        ros.append(make_entry(5))
+        with pytest.raises(ValueError):
+            ros.append(make_entry(5))
+
+    def test_pop_head(self):
+        ros = ReorderStructure(capacity=8)
+        ros.append(make_entry(0))
+        ros.append(make_entry(1))
+        assert ros.pop_head().seq == 0
+        assert ros.head().seq == 1
+
+    def test_squash_younger_than(self):
+        ros = ReorderStructure(capacity=8)
+        for seq in range(5):
+            ros.append(make_entry(seq))
+        squashed = ros.squash_younger_than(2)
+        assert [entry.seq for entry in squashed] == [4, 3]   # youngest first
+        assert ros.tail().seq == 2
+
+    def test_squash_all(self):
+        ros = ReorderStructure(capacity=8)
+        for seq in range(3):
+            ros.append(make_entry(seq))
+        squashed = ros.squash_all()
+        assert [entry.seq for entry in squashed] == [2, 1, 0]
+        assert ros.is_empty
+
+    def test_find(self):
+        ros = ReorderStructure(capacity=8)
+        for seq in range(3):
+            ros.append(make_entry(seq))
+        assert ros.find(1).seq == 1
+        assert ros.find(9) is None
+
+    def test_empty_queries(self):
+        ros = ReorderStructure(capacity=4)
+        assert ros.is_empty
+        assert ros.head() is None and ros.tail() is None
+
+    def test_default_capacity_matches_paper(self):
+        assert ReorderStructure().capacity == 128
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ReorderStructure(capacity=0)

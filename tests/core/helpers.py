@@ -1,0 +1,207 @@
+"""Test harness for driving release policies without the full pipeline.
+
+The :class:`PolicyHarness` reproduces, at the functional level, exactly the
+sequence of calls the processor makes into a release policy — rename
+(sources, destination, branches), branch resolution, commit, squash and
+exception flush — but without any timing, so policy unit tests can build
+precise scenarios (like the paper's Figure 4 examples) in a few lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.backend.ros import ROSEntry
+from repro.core import make_release_policy
+from repro.core.release_policy import PolicyOptions
+from repro.isa import Instruction, OpClass, RegClass
+from repro.rename.iomt import InOrderMapTable
+from repro.rename.map_table import MapTable
+from repro.rename.register_file import PhysicalRegisterFile
+
+
+class FakeView:
+    """Minimal PipelineView implementation controlled by the harness."""
+
+    def __init__(self) -> None:
+        self.committed_watermark = -1
+        self.pending_branches: List[int] = []
+        self.entries: Dict[int, ROSEntry] = {}
+        self.cycle = 0
+
+    def is_committed(self, seq: int) -> bool:
+        return seq <= self.committed_watermark
+
+    def has_pending_branch_younger_than(self, seq: int) -> bool:
+        return any(branch > seq for branch in self.pending_branches)
+
+    def count_pending_branches(self) -> int:
+        return len(self.pending_branches)
+
+    def ros_entry(self, seq: int) -> Optional[ROSEntry]:
+        return self.entries.get(seq)
+
+    def current_cycle(self) -> int:
+        return self.cycle
+
+
+@dataclass
+class HarnessCheckpoint:
+    """Map-table + policy state captured at a branch rename."""
+
+    branch_seq: int
+    map_snapshot: object
+    policy_snapshot: object
+
+
+class PolicyHarness:
+    """Drives one register class's policy through rename/commit/squash events."""
+
+    def __init__(self, policy_name: str, num_physical: int = 40,
+                 reg_class: RegClass = RegClass.INT,
+                 reuse_on_committed_lu: bool = True) -> None:
+        self.reg_class = reg_class
+        self.register_file = PhysicalRegisterFile(reg_class, num_physical)
+        self.map_table = MapTable(reg_class.num_logical,
+                                  range(reg_class.num_logical))
+        self.iomt = InOrderMapTable(reg_class.num_logical,
+                                    range(reg_class.num_logical))
+        self.view = FakeView()
+        self.policy = make_release_policy(
+            policy_name, reg_class, self.register_file, self.map_table, self.iomt,
+            self.view, options=PolicyOptions(reuse_on_committed_lu=reuse_on_committed_lu))
+        self._seq = 0
+        self.checkpoints: List[HarnessCheckpoint] = []
+        #: all renamed entries in program order (committed ones included).
+        self.program: List[ROSEntry] = []
+
+    # ------------------------------------------------------------------
+    # Rename-side events
+    # ------------------------------------------------------------------
+    def rename(self, dest: Optional[int] = None,
+               srcs: Tuple[int, ...] = (),
+               is_branch: bool = False) -> ROSEntry:
+        """Rename one instruction of this harness's register class."""
+        op = OpClass.BRANCH if is_branch else OpClass.INT_ALU
+        inst = Instruction(
+            pc=0x1000 + 4 * self._seq, op=op,
+            dest=None if dest is None else (self.reg_class, dest),
+            srcs=tuple((self.reg_class, src) for src in srcs))
+        entry = ROSEntry(self._seq, inst)
+        self._seq += 1
+        self.view.entries[entry.seq] = entry
+        self.program.append(entry)
+
+        for slot, src in enumerate(srcs):
+            physical = self.map_table.lookup(src)
+            entry.src_regs.append((self.reg_class, src, physical))
+            self.policy.note_source_use(entry, slot, src, physical)
+
+        if dest is not None:
+            old_pd = self.map_table.lookup(dest)
+            outcome = self.policy.rename_destination(entry, dest, old_pd)
+            if outcome.reuse_previous:
+                pd = old_pd
+                entry.allocated_new = False
+                entry.reused = True
+                self.register_file.set_producer(pd, entry.seq)
+            else:
+                pd = self.register_file.allocate(self.view.cycle, entry.seq)
+                self.map_table.set_mapping(dest, pd)
+                entry.allocated_new = True
+            entry.dest_class = self.reg_class
+            entry.dest_logical = dest
+            entry.pd = pd
+            entry.old_pd = old_pd
+            entry.rel_old = outcome.release_previous_at_commit
+            self.policy.note_dest_definition(entry, dest)
+
+        if is_branch:
+            self.checkpoints.append(HarnessCheckpoint(
+                branch_seq=entry.seq,
+                map_snapshot=self.map_table.snapshot(),
+                policy_snapshot=self.policy.snapshot_state()))
+            self.view.pending_branches.append(entry.seq)
+            self.policy.on_branch_renamed(entry)
+        self.view.cycle += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Back-end events
+    # ------------------------------------------------------------------
+    def commit(self, entry: ROSEntry) -> None:
+        """Commit ``entry`` (in program order responsibility lies with the test)."""
+        self.view.committed_watermark = entry.seq
+        self.view.entries.pop(entry.seq, None)
+        if entry.has_dest:
+            self.iomt.commit_mapping(entry.dest_logical, entry.pd)
+        self.policy.on_commit(entry, self.view.cycle)
+        self.view.cycle += 1
+
+    def commit_up_to(self, entry: ROSEntry) -> None:
+        """Commit every renamed-and-unsquashed instruction up to ``entry``."""
+        for candidate in self.program:
+            if candidate.seq > entry.seq:
+                break
+            if candidate.squashed or self.view.is_committed(candidate.seq):
+                continue
+            self.commit(candidate)
+
+    def resolve_branch(self, entry: ROSEntry, mispredicted: bool) -> None:
+        """Resolve a pending branch, squashing younger state on a misprediction."""
+        if mispredicted:
+            for younger in [e for e in self.program
+                            if e.seq > entry.seq and not e.squashed]:
+                self.squash(younger)
+            self.policy.on_branch_mispredicted(entry.seq)
+            checkpoint = next(cp for cp in self.checkpoints
+                              if cp.branch_seq == entry.seq)
+            self.map_table.restore(checkpoint.map_snapshot)
+            self.policy.restore_state(checkpoint.policy_snapshot)
+            self.checkpoints = [cp for cp in self.checkpoints
+                                if cp.branch_seq < entry.seq]
+            self.view.pending_branches = [b for b in self.view.pending_branches
+                                          if b < entry.seq]
+        else:
+            self.policy.on_branch_confirmed(entry.seq)
+            self.checkpoints = [cp for cp in self.checkpoints
+                                if cp.branch_seq != entry.seq]
+            self.view.pending_branches = [b for b in self.view.pending_branches
+                                          if b != entry.seq]
+        self.view.cycle += 1
+
+    def squash(self, entry: ROSEntry) -> None:
+        """Squash one in-flight entry (frees its destination allocation)."""
+        entry.squashed = True
+        self.view.entries.pop(entry.seq, None)
+        if entry.has_dest and entry.allocated_new:
+            self.register_file.release(entry.pd, self.view.cycle)
+        elif entry.has_dest and entry.reused:
+            self.register_file.set_producer(entry.pd, None)
+        self.policy.on_squash(entry, self.view.cycle)
+
+    def exception_flush(self) -> None:
+        """Flush everything in flight and rebuild the map table from the IOMT."""
+        for entry in reversed([e for e in self.program
+                               if not e.squashed
+                               and not self.view.is_committed(e.seq)]):
+            self.squash(entry)
+        self.map_table.restore_architectural(self.iomt.snapshot())
+        self.checkpoints.clear()
+        self.view.pending_branches.clear()
+        self.policy.on_exception_flush(self.view.cycle)
+        self.view.cycle += 1
+
+    # ------------------------------------------------------------------
+    # Invariant helpers
+    # ------------------------------------------------------------------
+    def allocated_consistency(self) -> bool:
+        """free + allocated == P (checked free list invariant)."""
+        return (self.register_file.free_list.n_free
+                + self.register_file.free_list.n_allocated
+                == self.register_file.num_physical)
+
+    def quiescent_allocated(self) -> int:
+        """Number of allocated registers (meaningful once everything committed)."""
+        return self.register_file.n_allocated

@@ -1,0 +1,76 @@
+"""Tests for the conventional release policy (the paper's baseline)."""
+
+import pytest
+
+from repro.core.conventional import ConventionalRelease
+
+from tests.core.helpers import PolicyHarness
+
+
+@pytest.fixture
+def harness():
+    return PolicyHarness("conv", num_physical=40)
+
+
+class TestConventionalRelease:
+    def test_previous_version_released_at_nv_commit(self, harness):
+        producer = harness.rename(dest=1)
+        old_version = producer.pd
+        nv = harness.rename(dest=1)
+        assert nv.old_pd == old_version
+        assert nv.rel_old
+        # Not released before the NV commits.
+        harness.commit(producer)
+        assert not harness.register_file.is_free(old_version)
+        harness.commit(nv)
+        assert harness.register_file.is_free(old_version)
+
+    def test_initial_architectural_register_released_on_redefinition(self, harness):
+        nv = harness.rename(dest=5)
+        harness.commit(nv)
+        # Logical r5 was initially mapped to physical 5.
+        assert harness.register_file.is_free(5)
+
+    def test_no_early_release_bits_ever_set(self, harness):
+        first = harness.rename(dest=1)
+        harness.rename(dest=2, srcs=(1,))
+        harness.rename(dest=1, srcs=(2,))
+        assert all(entry.early_release_mask == 0 for entry in harness.program)
+        assert first.early_release_mask == 0
+
+    def test_register_never_reused(self, harness):
+        producer = harness.rename(dest=1)
+        harness.commit(producer)
+        nv = harness.rename(dest=1)
+        assert nv.allocated_new and not nv.reused
+        assert nv.pd != nv.old_pd
+
+    def test_squashed_nv_does_not_release_previous(self, harness):
+        producer = harness.rename(dest=1)
+        harness.commit(producer)
+        branch = harness.rename(is_branch=True)
+        nv = harness.rename(dest=1)               # speculative redefinition
+        harness.resolve_branch(branch, mispredicted=True)
+        assert not harness.register_file.is_free(producer.pd)
+        assert harness.map_table.lookup(1) == producer.pd
+        assert harness.allocated_consistency()
+
+    def test_steady_state_register_count(self, harness):
+        # After many committed redefinitions, exactly the 32 architectural
+        # versions remain allocated.
+        for _ in range(20):
+            entry = harness.rename(dest=3)
+            harness.commit(entry)
+        assert harness.quiescent_allocated() == 32
+
+    def test_statistics_counters(self, harness):
+        producer = harness.rename(dest=1)
+        harness.commit(producer)
+        nv = harness.rename(dest=1)
+        harness.commit(nv)
+        assert harness.policy.conventional_releases == 2
+        assert harness.policy.early_releases_scheduled == 0
+        assert harness.policy.register_reuses == 0
+
+    def test_policy_name(self):
+        assert ConventionalRelease.name == "conv"

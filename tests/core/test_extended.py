@@ -1,0 +1,210 @@
+"""Tests for the extended early-release mechanism (paper Section 4)."""
+
+import pytest
+
+from repro.backend.ros import DEST_SLOT_BIT, src_slot_bit
+
+from tests.core.helpers import PolicyHarness
+
+
+@pytest.fixture
+def harness():
+    return PolicyHarness("extended", num_physical=40)
+
+
+class TestNonSpeculativeBehaviour:
+    """Without pending branches the extended mechanism matches the basic one."""
+
+    def test_inflight_lu_gets_rwc0_bit(self, harness):
+        producer = harness.rename(dest=1)
+        lu = harness.rename(dest=3, srcs=(1,))
+        nv = harness.rename(dest=1)
+        assert lu.early_release_mask & src_slot_bit(0)
+        assert not nv.rel_old                       # extended never uses rel_old
+        harness.commit(producer)
+        harness.commit(lu)
+        assert harness.register_file.is_free(producer.pd)
+
+    def test_committed_lu_reuse(self, harness):
+        producer = harness.rename(dest=1)
+        lu = harness.rename(dest=3, srcs=(1,))
+        harness.commit(producer)
+        harness.commit(lu)
+        nv = harness.rename(dest=1)
+        assert nv.reused and nv.pd == producer.pd
+
+    def test_rel_old_never_enabled(self, harness):
+        entries = [harness.rename(dest=index % 3, srcs=((index + 1) % 3,))
+                   for index in range(6)]
+        assert all(not entry.rel_old for entry in entries if entry.has_dest)
+
+
+class TestConditionalReleases:
+    def test_committed_lu_behind_pending_branch_goes_to_rwns(self, harness):
+        """Step 2, first case: RwNS scheduling, released on branch confirm."""
+        producer = harness.rename(dest=1)
+        lu = harness.rename(dest=3, srcs=(1,))
+        harness.commit(producer)
+        harness.commit(lu)
+        branch = harness.rename(is_branch=True)
+        nv = harness.rename(dest=1)                  # speculative NV
+        assert not nv.reused                         # cannot reuse speculatively
+        assert harness.policy.release_queue.total_scheduled() == 1
+        assert not harness.register_file.is_free(producer.pd)
+        # Branch verified correct: Branch-Confirm Release.
+        harness.resolve_branch(branch, mispredicted=False)
+        assert harness.register_file.is_free(producer.pd)
+
+    def test_inflight_lu_behind_pending_branch_goes_to_rwc(self, harness):
+        """Step 2, second case: RwC scheduling tied to the in-flight LU."""
+        producer = harness.rename(dest=1)
+        harness.commit(producer)
+        lu = harness.rename(dest=3, srcs=(1,))       # still in flight
+        branch = harness.rename(is_branch=True)
+        nv = harness.rename(dest=1)
+        queue = harness.policy.release_queue
+        assert queue.total_scheduled() == 1
+        assert lu.early_release_mask == 0            # conditional, not RwC0 yet
+        # Branch confirms first: the scheduling becomes a plain RwC0 bit.
+        harness.resolve_branch(branch, mispredicted=False)
+        assert lu.early_release_mask & src_slot_bit(0)
+        assert not harness.register_file.is_free(producer.pd)
+        harness.commit(lu)
+        assert harness.register_file.is_free(producer.pd)
+
+    def test_lu_commit_before_branch_resolution_moves_to_rwns(self, harness):
+        """Step 5: commit of the LU moves its RwC bits to RwNS."""
+        producer = harness.rename(dest=1)
+        harness.commit(producer)
+        lu = harness.rename(dest=3, srcs=(1,))
+        branch = harness.rename(is_branch=True)
+        nv = harness.rename(dest=1)
+        harness.commit(lu)                           # LU commits while speculative
+        levels = harness.policy.release_queue.levels()
+        assert levels[0].rwc == {}
+        assert (producer.pd, 1) in levels[0].rwns
+        assert not harness.register_file.is_free(producer.pd)
+        harness.resolve_branch(branch, mispredicted=False)
+        assert harness.register_file.is_free(producer.pd)
+
+    def test_release_waits_for_all_pending_branches(self, harness):
+        producer = harness.rename(dest=1)
+        lu = harness.rename(dest=3, srcs=(1,))
+        harness.commit(producer)
+        harness.commit(lu)
+        branch1 = harness.rename(is_branch=True)
+        branch2 = harness.rename(is_branch=True)
+        nv = harness.rename(dest=1)
+        # Confirming the younger branch is not enough.
+        harness.resolve_branch(branch2, mispredicted=False)
+        assert not harness.register_file.is_free(producer.pd)
+        harness.resolve_branch(branch1, mispredicted=False)
+        assert harness.register_file.is_free(producer.pd)
+
+    def test_misprediction_squashes_conditional_release(self, harness):
+        producer = harness.rename(dest=1)
+        lu = harness.rename(dest=3, srcs=(1,))
+        harness.commit(producer)
+        harness.commit(lu)
+        allocated_before = harness.register_file.n_allocated
+        branch = harness.rename(is_branch=True)
+        nv = harness.rename(dest=1)                  # wrong-path redefinition
+        harness.resolve_branch(branch, mispredicted=True)
+        assert harness.policy.release_queue.total_scheduled() == 0
+        assert not harness.register_file.is_free(producer.pd)
+        assert harness.register_file.n_allocated == allocated_before
+        assert harness.map_table.lookup(1) == producer.pd
+        # The correct path later redefines r1.  Its last use has committed and
+        # nothing is pending, so the register is *reused* (the other legal
+        # outcome would be a single early release); either way nothing leaks.
+        nv2 = harness.rename(dest=1)
+        assert nv2.reused and nv2.pd == producer.pd
+        harness.commit(nv2)
+        assert harness.quiescent_allocated() == 32
+        assert harness.allocated_consistency()
+
+    def test_nested_speculation_merges_levels(self, harness):
+        producer = harness.rename(dest=1)
+        lu = harness.rename(dest=3, srcs=(1,))
+        harness.commit(producer)
+        harness.commit(lu)
+        branch1 = harness.rename(is_branch=True)
+        branch2 = harness.rename(is_branch=True)
+        nv = harness.rename(dest=1)                  # guarded by both branches
+        # Out-of-order verification: the younger branch confirms first.
+        harness.resolve_branch(branch2, mispredicted=False)
+        assert harness.policy.release_queue.depth == 1
+        # Then the older branch mispredicts: everything conditional vanishes.
+        harness.resolve_branch(branch1, mispredicted=True)
+        assert harness.policy.release_queue.total_scheduled() == 0
+        assert not harness.register_file.is_free(producer.pd)
+
+
+class TestWrongPathAndExceptions:
+    def test_wrong_path_redefinition_of_live_register_is_safe(self, harness):
+        """A wrong-path NV must never cause the release of a live register."""
+        producer = harness.rename(dest=1)
+        harness.commit(producer)
+        branch = harness.rename(is_branch=True)      # will mispredict
+        wrong_lu = harness.rename(dest=3, srcs=(1,))
+        wrong_nv = harness.rename(dest=1)
+        wrong_nv2 = harness.rename(dest=1)           # second wrong-path version
+        harness.resolve_branch(branch, mispredicted=True)
+        assert not harness.register_file.is_free(producer.pd)
+        assert harness.allocated_consistency()
+        # A correct-path reader can still use the value.
+        reader = harness.rename(dest=5, srcs=(1,))
+        assert reader.src_regs[0][2] == producer.pd
+
+    def test_exception_flush_drops_conditional_releases(self, harness):
+        producer = harness.rename(dest=1)
+        lu = harness.rename(dest=3, srcs=(1,))
+        harness.commit(producer)
+        harness.commit(lu)
+        branch = harness.rename(is_branch=True)
+        nv = harness.rename(dest=1)
+        harness.exception_flush()
+        assert harness.policy.release_queue.depth == 0
+        assert not harness.register_file.is_free(producer.pd)
+        # Redefining r1 afterwards reuses (or releases) the old version;
+        # either way the steady-state register count is exactly the 32
+        # architectural versions — nothing leaks and nothing double-frees.
+        nv2 = harness.rename(dest=1)
+        harness.commit(nv2)
+        assert harness.quiescent_allocated() == 32
+        assert harness.allocated_consistency()
+
+    def test_exception_after_early_release_marks_stale_mapping(self, harness):
+        producer = harness.rename(dest=1)
+        lu = harness.rename(dest=3, srcs=(1,))
+        nv = harness.rename(dest=1)
+        harness.commit(producer)
+        harness.commit(lu)                           # early release of producer.pd
+        assert harness.register_file.is_free(producer.pd)
+        harness.exception_flush()                    # NV squashed
+        assert harness.map_table.is_stale(1)
+        nv2 = harness.rename(dest=1)
+        harness.commit(nv2)
+        assert harness.allocated_consistency()
+
+
+class TestSteadyState:
+    def test_no_leaks_with_mixed_speculation(self, harness):
+        """Interleave branches and redefinitions; everything must drain to 32."""
+        for index in range(30):
+            if index % 5 == 4:
+                branch = harness.rename(is_branch=True)
+                harness.resolve_branch(branch, mispredicted=False)
+                harness.commit(branch)
+            else:
+                entry = harness.rename(dest=index % 6, srcs=((index + 1) % 6,))
+                harness.commit(entry)
+        assert harness.quiescent_allocated() == 32
+        assert harness.allocated_consistency()
+
+    def test_conditional_scheduling_counter(self, harness):
+        producer = harness.rename(dest=1)
+        harness.commit(producer)
+        branch = harness.rename(is_branch=True)
+        harness.rename(dest=1)
+        assert harness.policy.conditional_schedulings == 1

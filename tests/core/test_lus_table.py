@@ -1,0 +1,69 @@
+"""Tests for the Last-Uses Table."""
+
+import pytest
+
+from repro.core.lus_table import DST_SLOT, LastUse, LastUsesTable
+
+
+class TestRecordLookup:
+    def test_empty_lookup(self):
+        table = LastUsesTable(8)
+        assert table.lookup(3) is None
+
+    def test_record_and_lookup(self):
+        table = LastUsesTable(8)
+        table.record_use(3, seq=10, slot=1)
+        entry = table.lookup(3)
+        assert entry == LastUse(seq=10, slot=1)
+
+    def test_youngest_use_wins(self):
+        table = LastUsesTable(8)
+        table.record_use(3, seq=10, slot=0)
+        table.record_use(3, seq=12, slot=DST_SLOT)
+        assert table.lookup(3).seq == 12
+        assert table.lookup(3).is_dest_use
+
+    def test_kind_field(self):
+        assert not LastUse(seq=1, slot=0).is_dest_use
+        assert LastUse(seq=1, slot=DST_SLOT).is_dest_use
+
+    def test_clear_single(self):
+        table = LastUsesTable(8)
+        table.record_use(3, 10, 0)
+        table.clear(3)
+        assert table.lookup(3) is None
+
+    def test_reset(self):
+        table = LastUsesTable(8)
+        table.record_use(3, 10, 0)
+        table.record_use(5, 11, 2)
+        table.reset()
+        assert table.lookup(3) is None and table.lookup(5) is None
+
+    def test_entries_view(self):
+        table = LastUsesTable(8)
+        table.record_use(2, 5, 1)
+        assert table.entries() == {2: LastUse(5, 1)}
+
+
+class TestSnapshotRestore:
+    def test_round_trip(self):
+        table = LastUsesTable(4)
+        table.record_use(0, 3, 0)
+        snapshot = table.snapshot()
+        table.record_use(0, 9, DST_SLOT)
+        table.record_use(1, 10, 1)
+        table.restore(snapshot)
+        assert table.lookup(0) == LastUse(3, 0)
+        assert table.lookup(1) is None
+
+    def test_snapshot_independent_of_later_updates(self):
+        table = LastUsesTable(4)
+        snapshot = table.snapshot()
+        table.record_use(2, 7, 0)
+        assert snapshot[2] is None
+
+    def test_restore_rejects_wrong_size(self):
+        table = LastUsesTable(4)
+        with pytest.raises(ValueError):
+            table.restore((None, None))

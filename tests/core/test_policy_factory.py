@@ -1,0 +1,51 @@
+"""Tests for the policy registry/factory and shared policy plumbing."""
+
+import pytest
+
+from repro.core import (BasicEarlyRelease, ConventionalRelease,
+                        ExtendedEarlyRelease, POLICIES, make_release_policy)
+from repro.core.release_policy import DestRenameOutcome, PipelineView, PolicyOptions
+
+from tests.core.helpers import FakeView, PolicyHarness
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert POLICIES["conv"] is ConventionalRelease
+        assert POLICIES["conventional"] is ConventionalRelease
+        assert POLICIES["basic"] is BasicEarlyRelease
+        assert POLICIES["extended"] is ExtendedEarlyRelease
+
+    def test_factory_builds_named_policy(self):
+        harness = PolicyHarness("extended")
+        assert isinstance(harness.policy, ExtendedEarlyRelease)
+
+    def test_factory_rejects_unknown_name(self):
+        harness = PolicyHarness("conv")
+        with pytest.raises(ValueError, match="unknown release policy"):
+            make_release_policy("bogus", harness.reg_class, harness.register_file,
+                                harness.map_table, harness.iomt, harness.view)
+
+    def test_policy_names(self):
+        assert ConventionalRelease.name == "conv"
+        assert BasicEarlyRelease.name == "basic"
+        assert ExtendedEarlyRelease.name == "extended"
+
+
+class TestOptionsAndProtocol:
+    def test_default_options(self):
+        assert PolicyOptions().reuse_on_committed_lu is True
+
+    def test_fake_view_satisfies_protocol(self):
+        assert isinstance(FakeView(), PipelineView)
+
+    def test_dest_rename_outcome_defaults(self):
+        outcome = DestRenameOutcome()
+        assert outcome.release_previous_at_commit
+        assert not outcome.reuse_previous
+        assert not outcome.scheduled_early
+        assert not outcome.released_immediately
+
+    def test_options_propagate_to_policy(self):
+        harness = PolicyHarness("basic", reuse_on_committed_lu=False)
+        assert harness.policy.options.reuse_on_committed_lu is False

@@ -1,0 +1,99 @@
+"""Tests for the Empty/Ready/Idle occupancy tracker (paper Figure 2/3)."""
+
+import pytest
+
+from repro.core.register_state import (OccupancyAverages, OccupancyTotals,
+                                       RegisterOccupancyTracker, RegState)
+
+
+class TestLifecycle:
+    def test_full_lifecycle_attribution(self):
+        tracker = RegisterOccupancyTracker(4)
+        tracker.on_allocate(0, cycle=10)
+        tracker.on_write(0, cycle=13)
+        tracker.on_use_commit(0, cycle=20)
+        tracker.on_release(0, cycle=27)
+        totals = tracker.finalize(end_cycle=30, allocated_registers=[])
+        assert totals.empty == pytest.approx(3)
+        assert totals.ready == pytest.approx(7)
+        assert totals.idle == pytest.approx(7)
+
+    def test_states_in_order(self):
+        tracker = RegisterOccupancyTracker(2)
+        assert tracker.state_of(1) is RegState.FREE
+        tracker.on_allocate(1, 0)
+        assert tracker.state_of(1) is RegState.EMPTY
+        tracker.on_write(1, 2)
+        assert tracker.state_of(1) is RegState.READY
+        tracker.on_use_commit(1, 5)
+        assert tracker.state_of(1) is RegState.IDLE
+        tracker.on_release(1, 7)
+        assert tracker.state_of(1) is RegState.FREE
+
+    def test_never_written_is_all_empty(self):
+        tracker = RegisterOccupancyTracker(2)
+        tracker.on_allocate(0, 5)
+        tracker.on_release(0, 15)
+        totals = tracker.finalize(end_cycle=20, allocated_registers=[])
+        assert totals.empty == pytest.approx(10)
+        assert totals.ready == 0 and totals.idle == 0
+
+    def test_no_use_commit_means_no_idle(self):
+        tracker = RegisterOccupancyTracker(2)
+        tracker.on_allocate(0, 0)
+        tracker.on_write(0, 4)
+        tracker.on_release(0, 10)
+        totals = tracker.finalize(end_cycle=10, allocated_registers=[])
+        assert totals.ready == pytest.approx(0)
+        assert totals.idle == pytest.approx(6)
+
+    def test_still_allocated_attributed_at_finalize(self):
+        tracker = RegisterOccupancyTracker(2)
+        tracker.on_allocate(0, 0)
+        tracker.on_write(0, 2)
+        totals = tracker.finalize(end_cycle=12, allocated_registers=[0])
+        assert totals.empty == pytest.approx(2)
+        assert totals.ready + totals.idle == pytest.approx(10)
+
+    def test_double_write_keeps_first(self):
+        tracker = RegisterOccupancyTracker(1)
+        tracker.on_allocate(0, 0)
+        tracker.on_write(0, 3)
+        tracker.on_write(0, 8)
+        tracker.on_release(0, 10)
+        totals = tracker.finalize(10, [])
+        assert totals.empty == pytest.approx(3)
+
+    def test_reallocation_after_release(self):
+        tracker = RegisterOccupancyTracker(1)
+        tracker.on_allocate(0, 0)
+        tracker.on_write(0, 1)
+        tracker.on_release(0, 5)
+        tracker.on_allocate(0, 7)
+        assert tracker.state_of(0) is RegState.EMPTY
+        tracker.on_write(0, 9)
+        tracker.on_release(0, 12)
+        totals = tracker.finalize(12, [])
+        assert totals.empty == pytest.approx(1 + 2)
+
+
+class TestTotalsAndAverages:
+    def test_averages(self):
+        totals = OccupancyTotals(cycles=10, empty=20.0, ready=50.0, idle=30.0)
+        averages = totals.averages()
+        assert averages.empty == pytest.approx(2.0)
+        assert averages.ready == pytest.approx(5.0)
+        assert averages.idle == pytest.approx(3.0)
+        assert averages.allocated == pytest.approx(10.0)
+        assert averages.used == pytest.approx(7.0)
+
+    def test_idle_overhead(self):
+        averages = OccupancyAverages(empty=2.0, ready=5.0, idle=3.5)
+        assert averages.idle_overhead == pytest.approx(0.5)
+
+    def test_idle_overhead_zero_used(self):
+        assert OccupancyAverages(0.0, 0.0, 1.0).idle_overhead == 0.0
+
+    def test_zero_cycles(self):
+        averages = OccupancyTotals().averages()
+        assert averages.allocated == 0.0

@@ -1,0 +1,115 @@
+"""Tests for the experiments that need no cycle-level simulation."""
+
+import pytest
+
+from repro.experiments import figure2, figure9, section44, table1
+from repro.core.register_state import RegState
+
+
+class TestTable1:
+    def test_four_processors(self):
+        result = table1.run()
+        assert len(result.entries) == 4
+        names = {entry.name for entry in result.entries}
+        assert names == {"MIPS R10K", "MIPS R12K", "Alpha 21264", "Intel P4"}
+
+    def test_r10k_is_loose_r12k_is_tight(self):
+        # Paper Section 2: R10K never stalls for registers (P = L + N);
+        # R12K and the 21264 can.
+        result = table1.run()
+        assert result.entry("MIPS R10K").is_loose
+        assert not result.entry("MIPS R12K").is_loose
+        assert not result.entry("Alpha 21264").is_loose
+
+    def test_paper_classifications(self):
+        result = table1.run()
+        assert result.entry("Intel P4").paper_classification == "loose"
+        assert result.entry("MIPS R10K").paper_classification == "loose"
+        assert result.entry("Alpha 21264").paper_classification == "tight"
+
+    def test_unknown_entry(self):
+        assert table1.run().entry("PowerPC") is None
+
+    def test_format_contains_reorder_names(self):
+        text = table1.run().format()
+        assert "Active List" in text and "Reorder Buffer" in text
+
+
+class TestFigure2:
+    def test_conventional_has_idle_phase(self):
+        result = figure2.run("conv")
+        states = result.states_observed()
+        assert states == [RegState.EMPTY, RegState.READY, RegState.IDLE,
+                          RegState.FREE]
+        assert result.state_durations()[RegState.IDLE] >= 1
+
+    @pytest.mark.parametrize("policy", ["basic", "extended"])
+    def test_early_release_removes_idle_phase(self, policy):
+        conv = figure2.run("conv")
+        early = figure2.run(policy)
+        conv_idle = conv.state_durations().get(RegState.IDLE, 0)
+        early_idle = early.state_durations().get(RegState.IDLE, 0)
+        assert early_idle < conv_idle
+
+    def test_early_release_frees_register_sooner(self):
+        conv = figure2.run("conv")
+        extended = figure2.run("extended")
+        conv_release = max(cycle for cycle, state in conv.timeline
+                           if state is not RegState.FREE)
+        ext_release = max(cycle for cycle, state in extended.timeline
+                          if state is not RegState.FREE)
+        assert ext_release < conv_release
+
+    def test_format_mentions_register_and_policy(self):
+        result = figure2.run("conv")
+        text = result.format()
+        assert "conv" in text and f"p{result.tracked_register}" in text
+
+
+class TestFigure9:
+    def test_three_series(self):
+        result = figure9.run()
+        assert set(result.access_time_ns) == {"INT", "FP", "LUsT"}
+        assert len(result.sizes) == len(result.access_time_ns["INT"])
+
+    def test_anchor_values(self):
+        result = figure9.run()
+        assert result.access_time_ns["LUsT"][0] == pytest.approx(0.98, abs=1e-6)
+        assert result.energy_pj["LUsT"][0] == pytest.approx(193.2, abs=1e-6)
+
+    def test_paper_margins(self):
+        result = figure9.run()
+        assert result.lus_delay_margin_vs_smallest_int() == pytest.approx(0.26,
+                                                                          abs=0.01)
+        assert result.lus_energy_fraction_of_smallest_int() == pytest.approx(0.2,
+                                                                             abs=0.03)
+
+    def test_register_file_curves_increase(self):
+        result = figure9.run()
+        for series in ("INT", "FP"):
+            values = result.access_time_ns[series]
+            assert values[-1] > values[0]
+
+    def test_format_output(self):
+        text = figure9.run().format()
+        assert "Figure 9a" in text and "Figure 9b" in text and "paper: 26%" in text
+
+
+class TestSection44:
+    def test_energy_neutrality(self):
+        result = section44.run()
+        assert result.energy_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_energy_magnitudes_close_to_paper(self):
+        result = section44.run()
+        assert result.energy_conv_pj == pytest.approx(3850, rel=0.05)
+        assert result.energy_early_pj == pytest.approx(3851, rel=0.05)
+
+    def test_storage_close_to_paper(self):
+        result = section44.run()
+        assert result.extended_storage_bytes == pytest.approx(1.22 * 1024, rel=0.01)
+        assert result.lus_tables_bytes == pytest.approx(128, abs=1)
+
+    def test_format_output(self):
+        text = section44.run().format()
+        assert "energy neutrality" in text and "storage cost" in text

@@ -1,0 +1,81 @@
+"""Tests for the branch target buffer."""
+
+import pytest
+
+from repro.frontend.btb import BranchTargetBuffer
+
+
+class TestConstruction:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=0)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, associativity=4)
+
+    def test_set_count(self):
+        btb = BranchTargetBuffer(entries=64, associativity=4)
+        assert btb.n_sets == 16
+
+
+class TestLookupUpdate:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=64, associativity=2)
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_update_overwrites_target(self):
+        btb = BranchTargetBuffer(entries=64, associativity=2)
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_distinct_branches(self):
+        btb = BranchTargetBuffer(entries=64, associativity=2)
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1004, 0x4000)
+        assert btb.lookup(0x1000) == 0x2000
+        assert btb.lookup(0x1004) == 0x4000
+
+    def test_lru_eviction(self):
+        btb = BranchTargetBuffer(entries=4, associativity=2)  # 2 sets
+        set_stride = 4 * btb.n_sets
+        pcs = [0x1000, 0x1000 + set_stride, 0x1000 + 2 * set_stride]
+        btb.update(pcs[0], 0xA)
+        btb.update(pcs[1], 0xB)
+        btb.update(pcs[2], 0xC)          # evicts pcs[0] (least recently used)
+        assert btb.lookup(pcs[0]) is None
+        assert btb.lookup(pcs[1]) == 0xB
+        assert btb.lookup(pcs[2]) == 0xC
+
+    def test_lookup_refreshes_lru(self):
+        btb = BranchTargetBuffer(entries=4, associativity=2)
+        set_stride = 4 * btb.n_sets
+        pcs = [0x1000, 0x1000 + set_stride, 0x1000 + 2 * set_stride]
+        btb.update(pcs[0], 0xA)
+        btb.update(pcs[1], 0xB)
+        btb.lookup(pcs[0])               # make pcs[0] most recently used
+        btb.update(pcs[2], 0xC)          # evicts pcs[1]
+        assert btb.lookup(pcs[0]) == 0xA
+        assert btb.lookup(pcs[1]) is None
+
+
+class TestStatistics:
+    def test_hit_rate(self):
+        btb = BranchTargetBuffer(entries=64, associativity=2)
+        btb.lookup(0x1000)
+        btb.update(0x1000, 0x2000)
+        btb.lookup(0x1000)
+        assert btb.hits == 1 and btb.misses == 1
+        assert btb.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert BranchTargetBuffer().hit_rate == 1.0
+
+    def test_reset_statistics(self):
+        btb = BranchTargetBuffer(entries=64, associativity=2)
+        btb.update(0x1000, 0x2000)
+        btb.lookup(0x1000)
+        btb.reset_statistics()
+        assert btb.hits == 0 and btb.misses == 0
+        assert btb.lookup(0x1000) == 0x2000  # contents preserved

@@ -1,0 +1,145 @@
+"""Tests for the trace-driven fetch unit (prediction, grouping, wrong path)."""
+
+import pytest
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.fetch import FetchUnit
+from repro.frontend.gshare import GsharePredictor
+from repro.isa import InstructionBuilder, RegClass
+from repro.trace.records import Trace
+from repro.trace.wrongpath import WrongPathGenerator, WrongPathMix
+
+
+def make_fetch_unit(trace, memory=None, wrongpath=None, **kwargs):
+    predictor = GsharePredictor(history_bits=8, initial_counter=2)
+    btb = BranchTargetBuffer(entries=64, associativity=2)
+    return FetchUnit(trace, predictor, btb, memory, wrongpath, **kwargs)
+
+
+def straightline(n=20):
+    builder = InstructionBuilder()
+    for i in range(n):
+        builder.alu(dest=1 + i % 8, srcs=(2,))
+    return Trace(name="fetch-test", focus_class=RegClass.INT,
+                 instructions=builder.trace())
+
+
+def trace_with_branch(taken: bool):
+    builder = InstructionBuilder()
+    builder.alu(dest=1, srcs=(2,))
+    builder.branch(taken=taken, target=0x8000, srcs=(1,))
+    for i in range(10):
+        builder.alu(dest=2 + i % 4, srcs=(1,))
+    return Trace(name="fetch-branch", focus_class=RegClass.INT,
+                 instructions=builder.trace())
+
+
+class TestBasicFetch:
+    def test_fetch_width_limit(self):
+        unit = make_fetch_unit(straightline(30), fetch_width=8)
+        group = unit.fetch_cycle(0)
+        assert len(group) == 8
+
+    def test_consecutive_groups_advance(self):
+        unit = make_fetch_unit(straightline(20), fetch_width=8)
+        first = unit.fetch_cycle(0)
+        second = unit.fetch_cycle(1)
+        assert first[0].inst.pc != second[0].inst.pc
+        assert unit.fetched_correct == 16
+
+    def test_trace_exhaustion(self):
+        unit = make_fetch_unit(straightline(5), fetch_width=8)
+        group = unit.fetch_cycle(0)
+        assert len(group) == 5
+        assert unit.trace_exhausted
+        assert unit.fetch_cycle(1) == []
+
+    def test_resume_cursor_points_past_instruction(self):
+        unit = make_fetch_unit(straightline(10), fetch_width=4)
+        group = unit.fetch_cycle(0)
+        assert [op.resume_cursor for op in group] == [1, 2, 3, 4]
+
+
+class TestBranchHandling:
+    def test_correctly_predicted_not_taken(self):
+        # Predictor initialised weakly-taken, but BTB is empty so a taken
+        # prediction cannot redirect; a not-taken branch is predicted
+        # correctly either way.
+        unit = make_fetch_unit(trace_with_branch(taken=False))
+        group = unit.fetch_cycle(0)
+        branch_ops = [op for op in group if op.inst.is_branch]
+        assert len(branch_ops) == 1
+        assert not branch_ops[0].mispredicted
+        assert not unit.on_wrong_path
+
+    def test_mispredicted_taken_branch_enters_wrong_path(self):
+        mix = WrongPathMix()
+        wrongpath = WrongPathGenerator(mix, seed=1)
+        unit = make_fetch_unit(trace_with_branch(taken=True), wrongpath=wrongpath)
+        group = unit.fetch_cycle(0)
+        branch_ops = [op for op in group if op.inst.is_branch]
+        assert branch_ops and branch_ops[0].mispredicted
+        assert unit.on_wrong_path
+        # Subsequent instructions in the group (and later groups) are wrong path.
+        index = group.index(branch_ops[0])
+        assert all(op.wrong_path for op in group[index + 1:])
+        later = unit.fetch_cycle(1)
+        assert later and all(op.wrong_path for op in later)
+
+    def test_recover_returns_to_correct_path(self):
+        mix = WrongPathMix()
+        unit = make_fetch_unit(trace_with_branch(taken=True),
+                               wrongpath=WrongPathGenerator(mix, seed=1))
+        group = unit.fetch_cycle(0)
+        branch_op = next(op for op in group if op.inst.is_branch)
+        unit.recover(branch_op.resume_cursor)
+        assert not unit.on_wrong_path
+        resumed = unit.fetch_cycle(1)
+        assert resumed[0].inst.pc == trace_with_branch(True)[branch_op.resume_cursor].pc
+        assert not resumed[0].wrong_path
+
+    def test_recover_rejects_wrong_path_cursor(self):
+        unit = make_fetch_unit(straightline(4))
+        with pytest.raises(ValueError):
+            unit.recover(-1)
+
+    def test_wrong_path_branches_resolve_as_predicted(self):
+        mix = WrongPathMix(branch=1.0)  # wrong path made of branches only
+        unit = make_fetch_unit(trace_with_branch(taken=True),
+                               wrongpath=WrongPathGenerator(mix, seed=3))
+        unit.fetch_cycle(0)
+        assert unit.on_wrong_path
+        group = unit.fetch_cycle(1)
+        for op in group:
+            if op.inst.is_branch:
+                assert not op.mispredicted
+                assert op.inst.taken == op.predicted_taken
+
+    def test_max_taken_branches_per_cycle(self):
+        # Build a trace of taken branches whose targets are in the BTB.
+        builder = InstructionBuilder()
+        for _ in range(8):
+            builder.branch(taken=True, target=builder.pc + 4, srcs=(1,))
+        trace = Trace(name="takens", focus_class=RegClass.INT,
+                      instructions=builder.trace())
+        unit = make_fetch_unit(trace, max_taken_per_cycle=2)
+        # Prime the BTB so predictions can be taken.
+        for inst in trace:
+            unit.btb.update(inst.pc, inst.target)
+        group = unit.fetch_cycle(0)
+        taken_predictions = sum(1 for op in group if op.predicted_taken)
+        assert taken_predictions <= 2
+        assert len(group) <= 2 + 1  # group ends at the second taken branch
+
+
+class TestICacheStall:
+    def test_icache_miss_stalls_fetch(self):
+        from repro.memory.hierarchy import MemoryHierarchy
+
+        memory = MemoryHierarchy()
+        unit = make_fetch_unit(straightline(16), memory=memory)
+        assert unit.fetch_cycle(0) == []          # cold I-cache miss
+        assert unit.icache_stall_cycles > 0
+        # After the miss latency, fetch resumes.
+        later = unit.fetch_cycle(unit._stall_until)
+        assert later

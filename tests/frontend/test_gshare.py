@@ -1,0 +1,118 @@
+"""Tests for the gshare predictor with speculative history update."""
+
+import pytest
+
+from repro.frontend.gshare import GsharePredictor
+
+
+class TestConstruction:
+    def test_table_size(self):
+        predictor = GsharePredictor(history_bits=10)
+        assert predictor.table_size == 1024
+        assert len(predictor.table) == 1024
+
+    def test_default_is_18_bits(self):
+        # Table 2: "18-bit gshare".
+        assert GsharePredictor().history_bits == 18
+
+    def test_rejects_bad_history_bits(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=0)
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=30)
+
+
+class TestPrediction:
+    def test_learns_always_taken_branch(self):
+        predictor = GsharePredictor(history_bits=8, initial_counter=1)
+        pc = 0x4000
+        mispredicts = 0
+        for _ in range(200):
+            record = predictor.predict(pc)
+            if predictor.resolve(record, True):
+                mispredicts += 1
+        # After warm-up the branch must be predicted correctly.
+        record = predictor.predict(pc)
+        assert record.predicted_taken
+        assert mispredicts < 200 * 0.3
+
+    def test_learns_alternating_pattern(self):
+        predictor = GsharePredictor(history_bits=8)
+        pc = 0x4000
+        outcomes = [True, False] * 300
+        mispredicts = 0
+        for index, taken in enumerate(outcomes):
+            record = predictor.predict(pc)
+            if predictor.resolve(record, taken) and index > 100:
+                mispredicts += 1
+        # The pattern is fully determined by one bit of history.
+        assert mispredicts < 10
+
+    def test_speculative_history_update(self):
+        predictor = GsharePredictor(history_bits=8)
+        before = predictor.history
+        record = predictor.predict(0x4000)
+        assert record.history_before == before
+        expected = ((before << 1) | int(record.predicted_taken)) & (predictor.table_size - 1)
+        assert predictor.history == expected
+
+    def test_history_repair_on_mispredict(self):
+        predictor = GsharePredictor(history_bits=8, initial_counter=0)
+        record = predictor.predict(0x4000)
+        assert not record.predicted_taken
+        # A couple of younger speculative predictions pollute the history.
+        predictor.predict(0x4010)
+        predictor.predict(0x4020)
+        mispredicted = predictor.resolve(record, True)
+        assert mispredicted
+        expected = ((record.history_before << 1) | 1) & (predictor.table_size - 1)
+        assert predictor.history == expected
+
+    def test_no_history_repair_on_correct_prediction(self):
+        predictor = GsharePredictor(history_bits=8, initial_counter=3)
+        record = predictor.predict(0x4000)
+        history_after_predict = predictor.history
+        assert not predictor.resolve(record, True)
+        assert predictor.history == history_after_predict
+
+
+class TestCounters:
+    def test_saturation_up(self):
+        predictor = GsharePredictor(history_bits=4, initial_counter=3)
+        record = predictor.predict(0x40)
+        predictor.resolve(record, True)
+        assert predictor.table[record.table_index] == 3
+
+    def test_saturation_down(self):
+        predictor = GsharePredictor(history_bits=4, initial_counter=0)
+        record = predictor.predict(0x40)
+        predictor.resolve(record, False)
+        assert predictor.table[record.table_index] == 0
+
+    def test_counter_moves_toward_outcome(self):
+        predictor = GsharePredictor(history_bits=4, initial_counter=2)
+        record = predictor.predict(0x40)
+        predictor.resolve(record, False)
+        assert predictor.table[record.table_index] == 1
+
+
+class TestStatistics:
+    def test_accuracy_tracking(self):
+        predictor = GsharePredictor(history_bits=6, initial_counter=3)
+        for _ in range(10):
+            record = predictor.predict(0x80)
+            predictor.resolve(record, True)
+        assert predictor.accuracy == 1.0
+        assert predictor.predictions == 10
+
+    def test_reset_statistics_keeps_state(self):
+        predictor = GsharePredictor(history_bits=6)
+        record = predictor.predict(0x80)
+        predictor.resolve(record, True)
+        table_before = list(predictor.table)
+        predictor.reset_statistics()
+        assert predictor.predictions == 0 and predictor.mispredictions == 0
+        assert list(predictor.table) == table_before
+
+    def test_accuracy_with_no_predictions(self):
+        assert GsharePredictor().accuracy == 1.0

@@ -1,0 +1,51 @@
+"""Tests for the return address stack."""
+
+import pytest
+
+from repro.frontend.ras import ReturnAddressStack
+
+
+class TestRAS:
+    def test_push_pop_order(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(depth=2)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0x100)
+        ras.push(0x200)
+        ras.push(0x300)
+        assert len(ras) == 2
+        assert ras.pop() == 0x300
+        assert ras.pop() == 0x200
+        assert ras.pop() is None
+
+    def test_snapshot_restore(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        snapshot = ras.snapshot()
+        ras.pop()
+        ras.push(0x999)
+        ras.restore(snapshot)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)
+
+    def test_counters(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x1)
+        ras.pop()
+        ras.pop()
+        assert ras.pushes == 1 and ras.pops == 2 and ras.underflows == 1

@@ -1,0 +1,120 @@
+"""Tests for instruction records and the builder."""
+
+import pytest
+
+from repro.isa import Instruction, InstructionBuilder, OpClass, RegClass
+
+
+class TestInstruction:
+    def test_alu_properties(self):
+        inst = Instruction(pc=0x1000, op=OpClass.INT_ALU, dest=(RegClass.INT, 1),
+                           srcs=((RegClass.INT, 2),))
+        assert inst.has_dest
+        assert not inst.is_branch and not inst.is_mem
+        inst.validate()
+
+    def test_load_properties(self):
+        inst = Instruction(pc=0x1000, op=OpClass.LOAD, dest=(RegClass.INT, 1),
+                           srcs=((RegClass.INT, 2),), mem_addr=0x100)
+        assert inst.is_load and inst.is_mem and not inst.is_store
+        inst.validate()
+
+    def test_store_has_no_dest(self):
+        inst = Instruction(pc=0x1000, op=OpClass.STORE,
+                           srcs=((RegClass.INT, 1), (RegClass.INT, 2)),
+                           mem_addr=0x100)
+        assert inst.is_store and not inst.has_dest
+        inst.validate()
+
+    def test_branch_properties(self):
+        inst = Instruction(pc=0x1000, op=OpClass.BRANCH, srcs=((RegClass.INT, 1),),
+                           taken=True, target=0x2000)
+        assert inst.is_branch and inst.taken and inst.target == 0x2000
+        inst.validate()
+
+    def test_frozen(self):
+        inst = Instruction(pc=0x1000, op=OpClass.NOP)
+        with pytest.raises(AttributeError):
+            inst.pc = 0x2000
+
+    # ------------------------------------------------------------------
+    # validate() rejections
+    # ------------------------------------------------------------------
+    def test_validate_rejects_out_of_range_dest(self):
+        inst = Instruction(pc=0, op=OpClass.INT_ALU, dest=(RegClass.INT, 99))
+        with pytest.raises(ValueError):
+            inst.validate()
+
+    def test_validate_rejects_out_of_range_src(self):
+        inst = Instruction(pc=0, op=OpClass.INT_ALU, dest=(RegClass.INT, 1),
+                           srcs=((RegClass.FP, 64),))
+        with pytest.raises(ValueError):
+            inst.validate()
+
+    def test_validate_rejects_store_with_dest(self):
+        inst = Instruction(pc=0, op=OpClass.STORE, dest=(RegClass.INT, 1),
+                           srcs=((RegClass.INT, 2),), mem_addr=8)
+        with pytest.raises(ValueError):
+            inst.validate()
+
+    def test_validate_rejects_wrong_dest_class(self):
+        inst = Instruction(pc=0, op=OpClass.FP_ADD, dest=(RegClass.INT, 1))
+        with pytest.raises(ValueError):
+            inst.validate()
+
+    def test_validate_rejects_int_dest_on_fp_load(self):
+        inst = Instruction(pc=0, op=OpClass.FP_LOAD, dest=(RegClass.INT, 1),
+                           srcs=((RegClass.INT, 2),), mem_addr=8)
+        with pytest.raises(ValueError):
+            inst.validate()
+
+
+class TestInstructionBuilder:
+    def test_pc_advances(self):
+        builder = InstructionBuilder(pc=0x1000)
+        first = builder.alu(dest=1, srcs=(2,))
+        second = builder.alu(dest=2, srcs=(1,))
+        assert second.pc == first.pc + 4
+
+    def test_alu_fp_flag(self):
+        builder = InstructionBuilder()
+        inst = builder.alu(dest=3, srcs=(1, 2), fp=True)
+        assert inst.op is OpClass.FP_ADD
+        assert inst.dest == (RegClass.FP, 3)
+        assert all(cls is RegClass.FP for cls, _ in inst.srcs)
+
+    def test_alu_op_override(self):
+        builder = InstructionBuilder()
+        inst = builder.alu(dest=3, srcs=(1,), op=OpClass.INT_MULT)
+        assert inst.op is OpClass.INT_MULT
+
+    def test_load_uses_int_address(self):
+        builder = InstructionBuilder()
+        inst = builder.load(dest=4, addr_reg=7, mem_addr=0x40, fp=True)
+        assert inst.op is OpClass.FP_LOAD
+        assert inst.dest == (RegClass.FP, 4)
+        assert inst.srcs == ((RegClass.INT, 7),)
+
+    def test_store_sources(self):
+        builder = InstructionBuilder()
+        inst = builder.store(value_reg=4, addr_reg=7, mem_addr=0x40)
+        assert inst.srcs == ((RegClass.INT, 4), (RegClass.INT, 7))
+        assert inst.mem_addr == 0x40
+
+    def test_branch(self):
+        builder = InstructionBuilder()
+        inst = builder.branch(taken=True, target=0x4000, srcs=(1,))
+        assert inst.is_branch and inst.taken and inst.target == 0x4000
+
+    def test_trace_returns_copy(self):
+        builder = InstructionBuilder()
+        builder.nop()
+        trace = builder.trace()
+        builder.nop()
+        assert len(trace) == 1
+        assert len(builder.trace()) == 2
+
+    def test_validation_enabled_by_default(self):
+        builder = InstructionBuilder()
+        with pytest.raises(ValueError):
+            builder.alu(dest=64, srcs=())

@@ -1,0 +1,72 @@
+"""Tests for operation classes, FU mapping and latencies."""
+
+import pytest
+
+from repro.isa import DEFAULT_LATENCY, FU_KIND, FUKind, OpClass
+from repro.isa.opcodes import (is_branch_op, is_load_op, is_memory_op,
+                               is_store_op, uses_fp_dest)
+
+
+class TestLatencies:
+    """Latencies must match Table 2 of the paper."""
+
+    @pytest.mark.parametrize("op, latency", [
+        (OpClass.INT_ALU, 1),
+        (OpClass.INT_MULT, 7),
+        (OpClass.FP_ADD, 4),
+        (OpClass.FP_MULT, 4),
+        (OpClass.FP_DIV, 16),
+    ])
+    def test_table2_latencies(self, op, latency):
+        assert DEFAULT_LATENCY[op] == latency
+
+    def test_every_op_has_latency(self):
+        for op in OpClass:
+            assert op in DEFAULT_LATENCY
+            assert DEFAULT_LATENCY[op] >= 1
+
+
+class TestFUMapping:
+    def test_every_op_has_fu(self):
+        for op in OpClass:
+            assert op in FU_KIND
+
+    @pytest.mark.parametrize("op, kind", [
+        (OpClass.INT_ALU, FUKind.SIMPLE_INT),
+        (OpClass.BRANCH, FUKind.SIMPLE_INT),
+        (OpClass.INT_MULT, FUKind.INT_MULT),
+        (OpClass.FP_ADD, FUKind.SIMPLE_FP),
+        (OpClass.FP_MULT, FUKind.FP_MULT),
+        (OpClass.FP_DIV, FUKind.FP_DIV),
+        (OpClass.LOAD, FUKind.LOAD_STORE),
+        (OpClass.STORE, FUKind.LOAD_STORE),
+        (OpClass.FP_LOAD, FUKind.LOAD_STORE),
+        (OpClass.FP_STORE, FUKind.LOAD_STORE),
+    ])
+    def test_mapping(self, op, kind):
+        assert FU_KIND[op] is kind
+
+
+class TestPredicates:
+    def test_memory_ops(self):
+        assert is_memory_op(OpClass.LOAD)
+        assert is_memory_op(OpClass.FP_STORE)
+        assert not is_memory_op(OpClass.INT_ALU)
+        assert not is_memory_op(OpClass.BRANCH)
+
+    def test_load_store_split(self):
+        assert is_load_op(OpClass.LOAD) and is_load_op(OpClass.FP_LOAD)
+        assert not is_load_op(OpClass.STORE)
+        assert is_store_op(OpClass.STORE) and is_store_op(OpClass.FP_STORE)
+        assert not is_store_op(OpClass.FP_LOAD)
+
+    def test_branch(self):
+        assert is_branch_op(OpClass.BRANCH)
+        assert not is_branch_op(OpClass.LOAD)
+
+    def test_fp_dest_classification(self):
+        assert uses_fp_dest(OpClass.FP_ADD)
+        assert uses_fp_dest(OpClass.FP_LOAD)
+        assert not uses_fp_dest(OpClass.FP_STORE)
+        assert not uses_fp_dest(OpClass.LOAD)
+        assert not uses_fp_dest(OpClass.INT_ALU)

@@ -1,0 +1,58 @@
+"""Tests for the logical register model."""
+
+import pytest
+
+from repro.isa import (NUM_LOGICAL, NUM_LOGICAL_FP, NUM_LOGICAL_INT,
+                       LogicalRegister, RegClass, logical_registers)
+
+
+class TestRegClass:
+    def test_two_classes(self):
+        assert set(RegClass) == {RegClass.INT, RegClass.FP}
+
+    def test_num_logical_matches_paper(self):
+        # The paper uses 32 int + 32 FP logical registers (Table 2).
+        assert RegClass.INT.num_logical == 32
+        assert RegClass.FP.num_logical == 32
+        assert NUM_LOGICAL_INT == 32
+        assert NUM_LOGICAL_FP == 32
+
+    def test_num_logical_indexable_by_class(self):
+        assert NUM_LOGICAL[RegClass.INT] == NUM_LOGICAL_INT
+        assert NUM_LOGICAL[RegClass.FP] == NUM_LOGICAL_FP
+
+    def test_short_names(self):
+        assert RegClass.INT.short_name == "int"
+        assert RegClass.FP.short_name == "fp"
+
+    def test_int_values_usable_as_indices(self):
+        assert int(RegClass.INT) == 0
+        assert int(RegClass.FP) == 1
+
+
+class TestLogicalRegister:
+    def test_tuple_equivalence(self):
+        reg = LogicalRegister(RegClass.INT, 5)
+        assert reg == (RegClass.INT, 5)
+
+    def test_str_prefix(self):
+        assert str(LogicalRegister(RegClass.INT, 3)) == "r3"
+        assert str(LogicalRegister(RegClass.FP, 7)) == "f7"
+
+    def test_is_valid_in_range(self):
+        assert LogicalRegister(RegClass.INT, 0).is_valid
+        assert LogicalRegister(RegClass.INT, 31).is_valid
+        assert LogicalRegister(RegClass.FP, 31).is_valid
+
+    def test_is_valid_out_of_range(self):
+        assert not LogicalRegister(RegClass.INT, 32).is_valid
+        assert not LogicalRegister(RegClass.FP, -1).is_valid
+
+
+class TestLogicalRegisters:
+    @pytest.mark.parametrize("reg_class", [RegClass.INT, RegClass.FP])
+    def test_enumeration_covers_class(self, reg_class):
+        regs = list(logical_registers(reg_class))
+        assert len(regs) == reg_class.num_logical
+        assert all(reg.reg_class is reg_class for reg in regs)
+        assert [reg.index for reg in regs] == list(range(reg_class.num_logical))

@@ -1,0 +1,122 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory.cache import AccessResult, Cache, CacheConfig
+
+
+def small_cache(size=1024, assoc=2, line=64, latency=1, name="test"):
+    return Cache(CacheConfig(name, size_bytes=size, associativity=assoc,
+                             line_bytes=line, hit_latency=latency))
+
+
+class TestConfig:
+    def test_n_sets(self):
+        config = CacheConfig("L1", 32 * 1024, 2, 64, 1)
+        assert config.n_sets == 256
+
+    def test_paper_l1i_geometry(self):
+        config = CacheConfig("L1I", 32 * 1024, 2, 32, 1)
+        assert config.n_sets == 512
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1000, 3, 64, 1)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1024, 2, 64, 0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", -1024, 2, 64, 1)
+
+
+class TestAccess:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        first = cache.access(0x1000)
+        second = cache.access(0x1000)
+        assert not first.hit and second.hit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x1000 + 63).hit
+        assert not cache.access(0x1000 + 64).hit
+
+    def test_latency_reported(self):
+        cache = small_cache(latency=12)
+        assert cache.access(0x0).latency == 12
+        assert cache.access(0x0).latency == 12
+
+    def test_lru_within_set(self):
+        cache = small_cache(size=256, assoc=2, line=64)  # 2 sets
+        set_stride = 64 * 2
+        a, b, c = 0x0, set_stride, 2 * set_stride       # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)               # evicts a
+        assert not cache.access(a).hit
+        assert cache.access(c).hit
+
+    def test_lru_refresh_on_hit(self):
+        cache = small_cache(size=256, assoc=2, line=64)
+        set_stride = 64 * 2
+        a, b, c = 0x0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)               # refresh a
+        cache.access(c)               # evicts b, not a
+        assert cache.access(a).hit
+        assert not cache.access(b).hit
+
+    def test_probe_does_not_affect_state(self):
+        cache = small_cache()
+        assert not cache.probe(0x100)
+        assert cache.misses == 0
+        cache.access(0x100)
+        assert cache.probe(0x100)
+
+    def test_write_marks_dirty_and_writeback_counted(self):
+        cache = small_cache(size=128, assoc=1, line=64)  # 2 sets, direct mapped
+        cache.access(0x0, is_write=True)
+        # Same set, different tag: evicts the dirty line.
+        result = cache.access(0x0 + 128, is_write=False)
+        assert result.evicted_dirty
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_not_counted(self):
+        cache = small_cache(size=128, assoc=1, line=64)
+        cache.access(0x0, is_write=False)
+        result = cache.access(0x0 + 128)
+        assert not result.evicted_dirty
+        assert cache.writebacks == 0
+
+
+class TestStatistics:
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x1000)
+        assert cache.accesses == 3
+        assert cache.miss_rate == pytest.approx(2 / 3)
+
+    def test_miss_rate_empty(self):
+        assert small_cache().miss_rate == 0.0
+
+    def test_flush_invalidates_but_keeps_stats(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.flush()
+        assert cache.misses == 1
+        assert not cache.access(0x0).hit
+
+    def test_reset_statistics_keeps_contents(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.reset_statistics()
+        assert cache.misses == 0
+        assert cache.access(0x0).hit

@@ -1,0 +1,75 @@
+"""Tests for the two-level memory hierarchy (Table 2 latencies)."""
+
+import pytest
+
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+
+
+class TestDefaults:
+    def test_paper_geometries(self):
+        config = MemoryConfig()
+        assert config.l1i.size_bytes == 32 * 1024 and config.l1i.line_bytes == 32
+        assert config.l1d.size_bytes == 32 * 1024 and config.l1d.line_bytes == 64
+        assert config.l2.size_bytes == 1024 * 1024 and config.l2.hit_latency == 12
+        assert config.main_memory_latency == 50
+
+
+class TestLatencies:
+    def test_l1_hit_latency(self):
+        memory = MemoryHierarchy()
+        memory.data_read(0x1000)                     # warm the line
+        assert memory.data_read(0x1000) == 1
+
+    def test_cold_miss_goes_to_main_memory(self):
+        memory = MemoryHierarchy()
+        # L1 miss (1) + L2 miss (12) + memory (50).
+        assert memory.data_read(0x1000) == 1 + 12 + 50
+
+    def test_l2_hit_after_l1_eviction(self):
+        memory = MemoryHierarchy()
+        memory.data_read(0x1000)
+        # Evict the line from L1 by filling its set (L1D: 2-way, 256 sets,
+        # set stride = 64 * 256 = 16 KB).
+        set_stride = 64 * 256
+        memory.data_read(0x1000 + set_stride)
+        memory.data_read(0x1000 + 2 * set_stride)
+        latency = memory.data_read(0x1000)
+        assert latency == 1 + 12                    # L1 miss, L2 hit
+
+    def test_instruction_access_uses_l1i(self):
+        memory = MemoryHierarchy()
+        memory.instruction_access(0x400)
+        assert memory.l1i.accesses == 1
+        assert memory.l1d.accesses == 0
+
+    def test_data_write_counts_as_l1d_access(self):
+        memory = MemoryHierarchy()
+        memory.data_write(0x2000)
+        assert memory.l1d.accesses == 1
+
+    def test_memory_access_counter(self):
+        memory = MemoryHierarchy()
+        memory.data_read(0x1000)
+        memory.data_read(0x1000)
+        assert memory.memory_accesses == 1
+
+
+class TestUnifiedL2:
+    def test_instruction_miss_warms_l2_for_data(self):
+        memory = MemoryHierarchy()
+        memory.instruction_access(0x3000)
+        # The same line fetched as data should now hit in L2.
+        latency = memory.data_read(0x3000)
+        assert latency == 1 + 12
+
+    def test_reset_statistics(self):
+        memory = MemoryHierarchy()
+        memory.data_read(0x1000)
+        memory.instruction_access(0x2000)
+        memory.reset_statistics()
+        assert memory.l1d.accesses == 0
+        assert memory.l1i.accesses == 0
+        assert memory.l2.accesses == 0
+        assert memory.memory_accesses == 0
+        # Contents preserved: the line still hits.
+        assert memory.data_read(0x1000) == 1

@@ -1,0 +1,73 @@
+"""Tests for the processor configuration (Table 2 defaults)."""
+
+import pytest
+
+from repro.pipeline.config import ProcessorConfig
+
+
+class TestDefaults:
+    def test_table2_values(self):
+        config = ProcessorConfig()
+        assert config.fetch_width == 8
+        assert config.commit_width == 8
+        assert config.max_taken_branches_per_cycle == 2
+        assert config.ros_size == 128
+        assert config.lsq_size == 64
+        assert config.max_pending_branches == 20
+        assert config.gshare_history_bits == 18
+        assert config.num_logical_int == 32 and config.num_logical_fp == 32
+
+    def test_default_policy_is_conventional(self):
+        assert ProcessorConfig().release_policy == "conv"
+
+    def test_memory_defaults(self):
+        config = ProcessorConfig()
+        assert config.memory.l2.hit_latency == 12
+        assert config.memory.main_memory_latency == 50
+
+
+class TestValidation:
+    def test_rejects_too_few_registers(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(num_physical_int=16)
+        with pytest.raises(ValueError):
+            ProcessorConfig(num_physical_fp=31)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(release_policy="magic")
+
+    def test_rejects_bad_exception_rate(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(exception_rate=1.5)
+
+    def test_rejects_nonpositive_widths(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(fetch_width=0)
+        with pytest.raises(ValueError):
+            ProcessorConfig(ros_size=-1)
+
+    def test_accepts_all_policies(self):
+        for policy in ("conv", "conventional", "basic", "extended"):
+            assert ProcessorConfig(release_policy=policy).release_policy == policy
+
+
+class TestHelpers:
+    def test_with_registers(self):
+        config = ProcessorConfig().with_registers(num_int=48, num_fp=56)
+        assert config.num_physical_int == 48
+        assert config.num_physical_fp == 56
+
+    def test_with_registers_partial(self):
+        config = ProcessorConfig(num_physical_fp=80).with_registers(num_int=40)
+        assert config.num_physical_int == 40 and config.num_physical_fp == 80
+
+    def test_with_policy(self):
+        assert ProcessorConfig().with_policy("extended").release_policy == "extended"
+
+    def test_loose_tight_classification(self):
+        # Paper Section 2: loose ⇔ P ≥ L + N.
+        loose = ProcessorConfig(num_physical_int=160, ros_size=128)
+        tight = ProcessorConfig(num_physical_int=96, ros_size=128)
+        assert loose.is_loose_int and not tight.is_loose_int
+        assert ProcessorConfig(num_physical_fp=160).is_loose_fp

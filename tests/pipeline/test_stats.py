@@ -1,0 +1,61 @@
+"""Tests for the statistics container."""
+
+import pickle
+
+import pytest
+
+from repro.core.register_state import OccupancyAverages
+from repro.pipeline.stats import RegisterFileStats, SimStats
+
+
+class TestSimStats:
+    def test_ipc(self):
+        stats = SimStats(cycles=200, committed_instructions=500)
+        assert stats.ipc == pytest.approx(2.5)
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_branch_misprediction_rate(self):
+        stats = SimStats(branches_resolved=200, branch_mispredictions=10)
+        assert stats.branch_misprediction_rate == pytest.approx(0.05)
+        assert SimStats().branch_misprediction_rate == 0.0
+
+    def test_wrong_path_fraction(self):
+        stats = SimStats(fetched_instructions=1000, fetched_wrong_path=100)
+        assert stats.wrong_path_fraction == pytest.approx(0.1)
+        assert SimStats().wrong_path_fraction == 0.0
+
+    def test_stall_fraction(self):
+        stats = SimStats(cycles=100, dispatch_stalls={"ros_full": 25})
+        assert stats.stall_fraction("ros_full") == pytest.approx(0.25)
+        assert stats.stall_fraction("unknown") == 0.0
+
+    def test_register_stats_selector(self):
+        stats = SimStats(int_registers=RegisterFileStats(num_physical=48),
+                         fp_registers=RegisterFileStats(num_physical=96))
+        assert stats.register_stats("int").num_physical == 48
+        assert stats.register_stats("fp").num_physical == 96
+
+    def test_summary_line_contains_key_fields(self):
+        stats = SimStats(benchmark="swim", release_policy="extended",
+                         cycles=10, committed_instructions=20)
+        line = stats.summary_line()
+        assert "swim" in line and "extended" in line and "IPC" in line
+
+    def test_pickleable(self):
+        stats = SimStats(benchmark="gcc", cycles=10, committed_instructions=5,
+                         int_registers=RegisterFileStats(
+                             occupancy=OccupancyAverages(1.0, 2.0, 3.0)))
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.benchmark == "gcc"
+        assert clone.int_registers.occupancy.idle == 3.0
+
+
+class TestRegisterFileStats:
+    def test_early_release_fraction(self):
+        stats = RegisterFileStats(releases=100, early_releases=40)
+        assert stats.early_release_fraction == pytest.approx(0.4)
+
+    def test_early_release_fraction_no_releases(self):
+        assert RegisterFileStats().early_release_fraction == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the register-file delay/energy model (Figure 9, Section 4.4)."""
+
+import pytest
+
+from repro.power.rixner_model import (FP_FILE_PORTS, INT_FILE_PORTS,
+                                      LUS_TABLE_GEOMETRY, RegisterFileGeometry,
+                                      RixnerModel)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RixnerModel()
+
+
+class TestGeometry:
+    def test_lus_table_geometry_matches_paper(self):
+        # Section 4.4: 32 entries, 9-bit word, 32 read + 24 write ports.
+        assert LUS_TABLE_GEOMETRY.entries == 32
+        assert LUS_TABLE_GEOMETRY.word_bits == 9
+        assert LUS_TABLE_GEOMETRY.ports == 56
+
+    def test_port_counts_match_paper(self):
+        assert INT_FILE_PORTS == 44
+        assert FP_FILE_PORTS == 50
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            RegisterFileGeometry(entries=0, word_bits=64, ports=10)
+
+
+class TestCalibrationAnchors:
+    def test_lus_table_access_time(self, model):
+        assert model.access_time_ns(LUS_TABLE_GEOMETRY) == pytest.approx(0.98, abs=1e-6)
+
+    def test_lus_table_energy(self, model):
+        assert model.energy_pj(LUS_TABLE_GEOMETRY) == pytest.approx(193.2, abs=1e-6)
+
+    def test_delay_margin_vs_smallest_int_file(self, model):
+        smallest_int = model.int_register_file(40)
+        margin = 1.0 - (model.access_time_ns(LUS_TABLE_GEOMETRY)
+                        / model.access_time_ns(smallest_int))
+        assert margin == pytest.approx(0.26, abs=0.01)
+
+    def test_energy_fraction_vs_smallest_int_file(self, model):
+        smallest_int = model.int_register_file(40)
+        fraction = model.energy_pj(LUS_TABLE_GEOMETRY) / model.energy_pj(smallest_int)
+        assert fraction == pytest.approx(0.20, abs=0.03)
+
+    def test_section44_energy_totals(self, model):
+        # Paper: E(64int + 79fp) ≈ 3850 pJ; E(56int + 72fp + 2 LUsT) ≈ 3851 pJ.
+        conv = model.configuration_energy_pj(64, 79)
+        early = model.configuration_energy_pj(56, 72, include_lus_tables=True)
+        assert conv == pytest.approx(3850, rel=0.05)
+        assert early == pytest.approx(3851, rel=0.05)
+        # Energy neutrality: within a few per cent of each other.
+        assert early / conv == pytest.approx(1.0, abs=0.05)
+
+
+class TestScaling:
+    def test_access_time_monotone_in_registers(self, model):
+        times = [model.access_time_ns(model.int_register_file(size))
+                 for size in range(40, 161, 8)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_energy_monotone_in_registers(self, model):
+        energies = [model.energy_pj(model.fp_register_file(size))
+                    for size in range(40, 161, 8)]
+        assert all(b > a for a, b in zip(energies, energies[1:]))
+
+    def test_fp_file_costs_more_than_int_file(self, model):
+        # More ports (50 vs 44) at equal size.
+        assert (model.access_time_ns(model.fp_register_file(80))
+                > model.access_time_ns(model.int_register_file(80)))
+        assert (model.energy_pj(model.fp_register_file(80))
+                > model.energy_pj(model.int_register_file(80)))
+
+    def test_lus_table_below_every_register_file(self, model):
+        for size in range(40, 161, 8):
+            assert (model.access_time_ns(LUS_TABLE_GEOMETRY)
+                    < model.access_time_ns(model.int_register_file(size)))
+
+    def test_figure9_curves_structure(self, model):
+        curves = model.figure9_curves(range(40, 161, 8))
+        assert set(curves) == {"INT", "FP", "LUsT"}
+        assert len(curves["INT"]) == 16
+        # The LUs Table series is flat.
+        lus_times = {time for _, time, _ in curves["LUsT"]}
+        assert len(lus_times) == 1
+
+    def test_largest_file_below_two_ns(self, model):
+        # Figure 9a's axis tops out at 2 ns; the largest FP file sits near it.
+        assert model.access_time_ns(model.fp_register_file(160)) < 2.2

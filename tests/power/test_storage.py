@@ -1,0 +1,62 @@
+"""Tests for the storage-cost model (Section 4.4)."""
+
+import pytest
+
+from repro.power.storage import (StorageModel, basic_mechanism_storage_bits,
+                                 extended_mechanism_storage_bits,
+                                 lus_table_storage_bits)
+
+
+class TestFormulas:
+    def test_extended_mechanism_matches_paper_example(self):
+        # ROS = 80, 8-bit ids, 152 physical registers, 20 pending branches
+        # → 10 000 bits = 1250 B ≈ 1.22 KB.
+        bits = extended_mechanism_storage_bits(ros_size=80, physical_id_bits=8,
+                                               num_physical=152,
+                                               max_pending_branches=20)
+        assert bits == 10_000
+        assert bits / 8 / 1024 == pytest.approx(1.22, abs=0.01)
+
+    def test_extended_mechanism_components_scale(self):
+        small = extended_mechanism_storage_bits(ros_size=32, physical_id_bits=6,
+                                                num_physical=64,
+                                                max_pending_branches=8)
+        large = extended_mechanism_storage_bits(ros_size=128, physical_id_bits=8,
+                                                num_physical=256,
+                                                max_pending_branches=20)
+        assert large > small
+
+    def test_lus_table_default_width_derived_from_ros(self):
+        bits = lus_table_storage_bits(num_logical=32, ros_size=80)
+        # 7-bit ROS id + 2 Kind bits + C bit = 10 bits per entry, two tables.
+        assert bits == 2 * 32 * 10
+
+    def test_lus_table_padded_width(self):
+        assert lus_table_storage_bits(bits_per_entry=16) == 2 * 32 * 16
+
+    def test_basic_mechanism_storage(self):
+        bits = basic_mechanism_storage_bits(ros_size=80, physical_id_bits=8,
+                                            logical_id_bits=5)
+        assert bits == 80 * (3 * 5 + 2 * 8 + 3 + 1)
+
+
+class TestStorageModel:
+    def test_alpha_21264_configuration(self):
+        model = StorageModel(ros_size=80, num_physical_int=80, num_physical_fp=72,
+                             max_pending_branches=20)
+        assert model.physical_id_bits == 8
+        assert model.num_physical_total == 152
+        assert model.extended_mechanism_bytes() == pytest.approx(1250, abs=1)
+        assert model.lus_tables_bytes() == pytest.approx(128, abs=1)
+        assert model.total_extended_bytes() == pytest.approx(1378, abs=2)
+
+    def test_basic_cheaper_than_extended(self):
+        model = StorageModel()
+        assert model.basic_mechanism_bytes() < model.extended_mechanism_bytes()
+
+    def test_paper_evaluated_processor(self):
+        # The simulated processor: ROS 128, up to 160+160 registers.
+        model = StorageModel(ros_size=128, num_physical_int=160,
+                             num_physical_fp=160, max_pending_branches=20)
+        assert model.physical_id_bits == 9
+        assert model.extended_mechanism_bytes() > 1250

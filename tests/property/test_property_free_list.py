@@ -1,0 +1,84 @@
+"""Property-based tests for the free list (register conservation)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.rename.free_list import FreeList, FreeListError
+
+
+@given(total=st.integers(min_value=1, max_value=128),
+       operations=st.lists(st.booleans(), max_size=200))
+def test_conservation_under_random_allocate_release(total, operations):
+    """free + allocated == total after any sequence of allocs/releases."""
+    free_list = FreeList(total, initially_free=range(total))
+    allocated = []
+    for do_allocate in operations:
+        if do_allocate and free_list.can_allocate():
+            allocated.append(free_list.allocate())
+        elif allocated:
+            free_list.release(allocated.pop())
+        assert free_list.n_free + free_list.n_allocated == total
+        assert free_list.n_allocated >= len(allocated)
+
+
+@given(total=st.integers(min_value=2, max_value=64))
+def test_allocate_never_returns_duplicates(total):
+    free_list = FreeList(total, initially_free=range(total))
+    seen = set()
+    while free_list.can_allocate():
+        reg = free_list.allocate()
+        assert reg not in seen
+        seen.add(reg)
+    assert seen == set(range(total))
+
+
+class FreeListMachine(RuleBasedStateMachine):
+    """Stateful test: the free list mirrors a model set of free registers."""
+
+    def __init__(self):
+        super().__init__()
+        self.total = 32
+        self.free_list = FreeList(self.total, initially_free=range(self.total))
+        self.model_free = set(range(self.total))
+        self.model_allocated = set()
+
+    @rule()
+    @precondition(lambda self: self.model_free)
+    def allocate(self):
+        reg = self.free_list.allocate()
+        assert reg in self.model_free
+        self.model_free.remove(reg)
+        self.model_allocated.add(reg)
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.model_allocated)
+    def release(self, data):
+        reg = data.draw(st.sampled_from(sorted(self.model_allocated)))
+        self.free_list.release(reg)
+        self.model_allocated.remove(reg)
+        self.model_free.add(reg)
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.model_free)
+    def double_release_rejected(self, data):
+        reg = data.draw(st.sampled_from(sorted(self.model_free)))
+        try:
+            self.free_list.release(reg)
+        except FreeListError:
+            pass
+        else:  # pragma: no cover - failure path
+            raise AssertionError("double release must raise")
+
+    @invariant()
+    def counts_match_model(self):
+        assert self.free_list.n_free == len(self.model_free)
+        assert self.free_list.n_allocated == self.total - len(self.model_free)
+        for reg in self.model_free:
+            assert self.free_list.is_free(reg)
+
+
+TestFreeListStateMachine = FreeListMachine.TestCase
+TestFreeListStateMachine.settings = settings(max_examples=25,
+                                             stateful_step_count=40,
+                                             deadline=None)

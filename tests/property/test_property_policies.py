@@ -1,0 +1,110 @@
+"""Property-based tests of the release policies' core invariants.
+
+Random but well-formed instruction sequences (definitions, uses, branches,
+mispredictions, commits) are pushed through each policy via the
+:class:`PolicyHarness`; regardless of the interleaving, the mechanisms must
+never double-free or leak a physical register: once everything in flight
+has drained, exactly the 32 architectural versions remain allocated.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.core.helpers import PolicyHarness
+
+POLICIES = ("conv", "basic", "extended")
+
+#: One program step: (kind, operand) where kind selects definition/use/branch.
+step_strategy = st.one_of(
+    st.tuples(st.just("define"), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just("define_with_use"), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just("use"), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just("branch"), st.booleans()),       # payload: mispredicts?
+)
+
+
+def run_program(policy_name, steps, reuse=True):
+    """Execute a random straight-line program with immediate in-order commits
+    interleaved with (possibly mispredicted) branches."""
+    harness = PolicyHarness(policy_name, num_physical=48,
+                            reuse_on_committed_lu=reuse)
+    in_flight = []
+    pending_branches = []
+
+    def drain(up_to_all=False):
+        # Commit everything renamed so far that is not behind a pending branch.
+        while in_flight:
+            entry = in_flight[0]
+            if not up_to_all and pending_branches and \
+                    entry.seq >= pending_branches[0][0].seq:
+                break
+            in_flight.pop(0)
+            if not entry.squashed:
+                harness.commit(entry)
+
+    for kind, payload in steps:
+        if kind == "define":
+            in_flight.append(harness.rename(dest=payload))
+        elif kind == "define_with_use":
+            in_flight.append(harness.rename(dest=payload,
+                                            srcs=((payload + 1) % 8,)))
+        elif kind == "use":
+            in_flight.append(harness.rename(dest=None, srcs=(payload,)))
+        else:  # branch
+            branch = harness.rename(is_branch=True)
+            in_flight.append(branch)
+            pending_branches.append((branch, payload))
+        # Resolve the oldest pending branch with 30% probability per step to
+        # mix speculative and non-speculative regions.
+        if pending_branches and len(in_flight) > 6:
+            branch, mispredicts = pending_branches.pop(0)
+            if not branch.squashed:
+                harness.resolve_branch(branch, mispredicted=mispredicts)
+            if mispredicts:
+                in_flight[:] = [e for e in in_flight if not e.squashed]
+        drain()
+
+    # Final cleanup: resolve remaining branches correctly and commit the rest.
+    for branch, _ in pending_branches:
+        if not branch.squashed:
+            harness.resolve_branch(branch, mispredicted=False)
+    drain(up_to_all=True)
+    return harness
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=st.lists(step_strategy, min_size=1, max_size=60),
+       policy=st.sampled_from(POLICIES))
+def test_no_leak_no_double_free(steps, policy):
+    harness = run_program(policy, steps)
+    assert harness.allocated_consistency()
+    assert harness.quiescent_allocated() == 32
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=st.lists(step_strategy, min_size=1, max_size=50),
+       policy=st.sampled_from(("basic", "extended")))
+def test_no_leak_without_register_reuse(steps, policy):
+    harness = run_program(policy, steps, reuse=False)
+    assert harness.allocated_consistency()
+    assert harness.quiescent_allocated() == 32
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=st.lists(step_strategy, min_size=1, max_size=50))
+def test_extended_release_queue_drains(steps):
+    harness = run_program("extended", steps)
+    # Once no branches are pending, no conditional release may remain queued.
+    assert harness.policy.release_queue.depth == 0
+    assert harness.policy.release_queue.total_scheduled() == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=st.lists(step_strategy, min_size=1, max_size=40),
+       policy=st.sampled_from(POLICIES))
+def test_map_table_always_names_allocated_registers(steps, policy):
+    harness = run_program(policy, steps)
+    for logical in range(harness.map_table.num_logical):
+        physical = harness.map_table.lookup(logical)
+        assert not harness.register_file.is_free(physical) or \
+            harness.map_table.is_stale(logical)

@@ -1,0 +1,108 @@
+"""Property-based tests for caches, predictors and analysis metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import harmonic_mean, iso_ipc_register_requirement
+from repro.frontend.gshare import GsharePredictor
+from repro.memory.cache import Cache, CacheConfig
+
+
+# ----------------------------------------------------------------------
+# Cache properties
+# ----------------------------------------------------------------------
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                          min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_cache_stats_always_consistent(addresses):
+    cache = Cache(CacheConfig("prop", 4096, 2, 64, 1))
+    for address in addresses:
+        cache.access(address)
+    assert cache.hits + cache.misses == len(addresses)
+    assert 0.0 <= cache.miss_rate <= 1.0
+
+
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 16),
+                          min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_immediate_reaccess_always_hits(addresses):
+    cache = Cache(CacheConfig("prop", 8192, 4, 64, 1))
+    for address in addresses:
+        cache.access(address)
+        assert cache.access(address).hit
+
+
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 14),
+                          min_size=1, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_miss_count_bounded_by_cold_and_total(addresses):
+    cache = Cache(CacheConfig("prop", 1024, 2, 64, 1))
+    for address in addresses:
+        cache.access(address)
+    distinct_lines = len({address >> 6 for address in addresses})
+    # Every distinct line misses at least once (cold), and misses can never
+    # exceed the number of accesses.
+    assert distinct_lines <= cache.misses <= len(addresses)
+
+
+# ----------------------------------------------------------------------
+# Predictor properties
+# ----------------------------------------------------------------------
+@given(outcomes=st.lists(st.booleans(), min_size=1, max_size=300),
+       pc=st.integers(min_value=0, max_value=1 << 20))
+@settings(max_examples=50, deadline=None)
+def test_gshare_counts_are_consistent(outcomes, pc):
+    predictor = GsharePredictor(history_bits=10)
+    mispredicts = 0
+    for taken in outcomes:
+        record = predictor.predict(pc)
+        if predictor.resolve(record, taken):
+            mispredicts += 1
+    assert predictor.predictions == len(outcomes)
+    assert predictor.mispredictions == mispredicts
+    assert 0.0 <= predictor.accuracy <= 1.0
+
+
+@given(outcomes=st.lists(st.booleans(), min_size=20, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_gshare_history_stays_in_range(outcomes):
+    predictor = GsharePredictor(history_bits=8)
+    for index, taken in enumerate(outcomes):
+        record = predictor.predict(0x100 + 4 * index)
+        predictor.resolve(record, taken)
+        assert 0 <= predictor.history < predictor.table_size
+        assert all(0 <= counter <= 3 for counter in predictor.table)
+
+
+# ----------------------------------------------------------------------
+# Metric properties
+# ----------------------------------------------------------------------
+@given(values=st.lists(st.floats(min_value=0.01, max_value=10.0),
+                       min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_harmonic_mean_bounded_by_min_and_max(values):
+    hm = harmonic_mean(values)
+    assert min(values) - 1e-9 <= hm <= max(values) + 1e-9
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_iso_ipc_requirement_is_consistent(data):
+    sizes = sorted(data.draw(st.lists(st.integers(40, 160), min_size=2, max_size=8,
+                                      unique=True)))
+    base = data.draw(st.floats(0.5, 2.0))
+    increments = data.draw(st.lists(st.floats(0.0, 0.5), min_size=len(sizes),
+                                    max_size=len(sizes)))
+    ipcs = []
+    value = base
+    for increment in increments:
+        value += increment
+        ipcs.append(value)
+    target = data.draw(st.floats(0.1, ipcs[-1]))
+    needed = iso_ipc_register_requirement(sizes, ipcs, target)
+    assert needed is not None
+    assert sizes[0] <= needed <= sizes[-1]
+    # Monotonicity: asking for more performance never needs fewer registers.
+    easier = iso_ipc_register_requirement(sizes, ipcs, max(0.05, target / 2))
+    assert easier is not None and easier <= needed + 1e-9

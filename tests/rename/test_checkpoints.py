@@ -1,0 +1,103 @@
+"""Tests for the branch checkpoint stack."""
+
+import pytest
+
+from repro.isa import RegClass
+from repro.rename.checkpoints import Checkpoint, CheckpointStack
+
+
+def make_checkpoint(seq, value=0):
+    return Checkpoint(branch_seq=seq,
+                      map_snapshots={RegClass.INT: ((value,), (False,))},
+                      policy_snapshots={RegClass.INT: None})
+
+
+class TestPush:
+    def test_program_order_enforced(self):
+        stack = CheckpointStack(capacity=4)
+        stack.push(make_checkpoint(5))
+        with pytest.raises(ValueError):
+            stack.push(make_checkpoint(3))
+
+    def test_capacity_limit(self):
+        stack = CheckpointStack(capacity=2)
+        stack.push(make_checkpoint(1))
+        stack.push(make_checkpoint(2))
+        assert stack.is_full
+        with pytest.raises(RuntimeError):
+            stack.push(make_checkpoint(3))
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            CheckpointStack(capacity=0)
+
+    def test_paper_default_capacity(self):
+        # Table 2: up to 20 pending branches.
+        assert CheckpointStack().capacity == 20
+
+
+class TestPendingQueries:
+    def test_pending_seqs(self):
+        stack = CheckpointStack()
+        stack.push(make_checkpoint(3))
+        stack.push(make_checkpoint(8))
+        assert stack.pending_branch_seqs() == [3, 8]
+        assert stack.newest_pending_seq() == 8
+        assert stack.count_pending() == 2
+
+    def test_has_pending_younger_than(self):
+        stack = CheckpointStack()
+        stack.push(make_checkpoint(10))
+        assert stack.has_pending_younger_than(5)
+        assert not stack.has_pending_younger_than(10)
+        assert not stack.has_pending_younger_than(15)
+
+    def test_empty_stack_queries(self):
+        stack = CheckpointStack()
+        assert stack.newest_pending_seq() is None
+        assert not stack.has_pending_younger_than(0)
+        assert len(stack) == 0
+
+
+class TestResolution:
+    def test_confirm_removes_middle_entry(self):
+        stack = CheckpointStack()
+        for seq in (1, 2, 3):
+            stack.push(make_checkpoint(seq))
+        recovered = stack.confirm(2)
+        assert recovered.branch_seq == 2
+        assert stack.pending_branch_seqs() == [1, 3]
+
+    def test_confirm_unknown_returns_none(self):
+        stack = CheckpointStack()
+        stack.push(make_checkpoint(1))
+        assert stack.confirm(9) is None
+
+    def test_mispredict_pops_younger(self):
+        stack = CheckpointStack()
+        for seq in (1, 5, 9):
+            stack.push(make_checkpoint(seq))
+        recovered = stack.mispredict(5)
+        assert recovered.branch_seq == 5
+        assert stack.pending_branch_seqs() == [1]
+
+    def test_mispredict_unknown_returns_none(self):
+        stack = CheckpointStack()
+        stack.push(make_checkpoint(1))
+        assert stack.mispredict(7) is None
+        assert stack.pending_branch_seqs() == [1]
+
+    def test_squash_younger_than(self):
+        stack = CheckpointStack()
+        for seq in (1, 5, 9):
+            stack.push(make_checkpoint(seq))
+        dropped = stack.squash_younger_than(5)
+        assert [cp.branch_seq for cp in dropped] == [9]
+        assert stack.pending_branch_seqs() == [1, 5]
+
+    def test_clear(self):
+        stack = CheckpointStack()
+        stack.push(make_checkpoint(1))
+        dropped = stack.clear()
+        assert len(dropped) == 1
+        assert len(stack) == 0

@@ -1,0 +1,74 @@
+"""Tests for the checked free list."""
+
+import pytest
+
+from repro.rename.free_list import FreeList, FreeListError
+
+
+class TestConstruction:
+    def test_initially_free_range(self):
+        free_list = FreeList(64, initially_free=range(32, 64))
+        assert free_list.n_free == 32
+        assert free_list.n_allocated == 32
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            FreeList(8, initially_free=[9])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(FreeListError):
+            FreeList(8, initially_free=[3, 3])
+
+
+class TestAllocateRelease:
+    def test_fifo_order(self):
+        free_list = FreeList(8, initially_free=[4, 5, 6])
+        assert free_list.allocate() == 4
+        assert free_list.allocate() == 5
+        free_list.release(4)
+        assert free_list.allocate() == 6
+        assert free_list.allocate() == 4
+
+    def test_allocate_empties(self):
+        free_list = FreeList(4, initially_free=[3])
+        free_list.allocate()
+        assert not free_list.can_allocate()
+        with pytest.raises(FreeListError):
+            free_list.allocate()
+
+    def test_double_release_rejected(self):
+        free_list = FreeList(4, initially_free=[2])
+        reg = free_list.allocate()
+        free_list.release(reg)
+        with pytest.raises(FreeListError):
+            free_list.release(reg)
+
+    def test_release_out_of_range_rejected(self):
+        free_list = FreeList(4, initially_free=[])
+        with pytest.raises(FreeListError):
+            free_list.release(7)
+
+    def test_release_never_free_register(self):
+        # Register 0 starts allocated (architectural); releasing it is legal.
+        free_list = FreeList(4, initially_free=[2, 3])
+        free_list.release(0)
+        assert free_list.is_free(0)
+
+    def test_conservation(self):
+        free_list = FreeList(16, initially_free=range(8, 16))
+        regs = [free_list.allocate() for _ in range(5)]
+        for reg in regs[:3]:
+            free_list.release(reg)
+        assert free_list.n_free + free_list.n_allocated == 16
+
+    def test_is_free_tracking(self):
+        free_list = FreeList(8, initially_free=[5])
+        assert free_list.is_free(5)
+        reg = free_list.allocate()
+        assert not free_list.is_free(reg)
+
+    def test_snapshot_free_set(self):
+        free_list = FreeList(8, initially_free=[5, 6])
+        assert free_list.snapshot_free_set() == frozenset({5, 6})
+        free_list.allocate()
+        assert free_list.snapshot_free_set() == frozenset({6})

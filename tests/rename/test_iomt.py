@@ -1,0 +1,40 @@
+"""Tests for the in-order (retirement) map table."""
+
+import pytest
+
+from repro.rename.iomt import InOrderMapTable
+
+
+class TestIOMT:
+    def test_initial_state(self):
+        iomt = InOrderMapTable(4, [0, 1, 2, 3])
+        assert iomt.lookup(2) == 2
+
+    def test_commit_mapping_returns_previous(self):
+        iomt = InOrderMapTable(4, range(4))
+        previous = iomt.commit_mapping(1, 40)
+        assert previous == 1
+        assert iomt.lookup(1) == 40
+
+    def test_successive_commits(self):
+        iomt = InOrderMapTable(4, range(4))
+        iomt.commit_mapping(0, 10)
+        previous = iomt.commit_mapping(0, 11)
+        assert previous == 10
+        assert iomt.lookup(0) == 11
+
+    def test_snapshot(self):
+        iomt = InOrderMapTable(3, [7, 8, 9])
+        iomt.commit_mapping(1, 20)
+        assert iomt.snapshot() == (7, 20, 9)
+
+    def test_mapped_registers(self):
+        iomt = InOrderMapTable(3, [7, 8, 9])
+        assert iomt.mapped_registers() == (7, 8, 9)
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            InOrderMapTable(4, [1, 2, 3])
+
+    def test_len(self):
+        assert len(InOrderMapTable(32, range(32))) == 32

@@ -1,0 +1,84 @@
+"""Tests for the speculative map table (with stale-mapping flags)."""
+
+import pytest
+
+from repro.rename.map_table import MapTable
+
+
+class TestMapping:
+    def test_initial_mapping(self):
+        table = MapTable(4, [0, 1, 2, 3])
+        assert [table.lookup(i) for i in range(4)] == [0, 1, 2, 3]
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            MapTable(4, [0, 1])
+
+    def test_set_mapping(self):
+        table = MapTable(4, range(4))
+        table.set_mapping(2, 17)
+        assert table.lookup(2) == 17
+
+    def test_mapped_registers(self):
+        table = MapTable(3, [5, 6, 7])
+        assert table.mapped_registers() == (5, 6, 7)
+
+    def test_len(self):
+        assert len(MapTable(32, range(32))) == 32
+
+
+class TestSnapshotRestore:
+    def test_round_trip(self):
+        table = MapTable(4, range(4))
+        table.set_mapping(1, 9)
+        snapshot = table.snapshot()
+        table.set_mapping(1, 20)
+        table.set_mapping(3, 21)
+        table.restore(snapshot)
+        assert table.lookup(1) == 9
+        assert table.lookup(3) == 3
+
+    def test_snapshot_is_immutable_copy(self):
+        table = MapTable(4, range(4))
+        snapshot = table.snapshot()
+        table.set_mapping(0, 99)
+        mappings, _stale = snapshot
+        assert mappings[0] == 0
+
+    def test_restore_rejects_bad_size(self):
+        table = MapTable(4, range(4))
+        with pytest.raises(ValueError):
+            table.restore(((0, 1), (False, False)))
+
+
+class TestStaleFlags:
+    def test_not_stale_by_default(self):
+        table = MapTable(4, range(4))
+        assert not any(table.is_stale(i) for i in range(4))
+
+    def test_mark_and_clear_on_remap(self):
+        table = MapTable(4, range(4))
+        table.mark_stale(2)
+        assert table.is_stale(2)
+        table.set_mapping(2, 30)
+        assert not table.is_stale(2)
+
+    def test_stale_survives_snapshot_restore(self):
+        table = MapTable(4, range(4))
+        table.mark_stale(1)
+        snapshot = table.snapshot()
+        table.set_mapping(1, 9)          # clears staleness
+        table.restore(snapshot)
+        assert table.is_stale(1)
+
+    def test_restore_architectural_clears_stale(self):
+        table = MapTable(4, range(4))
+        table.mark_stale(1)
+        table.restore_architectural([4, 5, 6, 7])
+        assert not table.is_stale(1)
+        assert table.lookup(2) == 6
+
+    def test_restore_architectural_rejects_bad_size(self):
+        table = MapTable(4, range(4))
+        with pytest.raises(ValueError):
+            table.restore_architectural([1, 2])

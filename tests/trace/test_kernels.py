@@ -1,0 +1,148 @@
+"""Tests for the instruction-stream kernels."""
+
+import numpy as np
+import pytest
+
+from repro.isa import OpClass, RegClass
+from repro.trace.kernels import (BranchyKernel, IntComputeKernel, KernelParams,
+                                 PointerChaseKernel, StencilFPKernel,
+                                 StreamingFPKernel, branchy_kernel,
+                                 int_compute_kernel, pointer_chase_kernel,
+                                 stencil_fp_kernel, streaming_fp_kernel)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+ALL_FACTORIES = [streaming_fp_kernel, stencil_fp_kernel, int_compute_kernel,
+                 branchy_kernel, pointer_chase_kernel]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_iterations_produce_valid_instructions(self, factory, rng):
+        kernel = factory(KernelParams())
+        for _ in range(5):
+            for inst in kernel.emit_iteration(rng):
+                inst.validate()
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_every_iteration_ends_with_loop_branch(self, factory, rng):
+        kernel = factory(KernelParams())
+        iteration = kernel.emit_iteration(rng)
+        assert iteration[-1].is_branch
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_static_code_footprint_is_bounded(self, factory, rng):
+        # The same static loop body is re-executed every iteration (hammock
+        # paths may add a few pcs depending on branch outcomes), so the set of
+        # distinct pcs is small compared with the dynamic instruction count.
+        kernel = factory(KernelParams())
+        pcs = set()
+        emitted = 0
+        for _ in range(10):
+            iteration = kernel.emit_iteration(rng)
+            emitted += len(iteration)
+            pcs.update(inst.pc for inst in iteration)
+        assert len(pcs) < emitted / 3
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_prologue_is_valid(self, factory, rng):
+        kernel = factory(KernelParams())
+        for inst in kernel.prologue(rng):
+            inst.validate()
+
+
+class TestFPKernels:
+    def test_streaming_mixes_fp_and_int(self, rng):
+        kernel = streaming_fp_kernel(KernelParams(n_streams=3, chain_len=2))
+        iteration = kernel.emit_iteration(rng)
+        ops = {inst.op for inst in iteration}
+        assert OpClass.FP_LOAD in ops and OpClass.FP_STORE in ops
+        assert OpClass.INT_ALU in ops
+        fp_dests = sum(1 for inst in iteration
+                       if inst.dest is not None and inst.dest[0] is RegClass.FP)
+        assert 0 < fp_dests < len(iteration)
+
+    def test_streaming_fp_dest_density_moderate(self, rng):
+        kernel = streaming_fp_kernel(KernelParams(n_streams=4, chain_len=2))
+        iteration = kernel.emit_iteration(rng)
+        fp_dests = sum(1 for inst in iteration
+                       if inst.dest is not None and inst.dest[0] is RegClass.FP)
+        assert fp_dests / len(iteration) < 0.65
+
+    def test_stencil_has_divides_when_configured(self, rng):
+        kernel = stencil_fp_kernel(KernelParams(div_interval=1))
+        iteration = kernel.emit_iteration(rng)
+        assert any(inst.op is OpClass.FP_DIV for inst in iteration)
+
+    def test_stencil_without_divides(self, rng):
+        kernel = stencil_fp_kernel(KernelParams(div_interval=0))
+        iteration = kernel.emit_iteration(rng)
+        assert not any(inst.op is OpClass.FP_DIV for inst in iteration)
+
+    def test_loop_branch_mostly_taken(self, rng):
+        kernel = streaming_fp_kernel(KernelParams(trip_count=64))
+        outcomes = []
+        for _ in range(64):
+            outcomes.append(kernel.emit_iteration(rng)[-1].taken)
+        assert sum(outcomes) == 63
+
+    def test_stream_stride_respected(self, rng):
+        kernel = streaming_fp_kernel(KernelParams(n_streams=1, stream_stride=64))
+        first = [inst for inst in kernel.emit_iteration(rng) if inst.is_load][0]
+        second = [inst for inst in kernel.emit_iteration(rng) if inst.is_load][0]
+        assert second.mem_addr - first.mem_addr == 64
+
+
+class TestIntKernels:
+    def test_int_compute_parallel_chains(self, rng):
+        kernel = int_compute_kernel(KernelParams(n_parallel_chains=3, chain_len=2))
+        iteration = kernel.emit_iteration(rng)
+        loads = [inst for inst in iteration if inst.is_load]
+        assert len(loads) == 3
+
+    def test_int_compute_multiply_interval(self, rng):
+        kernel = int_compute_kernel(KernelParams(mult_interval=2))
+        ops_by_iteration = [
+            {inst.op for inst in kernel.emit_iteration(rng)} for _ in range(4)]
+        has_mult = [OpClass.INT_MULT in ops for ops in ops_by_iteration]
+        assert has_mult == [True, False, True, False]
+
+    def test_branchy_branch_density(self, rng):
+        params = KernelParams(n_branch_sites=10, block_len=4)
+        kernel = branchy_kernel(params)
+        iteration = kernel.emit_iteration(rng)
+        branches = sum(1 for inst in iteration if inst.is_branch)
+        assert branches == 11                       # 10 sites + loop branch
+
+    def test_branchy_no_fp(self, rng):
+        kernel = branchy_kernel(KernelParams())
+        iteration = kernel.emit_iteration(rng)
+        assert not any(inst.dest is not None and inst.dest[0] is RegClass.FP
+                       for inst in iteration)
+
+    def test_pointer_chase_dependent_loads(self, rng):
+        kernel = pointer_chase_kernel(KernelParams(load_chain_len=2))
+        iteration = kernel.prologue(rng) + kernel.emit_iteration(rng)
+        loads = [inst for inst in iteration if inst.is_load]
+        # Each chase load reads and redefines its own pointer register.
+        for load in loads:
+            assert load.dest in load.srcs or load.dest[1] == load.srcs[0][1]
+
+    def test_pointer_chase_two_interleaved_chases(self, rng):
+        kernel = pointer_chase_kernel(KernelParams(load_chain_len=2))
+        kernel.prologue(rng)
+        iteration = kernel.emit_iteration(rng)
+        pointer_regs = {inst.dest[1] for inst in iteration if inst.is_load}
+        assert len(pointer_regs) == 2
+
+    def test_hammock_skipped_when_taken(self, rng):
+        params = KernelParams(branch_bias=1.0, branch_noise=0.0, hammock_len=3)
+        kernel = int_compute_kernel(params)
+        # With bias 1.0 and no noise the hammock branch is (almost) always
+        # taken, so iterations where it is taken are shorter.
+        lengths = {len(kernel.emit_iteration(rng)) for _ in range(10)}
+        assert min(lengths) < max(lengths) or len(lengths) == 1

@@ -1,0 +1,95 @@
+"""Tests for the SPEC95-like benchmark profiles and trace generation."""
+
+import pytest
+
+from repro.isa import RegClass
+from repro.trace.workloads import (WORKLOADS, all_workloads, fp_workloads,
+                                   generate_trace, get_profile, get_workload,
+                                   integer_workloads)
+
+
+class TestRegistry:
+    def test_ten_benchmarks(self):
+        assert len(WORKLOADS) == 10
+        assert len(integer_workloads()) == 5
+        assert len(fp_workloads()) == 5
+        assert set(all_workloads()) == set(WORKLOADS)
+
+    def test_paper_table3_names(self):
+        assert integer_workloads() == ["compress", "gcc", "go", "li", "perl"]
+        assert fp_workloads() == ["mgrid", "tomcatv", "applu", "swim", "hydro2d"]
+
+    def test_focus_class(self):
+        assert get_profile("gcc").focus_class is RegClass.INT
+        assert get_profile("swim").focus_class is RegClass.FP
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("doom")
+
+    def test_profiles_have_documentation(self):
+        for profile in WORKLOADS.values():
+            assert profile.description
+            assert profile.paper_input
+            assert profile.paper_instructions_m > 0
+
+
+class TestGeneration:
+    def test_length_close_to_request(self):
+        trace = generate_trace(get_profile("compress"), 2000, seed=1)
+        assert 2000 <= len(trace) <= 2400
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_trace(get_profile("li"), 1000, seed=5)
+        b = generate_trace(get_profile("li"), 1000, seed=5)
+        assert len(a) == len(b)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(get_profile("go"), 1500, seed=1)
+        b = generate_trace(get_profile("go"), 1500, seed=2)
+        assert any(x.mem_addr != y.mem_addr or x.taken != y.taken
+                   for x, y in zip(a, b))
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            generate_trace(get_profile("gcc"), 0)
+
+    def test_get_workload_caches(self):
+        a = get_workload("perl", 1000, seed=0)
+        b = get_workload("perl", 1000, seed=0)
+        assert a is b
+
+    def test_all_instructions_valid(self):
+        for name in ("gcc", "swim"):
+            for inst in get_workload(name, 1200):
+                inst.validate()
+
+
+class TestCharacterisation:
+    """The generated traces must land in the dynamic regime the paper relies on."""
+
+    @pytest.mark.parametrize("name", integer_workloads())
+    def test_integer_codes_are_branch_dense(self, name):
+        summary = get_workload(name, 4000).summary()
+        assert summary.branch_fraction > 0.08
+        assert summary.fp_regs_written == 0
+
+    @pytest.mark.parametrize("name", fp_workloads())
+    def test_fp_codes_have_few_branches_and_many_fp_regs(self, name):
+        summary = get_workload(name, 4000).summary()
+        assert summary.branch_fraction < 0.08
+        assert summary.fp_regs_written >= 16
+
+    @pytest.mark.parametrize("name", fp_workloads())
+    def test_fp_codes_have_longer_register_lifetimes(self, name):
+        fp_summary = get_workload(name, 4000).summary()
+        int_summary = get_workload("gcc", 4000).summary()
+        assert (fp_summary.avg_def_redefine_distance
+                > int_summary.avg_def_redefine_distance)
+
+    def test_memory_operations_present_everywhere(self):
+        for name in all_workloads():
+            summary = get_workload(name, 3000).summary()
+            assert summary.load_fraction > 0.02
+            assert summary.store_fraction > 0.005
