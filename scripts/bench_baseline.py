@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Snapshot the wall-clock cost of regenerating every paper artefact.
+
+Runs the ``benchmarks/`` harness under ``pytest-benchmark`` with
+``--benchmark-json`` and writes a ``BENCH_<timestamp>.json`` snapshot into
+the repository root (or ``--output``), so the performance trajectory of
+the simulator is tracked PR over PR.  Usage::
+
+    python scripts/bench_baseline.py                # BENCH_<UTC timestamp>.json
+    python scripts/bench_baseline.py --output BENCH_pr1.json
+    python scripts/bench_baseline.py --select figure11   # one artefact only
+
+The script is a thin wrapper over::
+
+    PYTHONPATH=src python -m pytest benchmarks --benchmark-json <out>
+
+and exits with pytest's return code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the benchmark harness and write a BENCH_*.json snapshot.")
+    parser.add_argument("--output", default=None,
+                        help="snapshot path (default: BENCH_<UTC timestamp>.json "
+                             "in the repository root)")
+    parser.add_argument("--select", default=None,
+                        help="pytest -k expression to run a subset of the harness")
+    args = parser.parse_args(argv)
+
+    if args.output is None:
+        stamp = datetime.datetime.now(datetime.timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+        output = REPO_ROOT / f"BENCH_{stamp}.json"
+    else:
+        output = Path(args.output).resolve()
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+
+    command = [sys.executable, "-m", "pytest", "benchmarks", "-q",
+               "--benchmark-json", str(output)]
+    if args.select:
+        command += ["-k", args.select]
+    returncode = subprocess.call(command, cwd=REPO_ROOT, env=env)
+    if returncode != 0:
+        return returncode
+
+    # Human-readable recap of what was recorded.
+    with open(output) as handle:
+        payload = json.load(handle)
+    benches = payload.get("benchmarks", [])
+    print(f"\nwrote {output} ({len(benches)} benchmarks)")
+    for bench in sorted(benches, key=lambda b: b["stats"]["mean"], reverse=True):
+        print(f"  {bench['stats']['mean']:8.2f}s  {bench['name']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

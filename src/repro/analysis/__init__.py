@@ -4,9 +4,13 @@ This package turns raw :class:`repro.pipeline.stats.SimStats` objects into
 the quantities the paper reports (harmonic-mean IPC, speedups, iso-IPC
 register savings, Empty/Ready/Idle occupancy breakdowns) and provides the
 sweep driver used by the Figure 10/11 and Table 4 experiments, including a
-multiprocessing runner that exploits the embarrassing parallelism across
-(benchmark, policy, register-file size) simulation points.
+multiprocessing runner that shards the embarrassingly parallel
+(benchmark, policy, register-file size) simulation points in chunks across
+a process pool, and a persistent on-disk result cache so repeated sweeps
+only simulate points never simulated before.
 """
+
+from repro.analysis.cache import SweepCache, config_digest, point_key
 
 from repro.analysis.metrics import (
     harmonic_mean,
@@ -32,6 +36,9 @@ from repro.analysis.reporting import (
 )
 
 __all__ = [
+    "SweepCache",
+    "config_digest",
+    "point_key",
     "harmonic_mean",
     "geometric_mean",
     "speedup",

@@ -1,0 +1,223 @@
+"""Persistent on-disk cache of sweep simulation results.
+
+Every sweep point is one deterministic cycle-level simulation, fully
+determined by ``(workload, processor configuration, trace length, seed)``.
+The cache keys each point by a SHA-256 digest of exactly those inputs and
+stores the pickled :class:`~repro.pipeline.stats.SimStats`, so regenerating
+a figure after a partial sweep — or re-running a sweep with a finer
+register-size grid — only simulates the missing points.
+
+Layout: ``<cache_dir>/<key[:2]>/<key>.pkl`` (the two-character fan-out
+keeps directories small for big sweeps).  Writes are atomic
+(tmp file + ``os.replace``) so concurrent sweep workers and parallel
+processes never observe torn entries; readers treat any unreadable entry
+as a miss.
+
+Keys also fold in a digest of the ``repro`` package's own source code
+(:func:`code_digest`), so any change to the simulator invalidates the
+cache automatically — cached results can never silently survive a
+behaviour change.  The default cache directory is ``$REPRO_SWEEP_CACHE``
+when set, else ``~/.cache/repro/sweeps``.  Bump
+:data:`CACHE_SCHEMA_VERSION` whenever the pickled payload or the key
+inputs change meaning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.sweep import SweepConfig, SweepPoint
+    from repro.pipeline.config import ProcessorConfig
+    from repro.pipeline.stats import SimStats
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
+
+#: Bump when the key derivation or the pickled payload changes shape.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory (env override, else ``~/.cache``)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+def _canonical(value) -> object:
+    """Recursively convert ``value`` into a deterministic representation.
+
+    Dataclasses become sorted ``(field, value)`` tuples, mappings are
+    sorted by stringified key, enums collapse to their names — so the
+    digest is stable across processes and insertion orders.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return ("dataclass", type(value).__name__,
+                tuple((f.name, _canonical(getattr(value, f.name)))
+                      for f in sorted(dataclasses.fields(value),
+                                      key=lambda f: f.name)))
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted(((str(k), _canonical(v))
+                                      for k, v in value.items()))))
+    if hasattr(value, "items"):  # non-dict Mappings (FUConfig counts)
+        return ("map", tuple(sorted(((str(k), _canonical(v))
+                                     for k, v in value.items()))))
+    if isinstance(value, (frozenset, set)):
+        return ("set", tuple(sorted(str(_canonical(v)) for v in value)))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_canonical(v) for v in value))
+    if hasattr(value, "name") and hasattr(value, "value"):  # enums
+        return ("enum", type(value).__name__, value.name)
+    return value
+
+
+def config_digest(config: "ProcessorConfig") -> str:
+    """Stable hex digest of a processor configuration."""
+    payload = repr(_canonical(config)).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+@functools.lru_cache(maxsize=1)
+def code_digest() -> str:
+    """Digest of the ``repro`` package's source files.
+
+    Simulation results are a pure function of (inputs, simulator code);
+    hashing the code makes every source change invalidate the cache, so a
+    behaviour fix can never be masked by stale entries.  Computed once per
+    process (~100 small files).
+    """
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def point_key(sweep_config: "SweepConfig", point: "SweepPoint") -> str:
+    """Cache key of one sweep point:
+    (workload, config hash, trace length, seed, simulator code)."""
+    config = sweep_config.config_for(point)
+    payload = repr((
+        "repro-sweep-point", CACHE_SCHEMA_VERSION, code_digest(),
+        point.benchmark, sweep_config.trace_length, sweep_config.seed,
+        config_digest(config),
+    )).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+class SweepCache:
+    """Directory-backed store of simulated sweep points."""
+
+    def __init__(self, cache_dir: Union[None, str, Path] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        # run-time counters (telemetry for run_sweep reporting / tests)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.store_errors = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, sweep_config: "SweepConfig", point: "SweepPoint") -> Path:
+        """Filesystem path of one point's entry."""
+        key = point_key(sweep_config, point)
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    def get(self, sweep_config: "SweepConfig",
+            point: "SweepPoint") -> Optional["SimStats"]:
+        """Cached statistics of ``point``, or None on a miss."""
+        path = self.path_for(sweep_config, point)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise EOFError("schema mismatch")
+            stats = payload["stats"]
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, sweep_config: "SweepConfig", point: "SweepPoint",
+            stats: "SimStats") -> None:
+        """Store the statistics of one simulated point (atomic write).
+
+        Filesystem failures (full disk, read-only mount) degrade to an
+        uncached run instead of crashing a sweep whose simulation work is
+        already done; they are tallied in :attr:`store_errors`.
+        """
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "point": (point.benchmark, point.policy, point.num_registers),
+            "trace_length": sweep_config.trace_length,
+            "seed": sweep_config.seed,
+            "stats": stats,
+        }
+        tmp_name = None
+        try:
+            path = self.path_for(sweep_config, point)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except OSError:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            self.store_errors += 1
+            return
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def __contains__(self, item) -> bool:
+        sweep_config, point = item
+        return self.path_for(sweep_config, point).exists()
+
+    def clear(self) -> int:
+        """Delete every entry below the cache directory; returns the count."""
+        removed = 0
+        if not self.cache_dir.exists():
+            return removed
+        for path in self.cache_dir.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SweepCache({str(self.cache_dir)!r}, hits={self.hits}, "
+                f"misses={self.misses}, stores={self.stores})")
+
+
+def resolve_cache(cache: Union[None, bool, str, Path, SweepCache],
+                  ) -> Optional[SweepCache]:
+    """Normalise the ``cache`` argument accepted by ``run_sweep``.
+
+    ``None`` / ``False`` → no caching; ``True`` → default directory;
+    a path → cache rooted there; a :class:`SweepCache` → itself.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return SweepCache()
+    if isinstance(cache, SweepCache):
+        return cache
+    return SweepCache(cache)

@@ -7,13 +7,20 @@ scatter/gather examples) recommend: leave the inner simulation loop alone
 and parallelise the outer loop over independent work items.  On the target
 machines MPI is not available, so a :class:`concurrent.futures`
 process pool provides the workers.
+
+Work is sharded in *chunks*: submitting every point as its own future
+costs one pickled ``SweepConfig`` round-trip and one scheduling decision
+per point, which dominates for the short simulations of quick sweeps.
+The default chunk size targets four chunks per worker — small enough that
+slow points (tight register files, branch-heavy benchmarks) still balance
+across the pool, large enough to amortise the per-future overhead.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.sweep import SweepConfig, SweepPoint
@@ -28,11 +35,18 @@ def available_workers(max_workers: Optional[int] = None) -> int:
     return max(1, min(max_workers, cpu_count))
 
 
-def _run_point(sweep_config: "SweepConfig", point: "SweepPoint") -> "SimStats":
-    """Worker entry point (module level so it can be pickled)."""
+def default_chunk_size(n_points: int, workers: int) -> int:
+    """Chunk size giving roughly four chunks per worker."""
+    return max(1, n_points // (workers * 4))
+
+
+def _run_chunk(sweep_config: "SweepConfig", chunk: Sequence["SweepPoint"],
+               ) -> List[Tuple["SweepPoint", "SimStats"]]:
+    """Worker entry point for one shard of points."""
     from repro.analysis.sweep import run_simulation_point
 
-    return run_simulation_point(sweep_config, point)
+    return [(point, run_simulation_point(sweep_config, point))
+            for point in chunk]
 
 
 class ParallelSweepRunner:
@@ -42,22 +56,32 @@ class ParallelSweepRunner:
         self.max_workers = available_workers(max_workers)
 
     def run(self, sweep_config: "SweepConfig",
-            points: Sequence["SweepPoint"]) -> Dict["SweepPoint", "SimStats"]:
+            points: Sequence["SweepPoint"],
+            chunk_size: Optional[int] = None,
+            on_result: Optional[Callable[["SweepPoint", "SimStats"], None]] = None,
+            ) -> Dict["SweepPoint", "SimStats"]:
         """Run every point and return ``{point: stats}``.
 
-        Work is submitted point-by-point (rather than chunked) because the
-        simulation times of different points vary widely — small register
-        files and branch-heavy benchmarks take longer per instruction — and
-        fine-grained scheduling keeps all workers busy until the end.
+        ``chunk_size`` overrides the number of points per shard (see the
+        module docstring for the default's rationale).  ``on_result`` is
+        invoked in this process for every point as its chunk completes —
+        the sweep driver uses it to persist results incrementally, so a
+        crash mid-sweep keeps everything already simulated.
         """
         results: Dict["SweepPoint", "SimStats"] = {}
         if not points:
             return results
         workers = min(self.max_workers, len(points))
+        if chunk_size is None:
+            chunk_size = default_chunk_size(len(points), workers)
+        chunks = [list(points[start:start + chunk_size])
+                  for start in range(0, len(points), chunk_size)]
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_run_point, sweep_config, point): point
-                       for point in points}
+            futures = [pool.submit(_run_chunk, sweep_config, chunk)
+                       for chunk in chunks]
             for future in as_completed(futures):
-                point = futures[future]
-                results[point] = future.result()
+                for point, stats in future.result():
+                    results[point] = stats
+                    if on_result is not None:
+                        on_result(point, stats)
         return results

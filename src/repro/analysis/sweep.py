@@ -2,18 +2,25 @@
 
 A *sweep* is the cross product of benchmarks × release policies ×
 register-file sizes, each point being one cycle-level simulation.  The
-driver runs the points either serially or through the multiprocessing
-runner of :mod:`repro.analysis.parallel` (each point is independent — the
-"parallelise the outer loop" pattern of the session's HPC guides) and
-collects the results into a :class:`SweepResult` with the accessors the
-experiment modules need.
+driver layers three mechanisms over that cross product:
+
+* a persistent on-disk **result cache** (:mod:`repro.analysis.cache`)
+  keyed by (workload, config hash, trace length, seed), so regenerating a
+  figure after a partial sweep only simulates the missing points;
+* **chunked work-sharding** across the multiprocessing pool of
+  :mod:`repro.analysis.parallel` (each point is independent — the
+  "parallelise the outer loop" pattern of HPC simulator design);
+* the :class:`SweepResult` accessors the experiment modules need
+  (per-point stats, harmonic-mean IPC curves, iso-IPC sizes, merging).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.cache import SweepCache, resolve_cache
 from repro.analysis.metrics import harmonic_mean, iso_ipc_register_requirement
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.processor import simulate
@@ -73,24 +80,62 @@ def run_simulation_point(sweep_config: SweepConfig, point: SweepPoint) -> SimSta
 
 
 class SweepResult:
-    """Results of a sweep, indexed by (benchmark, policy, register size)."""
+    """Results of a sweep, indexed by (benchmark, policy, register size).
+
+    ``simulated`` / ``cached`` report how many points the producing
+    ``run_sweep`` call actually simulated versus served from the on-disk
+    cache (both zero for results built directly from a dict).
+    """
 
     def __init__(self, sweep_config: SweepConfig,
-                 results: Dict[SweepPoint, SimStats]) -> None:
+                 results: Dict[SweepPoint, SimStats],
+                 simulated: int = 0, cached: int = 0) -> None:
         self.config = sweep_config
         self._results = dict(results)
+        self.simulated = simulated
+        self.cached = cached
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._results)
+
+    def __contains__(self, point) -> bool:
+        """Probe for a point: a :class:`SweepPoint` or a
+        ``(benchmark, policy, num_registers)`` tuple."""
+        if not isinstance(point, SweepPoint):
+            try:
+                point = SweepPoint(*point)
+            except TypeError:
+                return False
+        return point in self._results
 
     def points(self) -> List[SweepPoint]:
         """All points present in the result."""
         return list(self._results)
 
     def stats(self, benchmark: str, policy: str, num_registers: int) -> SimStats:
-        """Full statistics of one point."""
-        return self._results[SweepPoint(benchmark, policy, num_registers)]
+        """Full statistics of one point.
+
+        Raises a :class:`KeyError` naming the missing point and the
+        nearest available coordinates, instead of a bare key repr.
+        """
+        point = SweepPoint(benchmark, policy, num_registers)
+        try:
+            return self._results[point]
+        except KeyError:
+            raise KeyError(self._describe_missing(point)) from None
+
+    def _describe_missing(self, point: SweepPoint) -> str:
+        benchmarks = sorted({p.benchmark for p in self._results})
+        policies = sorted({p.policy for p in self._results})
+        sizes = sorted({p.num_registers for p in self._results
+                        if p.benchmark == point.benchmark
+                        and p.policy == point.policy}
+                       or {p.num_registers for p in self._results})
+        nearest = sorted(sizes, key=lambda s: abs(s - point.num_registers))[:5]
+        return (f"sweep has no point {point} — available benchmarks: "
+                f"{benchmarks or '[]'}; policies: {policies or '[]'}; "
+                f"nearest register sizes: {sorted(nearest) or '[]'}")
 
     def ipc(self, benchmark: str, policy: str, num_registers: int) -> float:
         """IPC of one point."""
@@ -119,7 +164,7 @@ class SweepResult:
 
     # ------------------------------------------------------------------
     def merge(self, other: "SweepResult") -> "SweepResult":
-        """Combine two sweeps run over disjoint point sets."""
+        """Combine two sweeps (``other`` wins on overlapping points)."""
         merged = dict(self._results)
         merged.update(other._results)
         sizes = tuple(sorted(set(self.config.register_sizes)
@@ -129,24 +174,61 @@ class SweepResult:
         policies = tuple(dict.fromkeys(self.config.policies + other.config.policies))
         config = replace(self.config, register_sizes=sizes, benchmarks=benchmarks,
                          policies=policies)
-        return SweepResult(config, merged)
+        return SweepResult(config, merged,
+                           simulated=self.simulated + other.simulated,
+                           cached=self.cached + other.cached)
 
 
 def run_sweep(sweep_config: SweepConfig, parallel: bool = True,
-              max_workers: Optional[int] = None) -> SweepResult:
+              max_workers: Optional[int] = None,
+              cache: Union[None, bool, str, Path, SweepCache] = None,
+              chunk_size: Optional[int] = None) -> SweepResult:
     """Run every point of ``sweep_config`` and collect the results.
 
-    With ``parallel=True`` the points are distributed over a process pool
-    (one Python process per core by default); otherwise they run serially
-    in this process.
-    """
-    points = sweep_config.points()
-    if parallel and len(points) > 1:
-        from repro.analysis.parallel import ParallelSweepRunner
+    With ``parallel=True`` the points are sharded in chunks over a process
+    pool (one Python process per core by default); otherwise they run
+    serially in this process.
 
-        runner = ParallelSweepRunner(max_workers=max_workers)
-        results = runner.run(sweep_config, points)
+    ``cache`` enables the persistent result cache: ``True`` uses the
+    default directory (``$REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``),
+    a path roots the cache there, and a :class:`SweepCache` instance is
+    used as-is.  Cached points are not simulated at all — re-running an
+    already-computed sweep performs zero simulations — and freshly
+    simulated points are written back for the next run.
+    """
+    store = resolve_cache(cache)
+    points = sweep_config.points()
+
+    results: Dict[SweepPoint, SimStats] = {}
+    missing: List[SweepPoint] = []
+    if store is not None:
+        for point in points:
+            stats = store.get(sweep_config, point)
+            if stats is None:
+                missing.append(point)
+            else:
+                results[point] = stats
     else:
-        results = {point: run_simulation_point(sweep_config, point)
-                   for point in points}
-    return SweepResult(sweep_config, results)
+        missing = points
+
+    if missing:
+        # Persist each result as soon as it lands (not after the whole
+        # sweep): an interrupted or crashed run keeps every completed
+        # point, so the re-run only simulates what is genuinely missing.
+        def record(point: SweepPoint, stats: SimStats) -> None:
+            results[point] = stats
+            if store is not None:
+                store.put(sweep_config, point, stats)
+
+        if parallel and len(missing) > 1:
+            from repro.analysis.parallel import ParallelSweepRunner
+
+            runner = ParallelSweepRunner(max_workers=max_workers)
+            runner.run(sweep_config, missing, chunk_size=chunk_size,
+                       on_result=record)
+        else:
+            for point in missing:
+                record(point, run_simulation_point(sweep_config, point))
+
+    return SweepResult(sweep_config, results,
+                       simulated=len(missing), cached=len(points) - len(missing))

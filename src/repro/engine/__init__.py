@@ -1,0 +1,58 @@
+"""Event-driven simulation engine with composable pipeline stages.
+
+This package hosts the simulation kernel: :class:`MachineState` (the
+explicit shared machine state), the five :class:`Stage` objects
+(commit, writeback, issue, rename, fetch), the clocks
+(:class:`CycleClock` for classic per-cycle stepping, :class:`EventClock`
+for quiescence fast-forward) and :class:`SimulationEngine`, which wires
+them together.  :func:`simulate` is the one-call entry point.
+
+The legacy :class:`repro.pipeline.processor.Processor` and
+:func:`repro.pipeline.processor.simulate` remain as thin facades over this
+package, so existing callers keep working unchanged.
+"""
+
+from repro.engine.clock import CycleClock, EventClock
+from repro.engine.engine import DeadlockError, SimulationEngine, simulate
+from repro.engine.stages import (
+    CommitStage,
+    FetchStage,
+    IssueStage,
+    RenameStage,
+    Stage,
+    WritebackStage,
+    default_stages,
+    dispatch_hazard,
+    may_avoid_allocation,
+)
+from repro.engine.state import (
+    STALL_CHECKPOINTS_FULL,
+    STALL_LSQ_FULL,
+    STALL_NO_FREE_FP,
+    STALL_NO_FREE_INT,
+    STALL_ROS_FULL,
+    MachineState,
+)
+
+__all__ = [
+    "CycleClock",
+    "EventClock",
+    "DeadlockError",
+    "SimulationEngine",
+    "simulate",
+    "Stage",
+    "CommitStage",
+    "WritebackStage",
+    "IssueStage",
+    "RenameStage",
+    "FetchStage",
+    "default_stages",
+    "dispatch_hazard",
+    "may_avoid_allocation",
+    "MachineState",
+    "STALL_ROS_FULL",
+    "STALL_LSQ_FULL",
+    "STALL_CHECKPOINTS_FULL",
+    "STALL_NO_FREE_INT",
+    "STALL_NO_FREE_FP",
+]

@@ -1,0 +1,160 @@
+"""Simulation clocks: per-cycle stepping and event-driven fast-forward.
+
+A clock decides how far :attr:`MachineState.cycle` advances between stage
+sweeps.  :class:`CycleClock` reproduces the classic loop — one sweep per
+cycle, no exceptions — and is the reference the equivalence tests compare
+against.  :class:`EventClock` detects *quiescent* machine states and jumps
+straight to the next cycle at which any stage can act.
+
+A machine is quiescent at cycle ``c`` when every stage's sweep at ``c``
+would be a no-op (modulo deterministic stall accounting):
+
+* **commit** — the ROS head is absent or not yet completed;
+* **writeback** — no completion event is scheduled at ``c``;
+* **issue** — no unissued entry is ready: every one still waits on a
+  producer, or is a load blocked by an older store with an unknown
+  address (a *ready* entry always either issues or books a structural
+  stall, so its presence forbids skipping);
+* **rename** — the front-end pipe is drained, or its head is not yet
+  through the decode stages, or the head is blocked on a resource hazard
+  (ROS/LSQ/checkpoints full or no free destination register).  Hazard
+  conditions only change at commit/writeback events, so the blocked state
+  — and its per-cycle stall counter — is constant across the gap;
+* **fetch** — the pipe is at capacity, the trace is exhausted, or the
+  fetch unit is stalled on an instruction-cache miss.
+
+The jump target is the earliest cycle any of this changes: the next
+completion event, the cycle the pipe head leaves decode, or the end of the
+I-cache stall.  Statistics are *jump-aware*: a rename hazard that would
+have booked one dispatch-stall per spun cycle books ``skipped`` of them at
+jump time, so the event-driven run produces bit-identical
+:class:`~repro.pipeline.stats.SimStats` to the per-cycle loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.engine.stages import dispatch_hazard
+from repro.engine.state import MachineState
+
+#: Sentinel for "no wake-up event found".
+_NEVER = None
+
+
+class CycleClock:
+    """The classic loop: advance exactly one cycle per stage sweep."""
+
+    #: clocks expose how much fast-forwarding happened (zero here).
+    fast_forwards = 0
+    cycles_skipped = 0
+
+    def advance(self, state: MachineState,
+                max_cycles: Optional[int] = None) -> None:
+        """Per-cycle stepping never jumps; the engine's ``cycle += 1`` rules."""
+
+
+class EventClock:
+    """Event-driven clock: skip cycles in which no stage can act."""
+
+    def __init__(self) -> None:
+        #: number of jumps performed.
+        self.fast_forwards = 0
+        #: total cycles skipped over all jumps.
+        self.cycles_skipped = 0
+
+    # ------------------------------------------------------------------
+    def advance(self, state: MachineState,
+                max_cycles: Optional[int] = None) -> None:
+        """Fast-forward ``state.cycle`` to the next actionable cycle.
+
+        Called by the engine *before* a stage sweep.  When the machine is
+        quiescent, jumps to the earliest wake-up event (capped at
+        ``max_cycles``, where the run loop stops) and books the dispatch
+        stalls the skipped cycles would have accumulated.
+        """
+        wake = self._next_wake(state)
+        if wake is _NEVER:
+            return
+        wake_cycle, stall_reason = wake
+        if max_cycles is not None and wake_cycle > max_cycles:
+            wake_cycle = max_cycles
+        skipped = wake_cycle - state.cycle
+        if skipped <= 0:
+            return
+        if stall_reason is not None:
+            state.stats.dispatch_stalls[stall_reason] += skipped
+        state.cycle = wake_cycle
+        self.fast_forwards += 1
+        self.cycles_skipped += skipped
+
+    # ------------------------------------------------------------------
+    def _next_wake(self, state: MachineState) -> Optional[Tuple[int, Optional[str]]]:
+        """Earliest cycle any stage can act, or None when the current cycle
+        cannot be skipped.
+
+        Returns ``(wake_cycle, stall_reason)`` with ``wake_cycle >
+        state.cycle``; ``stall_reason`` names the dispatch hazard blocking
+        a ready front-end pipe head (one booked stall per skipped cycle),
+        or None when rename is simply empty or not yet fed.
+        """
+        cycle = state.cycle
+
+        # Commit would act on a completed head (commit-width continuation).
+        head = state.ros.head()
+        if head is not None and head.completed:
+            return _NEVER
+
+        # Writeback: the next completion event bounds the jump.
+        wake: Optional[int] = None
+        if state.completions:
+            wake = min(state.completions)
+            if wake <= cycle:
+                return _NEVER
+
+        # Fetch must be a no-op for every skipped cycle (checked before the
+        # reorder-structure scan: an actively fetching front end is the
+        # common busy case, and this test is O(1)).
+        fetch_unit = state.fetch_unit
+        if len(state.decode_queue) >= state.decode_capacity:
+            pass                                  # pipe full: fetch returns early
+        elif fetch_unit.trace_exhausted:
+            pass                                  # nothing left to fetch
+        elif fetch_unit.stalled_until > cycle:    # I-cache miss in progress
+            stall_end = fetch_unit.stalled_until
+            wake = stall_end if wake is None else min(wake, stall_end)
+        else:
+            return _NEVER                         # fetch would deliver a group
+
+        # Rename: a ready pipe head must be hazard-blocked (the hazard is
+        # constant across the gap — it only changes at commit/writeback
+        # events, of which the gap has none); a not-yet-decoded head caps
+        # the jump at its decode-exit cycle.
+        stall_reason: Optional[str] = None
+        if state.decode_queue:
+            ready_cycle, op = state.decode_queue[0]
+            if ready_cycle > cycle:
+                wake = ready_cycle if wake is None else min(wake, ready_cycle)
+            else:
+                stall_reason = dispatch_hazard(state, op.inst)
+                if stall_reason is None:
+                    return _NEVER
+
+        if wake is None or wake <= cycle:
+            return _NEVER
+
+        # Issue: a ready entry would either issue or book a structural
+        # stall every cycle; both forbid skipping.  Waiting entries only
+        # wake at a completion event; loads blocked on an older store's
+        # unknown address only unblock when that store issues.
+        lsq = state.lsq
+        for entry in state.ros:
+            if entry.issued or entry.completed:
+                continue
+            if entry.wait_producers:
+                continue
+            if entry.inst.is_load and not lsq.load_may_issue(entry.seq):
+                continue
+            return _NEVER
+
+        return wake, stall_reason

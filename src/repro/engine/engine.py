@@ -1,0 +1,99 @@
+"""The simulation engine: stages wired to a shared state and a clock.
+
+:class:`SimulationEngine` owns one :class:`~repro.engine.state.MachineState`,
+sweeps the five stages over it (commit → writeback → issue → rename →
+fetch, reverse pipeline order) and lets its clock fast-forward across
+quiescent gaps.  :func:`simulate` is the one-call entry point; the legacy
+:class:`repro.pipeline.processor.Processor` facade delegates here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.engine.clock import CycleClock, EventClock
+from repro.engine.stages import Stage, default_stages
+from repro.engine.state import MachineState
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.stats import SimStats
+from repro.trace.records import Trace
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the pipeline makes no forward progress for many cycles."""
+
+
+class SimulationEngine:
+    """Drives one machine to completion through composable pipeline stages."""
+
+    def __init__(self, trace: Trace, config: Optional[ProcessorConfig] = None,
+                 clock: Union[None, CycleClock, EventClock] = None,
+                 stages: Optional[List[Stage]] = None) -> None:
+        self.state = MachineState(trace, config)
+        self.stages = stages if stages is not None else default_stages()
+        #: the event-driven clock is the default; pass :class:`CycleClock`
+        #: to force classic per-cycle stepping (reference/debugging mode).
+        self.clock = clock if clock is not None else EventClock()
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True when every fetched instruction has drained from the pipeline."""
+        return self.state.finished
+
+    @property
+    def stats(self) -> SimStats:
+        """The (live) statistics of the run."""
+        return self.state.stats
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Simulate exactly one cycle (commit → writeback → issue → rename → fetch).
+
+        ``step`` never fast-forwards: single-stepping callers observe every
+        cycle.  The clock only jumps inside :meth:`run`.
+        """
+        state = self.state
+        for stage in self.stages:
+            stage.tick(state)
+        state.cycle += 1
+
+    def run(self, max_instructions: Optional[int] = None,
+            max_cycles: Optional[int] = None,
+            deadlock_threshold: int = 50_000) -> SimStats:
+        """Run the simulation until the trace drains (or a limit is hit)."""
+        state = self.state
+        clock = self.clock
+        limit = max_instructions if max_instructions is not None else len(state.trace)
+        while True:
+            clock.advance(state, max_cycles=max_cycles)
+            if max_cycles is not None and state.cycle >= max_cycles:
+                break
+            self.step()
+            if state.stats.committed_instructions >= limit:
+                break
+            if state.finished:
+                break
+            if max_cycles is not None and state.cycle >= max_cycles:
+                break
+            if state.cycle - state.last_commit_cycle > deadlock_threshold:
+                raise DeadlockError(
+                    f"no instruction committed for {deadlock_threshold} cycles "
+                    f"(cycle={state.cycle}, ROS={len(state.ros)}, "
+                    f"head={state.ros.head()!r})")
+        return state.collect_stats()
+
+
+def simulate(trace: Trace, config: Optional[ProcessorConfig] = None,
+             max_instructions: Optional[int] = None,
+             max_cycles: Optional[int] = None,
+             clock: Union[None, CycleClock, EventClock] = None) -> SimStats:
+    """Build a :class:`SimulationEngine` for ``trace`` and run it to completion.
+
+    This is the main public entry point: every experiment and example uses
+    it.  ``max_instructions`` limits the number of *committed* instructions
+    (defaults to the trace length); ``max_cycles`` is a safety bound;
+    ``clock`` selects the stepping strategy (event-driven by default).
+    """
+    engine = SimulationEngine(trace, config, clock=clock)
+    return engine.run(max_instructions=max_instructions, max_cycles=max_cycles)

@@ -1,0 +1,396 @@
+"""The five pipeline stages as composable objects.
+
+Each stage is stateless: :meth:`Stage.tick` reads and mutates one
+:class:`repro.engine.state.MachineState`.  The engine runs them each cycle
+in reverse pipeline order so same-cycle producer/consumer interactions
+behave like a real machine:
+
+1. :class:`CommitStage`    — retire up to ``commit_width`` completed head
+   entries, update the in-order map table, drive the release policy's
+   commit hooks, take exceptions;
+2. :class:`WritebackStage` — finish instructions whose execution latency
+   expires this cycle, wake their consumers, resolve branches (confirm or
+   recover);
+3. :class:`IssueStage`     — select up to ``issue_width`` ready
+   instructions, oldest first, subject to functional-unit and
+   load/store-queue rules;
+4. :class:`RenameStage`    — rename/dispatch up to ``rename_width``
+   decoded instructions, allocating physical registers, ROS/LSQ entries
+   and branch checkpoints, and invoking the release policy's rename hooks
+   (this is where early releases are scheduled and where register-shortage
+   stalls happen);
+5. :class:`FetchStage`     — fetch up to ``fetch_width`` instructions from
+   the trace (or the wrong-path generator) into the front-end pipe.
+
+The module also exposes the side-effect-free probes the event-driven clock
+needs (:func:`dispatch_hazard`, :func:`may_avoid_allocation`): fast-forward
+decisions must inspect rename hazards without mutating stall counters.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.backend.ros import ROSEntry
+from repro.engine.state import (
+    STALL_CHECKPOINTS_FULL,
+    STALL_LSQ_FULL,
+    STALL_NO_FREE_FP,
+    STALL_NO_FREE_INT,
+    STALL_ROS_FULL,
+    MachineState,
+)
+from repro.frontend.fetch import FetchedOp
+from repro.isa import Instruction, OpClass, RegClass
+from repro.rename.checkpoints import Checkpoint
+
+
+class Stage(abc.ABC):
+    """One pipeline stage; processes a single cycle of one machine."""
+
+    #: short stage name (progress displays, tests).
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def tick(self, state: MachineState) -> None:
+        """Process the current cycle of ``state``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+# ======================================================================
+# Rename hazard probes (shared by the rename stage and the event clock)
+# ======================================================================
+def may_avoid_allocation(state: MachineState, dest_class: RegClass,
+                         logical: int) -> bool:
+    """Side-effect-free probe: could rename proceed without a free register?
+
+    True when the release policy would either reuse the previous
+    version or release it immediately (committed LU, no pending
+    branches), so a stalled free list does not have to stall rename.
+    """
+    policy = state.policies[dest_class]
+    if not hasattr(policy, "lus_table"):
+        return False
+    if state.map_tables[dest_class].is_stale(logical):
+        return False
+    lu = policy.lus_table.lookup(logical)
+    if lu is None:
+        # Unknown LU: basic falls back to conventional, extended treats it
+        # as committed; only the extended policy can proceed.
+        return policy.name == "extended" and state.count_pending_branches() == 0
+    if state.has_pending_branch_younger_than(lu.seq):
+        return False
+    if not state.is_committed(lu.seq):
+        return False
+    if policy.name == "extended" and state.count_pending_branches() > 0:
+        return False
+    return True
+
+
+def dispatch_hazard(state: MachineState, inst: Instruction) -> Optional[str]:
+    """Stall reason that would block renaming ``inst`` this cycle, or None.
+
+    Pure probe: checks are made in the same order the rename stage applies
+    them, with no counter updates, so the event-driven clock can account
+    for skipped stall cycles exactly.
+    """
+    if state.ros.is_full:
+        return STALL_ROS_FULL
+    if inst.is_mem and state.lsq.is_full:
+        return STALL_LSQ_FULL
+    if inst.is_branch and state.checkpoints.is_full:
+        return STALL_CHECKPOINTS_FULL
+    if inst.dest is not None:
+        dest_class = RegClass(inst.dest[0])
+        if not state.register_files[dest_class].can_allocate() and \
+                not may_avoid_allocation(state, dest_class, inst.dest[1]):
+            return (STALL_NO_FREE_INT if dest_class is RegClass.INT
+                    else STALL_NO_FREE_FP)
+    return None
+
+
+# ======================================================================
+# Stage 1: commit
+# ======================================================================
+class CommitStage(Stage):
+    """In-order retirement of completed ROS head entries."""
+
+    name = "commit"
+
+    def tick(self, state: MachineState) -> None:
+        committed = 0
+        while committed < state.config.commit_width:
+            entry = state.ros.head()
+            if entry is None or not entry.completed:
+                break
+            state.ros.pop_head()
+            committed += 1
+            state.committed_watermark = entry.seq
+            state.last_commit_cycle = state.cycle
+            state.stats.committed_instructions += 1
+            op_name = entry.inst.op.name
+            state.stats.committed_by_class[op_name] = \
+                state.stats.committed_by_class.get(op_name, 0) + 1
+
+            # Architectural (in-order) map table update.
+            if entry.has_dest:
+                assert entry.dest_class is not None and entry.dest_logical is not None
+                state.iomts[entry.dest_class].commit_mapping(entry.dest_logical,
+                                                             entry.pd)
+            # Release-policy commit hooks (both register classes see every entry).
+            for policy in state.policies.values():
+                policy.on_commit(entry, state.cycle)
+
+            # Occupancy accounting: this commit is (potentially) the last use
+            # of each source register, and of the destination if never read.
+            for reg_class, _logical, physical in entry.src_regs:
+                state.register_files[reg_class].note_use_commit(physical, state.cycle)
+            if entry.has_dest:
+                state.register_files[entry.dest_class].note_use_commit(entry.pd,
+                                                                       state.cycle)
+
+            # Memory operations leave the LSQ at commit; stores write the cache.
+            if entry.inst.is_store:
+                state.memory.data_write(entry.inst.mem_addr)
+                state.lsq.remove(entry.seq)
+            elif entry.inst.is_load:
+                state.lsq.remove(entry.seq)
+
+            if entry.exception:
+                state.stats.exceptions_taken += 1
+                state.exception_flush(entry)
+                break
+
+
+# ======================================================================
+# Stage 2: writeback / branch resolution
+# ======================================================================
+class WritebackStage(Stage):
+    """Completion-event drain: wakeups, load completion, branch resolution."""
+
+    name = "writeback"
+
+    def tick(self, state: MachineState) -> None:
+        entries = state.completions.pop(state.cycle, None)
+        if not entries:
+            return
+        for entry in entries:
+            if entry.squashed:
+                continue
+            entry.completed = True
+            entry.complete_cycle = state.cycle
+            if entry.has_dest:
+                state.register_files[entry.dest_class].mark_written(entry.pd,
+                                                                    state.cycle)
+            # Wake up consumers.
+            for consumer in state.consumers.pop(entry.seq, ()):
+                consumer.wait_producers.discard(entry.seq)
+            if entry.inst.is_load:
+                state.lsq.mark_done(entry.seq)
+            if entry.inst.is_branch:
+                self._resolve_branch(state, entry)
+
+    # ------------------------------------------------------------------
+    def _resolve_branch(self, state: MachineState, entry: ROSEntry) -> None:
+        entry.branch_resolved = True
+        taken = entry.inst.taken
+        if entry.prediction is not None:
+            state.predictor.resolve(entry.prediction, taken)
+        if taken:
+            state.btb.update(entry.inst.pc, entry.inst.target)
+        if not entry.wrong_path:
+            state.stats.branches_resolved += 1
+
+        if entry.fetch_mispredicted:
+            state.stats.branch_mispredictions += 1
+            state.recover_from_misprediction(entry)
+        else:
+            state.checkpoints.confirm(entry.seq)
+            for policy in state.policies.values():
+                policy.on_branch_confirmed(entry.seq)
+
+
+# ======================================================================
+# Stage 3: issue / execute
+# ======================================================================
+class IssueStage(Stage):
+    """Out-of-order selection of ready instructions, oldest first."""
+
+    name = "issue"
+
+    def tick(self, state: MachineState) -> None:
+        issued = 0
+        for entry in state.ros:
+            if issued >= state.config.issue_width:
+                break
+            if entry.issued or entry.completed:
+                continue
+            if entry.wait_producers:
+                continue
+            inst = entry.inst
+            if inst.is_load and not state.lsq.load_may_issue(entry.seq):
+                continue
+            if not state.fus.can_issue(inst.op, state.cycle):
+                state.fus.note_structural_stall()
+                continue
+            latency = state.fus.issue(inst.op, state.cycle)
+            entry.issued = True
+            entry.issue_cycle = state.cycle
+            issued += 1
+
+            if inst.is_load:
+                state.lsq.mark_address_known(entry.seq)
+                if state.lsq.store_forwards_to(entry.seq, inst.mem_addr):
+                    mem_latency = 1
+                else:
+                    mem_latency = state.memory.data_read(inst.mem_addr)
+                entry.mem_latency = mem_latency
+                complete_at = state.cycle + latency + mem_latency
+            elif inst.is_store:
+                state.lsq.mark_address_known(entry.seq)
+                complete_at = state.cycle + latency
+            else:
+                complete_at = state.cycle + latency
+            state.completions.setdefault(complete_at, []).append(entry)
+
+
+# ======================================================================
+# Stage 4: rename / dispatch
+# ======================================================================
+class RenameStage(Stage):
+    """In-order rename and dispatch of decoded instructions."""
+
+    name = "rename"
+
+    def tick(self, state: MachineState) -> None:
+        renamed = 0
+        while renamed < state.config.rename_width and state.decode_queue:
+            ready_cycle, op = state.decode_queue[0]
+            if ready_cycle > state.cycle:
+                break
+            if not self._rename_one(state, op):
+                break
+            state.decode_queue.popleft()
+            renamed += 1
+
+    # ------------------------------------------------------------------
+    def _rename_one(self, state: MachineState, op: FetchedOp) -> bool:
+        """Rename a single instruction; returns False (and stalls) on a resource hazard."""
+        inst = op.inst
+        cfg = state.config
+
+        hazard = dispatch_hazard(state, inst)
+        if hazard is not None:
+            state.stats.dispatch_stalls[hazard] += 1
+            return False
+
+        entry = ROSEntry(state.seq, inst)
+        state.seq += 1
+        entry.rename_cycle = state.cycle
+        entry.resume_cursor = op.resume_cursor
+        entry.prediction = op.prediction
+        entry.predicted_taken = op.predicted_taken
+        entry.fetch_mispredicted = op.mispredicted
+
+        # ------------------------------------------------------- sources
+        for slot, (reg_class, logical) in enumerate(inst.srcs):
+            reg_class = RegClass(reg_class)
+            physical = state.map_tables[reg_class].lookup(logical)
+            entry.src_regs.append((reg_class, logical, physical))
+            # Stores wait only for their *address* operands before issuing
+            # (slot 0 is the value by trace convention): the paper's rule is
+            # that loads wait for prior store addresses, and the data is
+            # needed no earlier than commit, which in-order retirement of
+            # the older producer already guarantees.
+            wait_for_issue = not (inst.is_store and slot == 0)
+            if wait_for_issue:
+                producer = state.register_files[reg_class].producer_of(physical)
+                if producer is not None:
+                    entry.wait_producers.add(producer)
+                    state.consumers.setdefault(producer, []).append(entry)
+            state.policies[reg_class].note_source_use(entry, slot, logical, physical)
+
+        # ------------------------------------------------------- destination
+        if inst.dest is not None:
+            dest_class = RegClass(inst.dest[0])
+            dest_logical = inst.dest[1]
+            policy = state.policies[dest_class]
+            register_file = state.register_files[dest_class]
+            old_pd = state.map_tables[dest_class].lookup(dest_logical)
+            outcome = policy.rename_destination(entry, dest_logical, old_pd)
+            if outcome.reuse_previous:
+                pd = old_pd
+                entry.allocated_new = False
+                entry.reused = True
+                register_file.set_producer(pd, entry.seq)
+            else:
+                pd = register_file.allocate(state.cycle, entry.seq)
+                state.map_tables[dest_class].set_mapping(dest_logical, pd)
+                entry.allocated_new = True
+            entry.dest_class = dest_class
+            entry.dest_logical = dest_logical
+            entry.pd = pd
+            entry.old_pd = old_pd
+            entry.rel_old = outcome.release_previous_at_commit
+            policy.note_dest_definition(entry, dest_logical)
+
+        # ------------------------------------------------------- branches
+        if inst.is_branch:
+            checkpoint = Checkpoint(
+                branch_seq=entry.seq,
+                map_snapshots={rc: mt.snapshot()
+                               for rc, mt in state.map_tables.items()},
+                policy_snapshots={rc: p.snapshot_state()
+                                  for rc, p in state.policies.items()},
+            )
+            state.checkpoints.push(checkpoint)
+            for policy in state.policies.values():
+                policy.on_branch_renamed(entry)
+
+        # ------------------------------------------------------- memory ops
+        if inst.is_mem:
+            state.lsq.insert(entry.seq, inst.is_store, inst.mem_addr)
+
+        # ------------------------------------------------------- exceptions
+        if (cfg.exception_rate > 0.0 and not entry.wrong_path
+                and state.exception_rng.random() < cfg.exception_rate):
+            entry.exception = True
+
+        state.ros.append(entry)
+        state.stats.renamed_instructions += 1
+
+        # Instructions with no execution dependencies and no FU requirement
+        # (NOPs) complete immediately at the next writeback.
+        if inst.op is OpClass.NOP:
+            state.completions.setdefault(state.cycle + 1, []).append(entry)
+            entry.issued = True
+        return True
+
+
+# ======================================================================
+# Stage 5: fetch
+# ======================================================================
+class FetchStage(Stage):
+    """Trace-driven fetch into the bounded front-end pipe."""
+
+    name = "fetch"
+
+    def tick(self, state: MachineState) -> None:
+        if len(state.decode_queue) >= state.decode_capacity:
+            return
+        group = state.fetch_unit.fetch_cycle(state.cycle)
+        ready = state.cycle + state.config.frontend_stages
+        for op in group:
+            state.decode_queue.append((ready, op))
+        state.stats.fetched_instructions += len(group)
+        state.stats.fetched_wrong_path += sum(1 for op in group if op.wrong_path)
+
+
+#: The canonical stage ordering (reverse pipeline order; see module docstring).
+def default_stages() -> list:
+    """Fresh instances of the five stages in execution order."""
+    return [CommitStage(), WritebackStage(), IssueStage(), RenameStage(),
+            FetchStage()]

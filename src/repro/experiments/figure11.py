@@ -85,8 +85,15 @@ class Figure11Result:
 
 def run(trace_length: int = 20_000, sizes: Sequence[int] = DEFAULT_SIZES,
         parallel: bool = True, benchmarks: Optional[List[str]] = None,
-        base_config: Optional[ProcessorConfig] = None) -> Figure11Result:
-    """Regenerate Figure 11 (the full benchmark × policy × size sweep)."""
+        base_config: Optional[ProcessorConfig] = None,
+        cache=None) -> Figure11Result:
+    """Regenerate Figure 11 (the full benchmark × policy × size sweep).
+
+    ``cache`` is forwarded to :func:`repro.analysis.sweep.run_sweep`:
+    already-simulated points are served from the on-disk result cache, so
+    regenerating the figure after a partial sweep (or with a finer size
+    grid) only simulates the missing points.
+    """
     int_names = [name for name in integer_workloads()
                  if benchmarks is None or name in benchmarks]
     fp_names = [name for name in fp_workloads()
@@ -97,6 +104,6 @@ def run(trace_length: int = 20_000, sizes: Sequence[int] = DEFAULT_SIZES,
         register_sizes=tuple(sizes),
         trace_length=trace_length,
         base_config=base_config or ProcessorConfig()),
-        parallel=parallel)
+        parallel=parallel, cache=cache)
     return Figure11Result(sizes=tuple(sizes), sweep=sweep,
                           int_benchmarks=int_names, fp_benchmarks=fp_names)

@@ -64,8 +64,12 @@ class Figure3Result:
 
 def run(trace_length: int = 20_000, num_registers: int = 96,
         parallel: bool = True, benchmarks: Optional[List[str]] = None,
-        base_config: Optional[ProcessorConfig] = None) -> Figure3Result:
-    """Regenerate Figure 3 by simulating every benchmark under conventional release."""
+        base_config: Optional[ProcessorConfig] = None,
+        cache=None) -> Figure3Result:
+    """Regenerate Figure 3 by simulating every benchmark under conventional release.
+
+    ``cache`` is forwarded to :func:`repro.analysis.sweep.run_sweep`.
+    """
     int_names = [name for name in integer_workloads()
                  if benchmarks is None or name in benchmarks]
     fp_names = [name for name in fp_workloads()
@@ -76,7 +80,7 @@ def run(trace_length: int = 20_000, num_registers: int = 96,
         register_sizes=(num_registers,),
         trace_length=trace_length,
         base_config=base_config or ProcessorConfig()),
-        parallel=parallel)
+        parallel=parallel, cache=cache)
 
     result = Figure3Result(num_registers=num_registers)
     result.rows["int"] = [occupancy_breakdown(sweep.stats(name, "conv", num_registers),

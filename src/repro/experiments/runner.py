@@ -9,6 +9,12 @@ Installed as ``repro-experiments``::
 Simulation-based experiments accept ``--trace-length`` and ``--serial``;
 ``--quick`` selects a configuration small enough for a laptop-scale smoke
 run (shorter traces, fewer register sizes).
+
+Simulation results are cached on disk by default (keyed by workload,
+configuration hash, trace length and seed), so re-generating a figure — or
+generating Table 4 after Figure 11 — only simulates points never simulated
+before.  ``--no-cache`` disables the cache, ``--cache-dir`` relocates it
+(default: ``$REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``).
 """
 
 from __future__ import annotations
@@ -44,15 +50,21 @@ QUICK_SIZES = (40, 48, 64, 96, 160)
 
 
 def run_experiment(name: str, trace_length: Optional[int] = None,
-                   parallel: bool = True, quick: bool = False):
-    """Run one experiment by name and return its result object."""
+                   parallel: bool = True, quick: bool = False,
+                   cache=None):
+    """Run one experiment by name and return its result object.
+
+    ``cache`` is forwarded to the simulation experiments (see
+    :func:`repro.analysis.sweep.run_sweep`); analytical experiments
+    ignore it.
+    """
     if name not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; known experiments: {known}")
     module = EXPERIMENTS[name]
     if name not in _SIMULATION_EXPERIMENTS:
         return module.run()
-    kwargs = {"parallel": parallel}
+    kwargs = {"parallel": parallel, "cache": cache}
     if trace_length is not None:
         kwargs["trace_length"] = trace_length
     elif quick:
@@ -77,7 +89,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run simulations in this process instead of a pool")
     parser.add_argument("--quick", action="store_true",
                         help="reduced trace length and register-size grid")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-simulate instead of using the on-disk "
+                             "sweep result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="root of the sweep result cache (default: "
+                             "$REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)")
     args = parser.parse_args(argv)
+
+    if args.no_cache:
+        cache = None
+    else:
+        from repro.analysis.cache import SweepCache
+
+        cache = SweepCache(args.cache_dir)
 
     names = list(args.experiments)
     if names == ["all"]:
@@ -89,7 +114,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         start = time.time()
         result = run_experiment(name, trace_length=args.trace_length,
-                                parallel=not args.serial, quick=args.quick)
+                                parallel=not args.serial, quick=args.quick,
+                                cache=cache)
         elapsed = time.time() - start
         print("=" * 72)
         print(f"{name}  ({elapsed:.1f}s)")

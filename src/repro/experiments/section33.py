@@ -67,8 +67,12 @@ class Section33Result:
 
 def run(trace_length: int = 20_000, sizes: Sequence[int] = DEFAULT_SIZES,
         parallel: bool = True, benchmarks: Optional[List[str]] = None,
-        base_config: Optional[ProcessorConfig] = None) -> Section33Result:
-    """Regenerate the Section 3.3 comparison."""
+        base_config: Optional[ProcessorConfig] = None,
+        cache=None) -> Section33Result:
+    """Regenerate the Section 3.3 comparison.
+
+    ``cache`` is forwarded to :func:`repro.analysis.sweep.run_sweep`.
+    """
     int_names = [name for name in integer_workloads()
                  if benchmarks is None or name in benchmarks]
     fp_names = [name for name in fp_workloads()
@@ -79,6 +83,6 @@ def run(trace_length: int = 20_000, sizes: Sequence[int] = DEFAULT_SIZES,
         register_sizes=tuple(sizes),
         trace_length=trace_length,
         base_config=base_config or ProcessorConfig()),
-        parallel=parallel)
+        parallel=parallel, cache=cache)
     return Section33Result(sizes=tuple(sizes), sweep=sweep,
                            int_benchmarks=int_names, fp_benchmarks=fp_names)

@@ -129,10 +129,15 @@ def derive(figure11: Figure11Result,
 def run(trace_length: int = 20_000, sizes: Optional[Sequence[int]] = None,
         parallel: bool = True,
         conv_reference_sizes: Optional[Dict[str, Sequence[int]]] = None,
-        figure11_result: Optional[Figure11Result] = None) -> Table4Result:
-    """Regenerate Table 4 (running the Figure 11 sweep unless one is supplied)."""
+        figure11_result: Optional[Figure11Result] = None,
+        cache=None) -> Table4Result:
+    """Regenerate Table 4 (running the Figure 11 sweep unless one is supplied).
+
+    ``cache`` is forwarded to the Figure 11 sweep, so a Table 4 run after
+    a Figure 11 run performs zero additional simulations.
+    """
     if figure11_result is None:
         kwargs = {} if sizes is None else {"sizes": sizes}
         figure11_result = run_figure11(trace_length=trace_length, parallel=parallel,
-                                       **kwargs)
+                                       cache=cache, **kwargs)
     return derive(figure11_result, conv_reference_sizes)

@@ -1,630 +1,107 @@
-"""The cycle-level out-of-order processor.
+"""The cycle-level out-of-order processor (facade).
 
-The pipeline processes, each cycle and in reverse order so same-cycle
-producer/consumer interactions behave like a real machine:
+The simulation kernel lives in :mod:`repro.engine`: the five stages
+(commit, writeback, issue, rename, fetch) are composable
+:class:`~repro.engine.stages.Stage` objects operating on an explicit
+shared :class:`~repro.engine.state.MachineState`, wired together by a
+:class:`~repro.engine.engine.SimulationEngine` whose event-driven clock
+fast-forwards across provably idle cycles.
 
-1. **commit**    — retire up to ``commit_width`` completed head entries,
-   update the in-order map table, drive the release policy's commit hooks,
-   take exceptions;
-2. **writeback** — finish instructions whose execution latency expires this
-   cycle, wake their consumers, resolve branches (confirm or recover);
-3. **issue**     — select up to ``issue_width`` ready instructions,
-   oldest first, subject to functional-unit and load/store-queue rules;
-4. **rename**    — rename/dispatch up to ``rename_width`` decoded
-   instructions, allocating physical registers, ROS/LSQ entries and branch
-   checkpoints, and invoking the release policy's rename hooks (this is
-   where early releases are scheduled and where register-shortage stalls
-   happen);
-5. **fetch**     — fetch up to ``fetch_width`` instructions from the trace
-   (or the wrong-path generator) into the front-end pipe.
-
-The processor itself implements the
-:class:`repro.core.release_policy.PipelineView` protocol the policies use.
+This module keeps the historical public surface — :class:`Processor` and
+:func:`simulate` — as thin facades over the engine so experiments, tests
+and examples written against the monolithic processor keep working.
+Attribute access on a :class:`Processor` (``register_files``, ``ros``,
+``lsq``, ``cycle``, ``stats``, …) resolves against the underlying
+:class:`MachineState`.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Optional, Union
 
-import numpy as np
-
-from repro.backend.functional_units import FunctionalUnitPool
-from repro.backend.lsq import LoadStoreQueue
-from repro.backend.ros import ROSEntry, ReorderStructure
-from repro.core import make_release_policy
-from repro.core.release_policy import PolicyOptions, ReleasePolicy
-from repro.frontend.btb import BranchTargetBuffer
-from repro.frontend.fetch import FetchedOp, FetchUnit
-from repro.frontend.gshare import GsharePredictor
-from repro.isa import OpClass, RegClass
-from repro.memory.hierarchy import MemoryHierarchy
+from repro.engine.clock import CycleClock, EventClock
+from repro.engine.engine import DeadlockError, SimulationEngine
+from repro.engine.engine import simulate as _engine_simulate
+from repro.engine.state import (
+    STALL_CHECKPOINTS_FULL,
+    STALL_LSQ_FULL,
+    STALL_NO_FREE_FP,
+    STALL_NO_FREE_INT,
+    STALL_ROS_FULL,
+    MachineState,
+)
 from repro.pipeline.config import ProcessorConfig
-from repro.pipeline.stats import RegisterFileStats, SimStats
-from repro.rename.checkpoints import Checkpoint, CheckpointStack
-from repro.rename.iomt import InOrderMapTable
-from repro.rename.map_table import MapTable
-from repro.rename.register_file import PhysicalRegisterFile
+from repro.pipeline.stats import SimStats
 from repro.trace.records import Trace
-from repro.trace.wrongpath import WrongPathGenerator
 
-#: Dispatch stall reason labels used in :attr:`SimStats.dispatch_stalls`.
-STALL_ROS_FULL = "ros_full"
-STALL_LSQ_FULL = "lsq_full"
-STALL_CHECKPOINTS_FULL = "checkpoints_full"
-STALL_NO_FREE_INT = "no_free_int_register"
-STALL_NO_FREE_FP = "no_free_fp_register"
-
-
-class DeadlockError(RuntimeError):
-    """Raised when the pipeline makes no forward progress for many cycles."""
+__all__ = [
+    "Processor", "simulate", "DeadlockError",
+    "STALL_ROS_FULL", "STALL_LSQ_FULL", "STALL_CHECKPOINTS_FULL",
+    "STALL_NO_FREE_INT", "STALL_NO_FREE_FP",
+]
 
 
 class Processor:
-    """Trace-driven cycle-level out-of-order processor (paper Table 2)."""
+    """Trace-driven cycle-level out-of-order processor (paper Table 2).
 
-    def __init__(self, trace: Trace, config: Optional[ProcessorConfig] = None) -> None:
-        self.trace = trace
-        self.config = config or ProcessorConfig()
-        cfg = self.config
+    Facade over :class:`repro.engine.SimulationEngine`; pass
+    ``clock=CycleClock()`` to force classic per-cycle stepping instead of
+    the event-driven default.
+    """
 
-        # ------------------------------------------------------------ memory & front end
-        self.memory = MemoryHierarchy(cfg.memory)
-        self.predictor = GsharePredictor(history_bits=cfg.gshare_history_bits)
-        self.btb = BranchTargetBuffer(entries=cfg.btb_entries,
-                                      associativity=cfg.btb_associativity)
-        wrongpath = (WrongPathGenerator.for_trace(trace, seed=cfg.seed)
-                     if cfg.enable_wrong_path else None)
-        self.fetch_unit = FetchUnit(
-            trace, self.predictor, self.btb, self.memory, wrongpath,
-            fetch_width=cfg.fetch_width,
-            max_taken_per_cycle=cfg.max_taken_branches_per_cycle)
-
-        # ------------------------------------------------------------ rename substrate
-        self.register_files: Dict[RegClass, PhysicalRegisterFile] = {
-            RegClass.INT: PhysicalRegisterFile(RegClass.INT, cfg.num_physical_int,
-                                               cfg.num_logical_int),
-            RegClass.FP: PhysicalRegisterFile(RegClass.FP, cfg.num_physical_fp,
-                                              cfg.num_logical_fp),
-        }
-        self.map_tables: Dict[RegClass, MapTable] = {
-            rc: MapTable(rf.num_logical, range(rf.num_logical))
-            for rc, rf in self.register_files.items()
-        }
-        self.iomts: Dict[RegClass, InOrderMapTable] = {
-            rc: InOrderMapTable(rf.num_logical, range(rf.num_logical))
-            for rc, rf in self.register_files.items()
-        }
-        self.checkpoints = CheckpointStack(capacity=cfg.max_pending_branches)
-
-        options = PolicyOptions(reuse_on_committed_lu=cfg.reuse_on_committed_lu)
-        self.policies: Dict[RegClass, ReleasePolicy] = {
-            rc: make_release_policy(cfg.release_policy, rc, self.register_files[rc],
-                                    self.map_tables[rc], self.iomts[rc], self,
-                                    options=options)
-            for rc in (RegClass.INT, RegClass.FP)
-        }
-
-        # ------------------------------------------------------------ back end
-        self.ros = ReorderStructure(capacity=cfg.ros_size)
-        self.lsq = LoadStoreQueue(capacity=cfg.lsq_size)
-        self.fus = FunctionalUnitPool(cfg.functional_units)
-
-        # ------------------------------------------------------------ pipeline state
-        self.cycle = 0
-        self._seq = 0
-        self._committed_watermark = -1
-        #: front-end pipe: (cycle the op becomes available to rename, op).
-        self._decode_queue: Deque[Tuple[int, FetchedOp]] = deque()
-        #: completion events: cycle -> entries finishing execution.
-        self._completions: Dict[int, List[ROSEntry]] = {}
-        #: consumers waiting on a producer seq (wakeup lists).
-        self._consumers: Dict[int, List[ROSEntry]] = {}
-        self._exception_rng = np.random.default_rng(cfg.seed + 0xE)
-
-        # ------------------------------------------------------------ statistics
-        self.stats = SimStats(benchmark=trace.name, release_policy=cfg.release_policy)
-        self.stats.dispatch_stalls = {
-            STALL_ROS_FULL: 0, STALL_LSQ_FULL: 0, STALL_CHECKPOINTS_FULL: 0,
-            STALL_NO_FREE_INT: 0, STALL_NO_FREE_FP: 0,
-        }
-        self._last_commit_cycle = 0
-
-        if cfg.warmup:
-            self._warm_state()
+    def __init__(self, trace: Trace, config: Optional[ProcessorConfig] = None,
+                 clock: Union[None, CycleClock, EventClock] = None) -> None:
+        self.engine = SimulationEngine(trace, config, clock=clock)
+        self.state = self.engine.state
 
     # ------------------------------------------------------------------
-    def _warm_state(self) -> None:
-        """Bring caches, BTB and branch predictor to steady state.
+    def __getattr__(self, name: str):
+        # Fallback for everything MachineState owns (register_files, ros,
+        # lsq, cycle, stats, policies, PipelineView methods, ...).  Only
+        # called when normal attribute lookup fails.
+        try:
+            return getattr(self.__dict__["state"], name)
+        except KeyError:  # pragma: no cover - partially constructed object
+            raise AttributeError(name) from None
 
-        The paper measures multi-hundred-million-instruction runs, so its
-        structures are warm for essentially the whole measurement.  The
-        scaled-down traces used here would otherwise be dominated by cold
-        misses and predictor training; one functional pass (no timing) over
-        a *different* segment of the same benchmark removes that artefact.
+    def __setattr__(self, name: str, value) -> None:
+        # Writes forward to the machine state too — otherwise an
+        # assignment like ``processor.cycle = 0`` would land on the facade
+        # and silently diverge from the state the engine mutates.
+        if name in ("engine", "state") or "state" not in self.__dict__:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self.__dict__["state"], name, value)
 
-        The warm-up segment is generated from the same benchmark profile
-        with a different seed, so the predictor learns the benchmark's
-        static branch sites and statistical behaviour but cannot memorise
-        the exact dynamic outcome sequence it will be measured on.  When the
-        trace does not come from the workload registry (hand-built test
-        traces), the trace itself is used.  Statistics are reset afterwards
-        so reported rates cover only the measured run.
-        """
-        warmup_trace = self._build_warmup_trace()
-        memory = self.memory
-        predictor = self.predictor
-        btb = self.btb
-        for inst in warmup_trace:
-            memory.instruction_access(inst.pc)
-            if inst.is_mem:
-                if inst.is_store:
-                    memory.data_write(inst.mem_addr)
-                else:
-                    memory.data_read(inst.mem_addr)
-            if inst.is_branch:
-                record = predictor.predict(inst.pc)
-                predictor.resolve(record, inst.taken)
-                if inst.taken:
-                    btb.update(inst.pc, inst.target)
-        memory.reset_statistics()
-        btb.reset_statistics()
-        predictor.reset_statistics()
-
-    def _build_warmup_trace(self) -> Trace:
-        """Return the instruction sequence used for warm-up (see :meth:`_warm_state`)."""
-        from repro.trace.workloads import WORKLOADS, get_workload
-
-        profile = WORKLOADS.get(self.trace.name)
-        if profile is None:
-            return self.trace
-        length = min(len(self.trace), 20_000)
-        # get_workload caches, so repeated simulations of the same benchmark
-        # (different policies / register sizes) reuse the warm-up segment.
-        return get_workload(self.trace.name, length, seed=self.trace.seed + 7919)
-
-    # ==================================================================
-    # PipelineView protocol (used by the release policies)
-    # ==================================================================
-    def is_committed(self, seq: int) -> bool:
-        """In-order commit watermark test (the paper's LUs Table C bit)."""
-        return seq <= self._committed_watermark
-
-    def has_pending_branch_younger_than(self, seq: int) -> bool:
-        """True when an unresolved branch younger than ``seq`` is in flight."""
-        return self.checkpoints.has_pending_younger_than(seq)
-
-    def count_pending_branches(self) -> int:
-        """Number of unresolved branches (Release Queue TAIL level)."""
-        return self.checkpoints.count_pending()
-
-    def ros_entry(self, seq: int) -> Optional[ROSEntry]:
-        """In-flight ROS entry with sequence number ``seq``."""
-        return self.ros.find(seq)
-
-    def current_cycle(self) -> int:
-        """Current simulation cycle."""
-        return self.cycle
-
-    # ==================================================================
-    # Top-level driver
-    # ==================================================================
+    # ------------------------------------------------------------------
     def step(self) -> None:
         """Simulate exactly one cycle (commit → writeback → issue → rename → fetch)."""
-        self._commit_stage()
-        self._writeback_stage()
-        self._issue_stage()
-        self._rename_stage()
-        self._fetch_stage()
-        self.cycle += 1
+        self.engine.step()
 
     @property
     def finished(self) -> bool:
         """True when every fetched instruction has drained from the pipeline."""
-        return (self.fetch_unit.trace_exhausted and not self._decode_queue
-                and self.ros.is_empty)
+        return self.state.finished
 
     def run(self, max_instructions: Optional[int] = None,
             max_cycles: Optional[int] = None,
             deadlock_threshold: int = 50_000) -> SimStats:
         """Run the simulation until the trace drains (or a limit is hit)."""
-        limit = max_instructions if max_instructions is not None else len(self.trace)
-        while True:
-            self.step()
-            if self.stats.committed_instructions >= limit:
-                break
-            if self.finished:
-                break
-            if max_cycles is not None and self.cycle >= max_cycles:
-                break
-            if self.cycle - self._last_commit_cycle > deadlock_threshold:
-                raise DeadlockError(
-                    f"no instruction committed for {deadlock_threshold} cycles "
-                    f"(cycle={self.cycle}, ROS={len(self.ros)}, "
-                    f"head={self.ros.head()!r})")
-        return self._collect_stats()
-
-    # ==================================================================
-    # Stage 1: commit
-    # ==================================================================
-    def _commit_stage(self) -> None:
-        committed = 0
-        while committed < self.config.commit_width:
-            entry = self.ros.head()
-            if entry is None or not entry.completed:
-                break
-            self.ros.pop_head()
-            committed += 1
-            self._committed_watermark = entry.seq
-            self._last_commit_cycle = self.cycle
-            self.stats.committed_instructions += 1
-            op_name = entry.inst.op.name
-            self.stats.committed_by_class[op_name] = \
-                self.stats.committed_by_class.get(op_name, 0) + 1
-
-            # Architectural (in-order) map table update.
-            if entry.has_dest:
-                assert entry.dest_class is not None and entry.dest_logical is not None
-                self.iomts[entry.dest_class].commit_mapping(entry.dest_logical,
-                                                            entry.pd)
-            # Release-policy commit hooks (both register classes see every entry).
-            for policy in self.policies.values():
-                policy.on_commit(entry, self.cycle)
-
-            # Occupancy accounting: this commit is (potentially) the last use
-            # of each source register, and of the destination if never read.
-            for reg_class, _logical, physical in entry.src_regs:
-                self.register_files[reg_class].note_use_commit(physical, self.cycle)
-            if entry.has_dest:
-                self.register_files[entry.dest_class].note_use_commit(entry.pd,
-                                                                      self.cycle)
-
-            # Memory operations leave the LSQ at commit; stores write the cache.
-            if entry.inst.is_store:
-                self.memory.data_write(entry.inst.mem_addr)
-                self.lsq.remove(entry.seq)
-            elif entry.inst.is_load:
-                self.lsq.remove(entry.seq)
-
-            if entry.exception:
-                self.stats.exceptions_taken += 1
-                self._exception_flush(entry)
-                break
-
-    # ------------------------------------------------------------------
-    def _exception_flush(self, excepting: ROSEntry) -> None:
-        """Precise-exception recovery: flush, rebuild the map from the IOMT."""
-        squashed = self.ros.squash_all()
-        self._undo_squashed(squashed)
-        self.lsq.clear()
-        self.checkpoints.clear()
-        for reg_class, map_table in self.map_tables.items():
-            map_table.restore_architectural(self.iomts[reg_class].snapshot())
-        for policy in self.policies.values():
-            policy.on_exception_flush(self.cycle)
-        self._decode_queue.clear()
-        if excepting.resume_cursor >= 0:
-            self.fetch_unit.recover(excepting.resume_cursor)
-
-    # ==================================================================
-    # Stage 2: writeback / branch resolution
-    # ==================================================================
-    def _writeback_stage(self) -> None:
-        entries = self._completions.pop(self.cycle, None)
-        if not entries:
-            return
-        for entry in entries:
-            if entry.squashed:
-                continue
-            entry.completed = True
-            entry.complete_cycle = self.cycle
-            if entry.has_dest:
-                self.register_files[entry.dest_class].mark_written(entry.pd, self.cycle)
-            # Wake up consumers.
-            for consumer in self._consumers.pop(entry.seq, ()):
-                consumer.wait_producers.discard(entry.seq)
-            if entry.inst.is_load:
-                self.lsq.mark_done(entry.seq)
-            if entry.inst.is_branch:
-                self._resolve_branch(entry)
-
-    # ------------------------------------------------------------------
-    def _resolve_branch(self, entry: ROSEntry) -> None:
-        entry.branch_resolved = True
-        taken = entry.inst.taken
-        if entry.prediction is not None:
-            self.predictor.resolve(entry.prediction, taken)
-        if taken:
-            self.btb.update(entry.inst.pc, entry.inst.target)
-        if not entry.wrong_path:
-            self.stats.branches_resolved += 1
-
-        if entry.fetch_mispredicted:
-            self.stats.branch_mispredictions += 1
-            self._recover_from_misprediction(entry)
-        else:
-            self.checkpoints.confirm(entry.seq)
-            for policy in self.policies.values():
-                policy.on_branch_confirmed(entry.seq)
-
-    def _recover_from_misprediction(self, branch: ROSEntry) -> None:
-        """Squash younger instructions and restore checkpointed state."""
-        squashed = self.ros.squash_younger_than(branch.seq)
-        self._undo_squashed(squashed)
-        self.lsq.squash_younger_than(branch.seq)
-
-        # Conditional releases scheduled by the squashed path disappear.
-        for policy in self.policies.values():
-            policy.on_branch_mispredicted(branch.seq)
-
-        checkpoint = self.checkpoints.mispredict(branch.seq)
-        if checkpoint is not None:
-            for reg_class, snapshot in checkpoint.map_snapshots.items():
-                self.map_tables[reg_class].restore(snapshot)
-            for reg_class, snapshot in checkpoint.policy_snapshots.items():
-                self.policies[reg_class].restore_state(snapshot)
-
-        self._decode_queue.clear()
-        if branch.resume_cursor >= 0:
-            self.fetch_unit.recover(branch.resume_cursor)
-
-    def _undo_squashed(self, squashed: List[ROSEntry]) -> None:
-        """Free resources of squashed entries (called youngest first)."""
-        for entry in squashed:
-            entry.squashed = True
-            self.stats.squashed_instructions += 1
-            if entry.has_dest and entry.allocated_new:
-                self.register_files[entry.dest_class].release(entry.pd, self.cycle)
-            elif entry.has_dest and entry.reused:
-                # The reused register's value is still the committed one.
-                self.register_files[entry.dest_class].set_producer(entry.pd, None)
-            for policy in self.policies.values():
-                policy.on_squash(entry, self.cycle)
-            self._consumers.pop(entry.seq, None)
-
-    # ==================================================================
-    # Stage 3: issue / execute
-    # ==================================================================
-    def _issue_stage(self) -> None:
-        issued = 0
-        for entry in self.ros:
-            if issued >= self.config.issue_width:
-                break
-            if entry.issued or entry.completed:
-                continue
-            if entry.wait_producers:
-                continue
-            inst = entry.inst
-            if inst.is_load and not self.lsq.load_may_issue(entry.seq):
-                continue
-            if not self.fus.can_issue(inst.op, self.cycle):
-                self.fus.note_structural_stall()
-                continue
-            latency = self.fus.issue(inst.op, self.cycle)
-            entry.issued = True
-            entry.issue_cycle = self.cycle
-            issued += 1
-
-            if inst.is_load:
-                self.lsq.mark_address_known(entry.seq)
-                if self.lsq.store_forwards_to(entry.seq, inst.mem_addr):
-                    mem_latency = 1
-                else:
-                    mem_latency = self.memory.data_read(inst.mem_addr)
-                entry.mem_latency = mem_latency
-                complete_at = self.cycle + latency + mem_latency
-            elif inst.is_store:
-                self.lsq.mark_address_known(entry.seq)
-                complete_at = self.cycle + latency
-            else:
-                complete_at = self.cycle + latency
-            self._completions.setdefault(complete_at, []).append(entry)
-
-    # ==================================================================
-    # Stage 4: rename / dispatch
-    # ==================================================================
-    def _rename_stage(self) -> None:
-        renamed = 0
-        while renamed < self.config.rename_width and self._decode_queue:
-            ready_cycle, op = self._decode_queue[0]
-            if ready_cycle > self.cycle:
-                break
-            if not self._rename_one(op):
-                break
-            self._decode_queue.popleft()
-            renamed += 1
-
-    def _rename_one(self, op: FetchedOp) -> bool:
-        """Rename a single instruction; returns False (and stalls) on a resource hazard."""
-        inst = op.inst
-        cfg = self.config
-
-        if self.ros.is_full:
-            self.stats.dispatch_stalls[STALL_ROS_FULL] += 1
-            return False
-        if inst.is_mem and self.lsq.is_full:
-            self.stats.dispatch_stalls[STALL_LSQ_FULL] += 1
-            return False
-        if inst.is_branch and self.checkpoints.is_full:
-            self.stats.dispatch_stalls[STALL_CHECKPOINTS_FULL] += 1
-            return False
-        if inst.dest is not None:
-            dest_class = RegClass(inst.dest[0])
-            if not self.register_files[dest_class].can_allocate() and \
-                    not self._may_avoid_allocation(dest_class, inst.dest[1]):
-                key = STALL_NO_FREE_INT if dest_class is RegClass.INT else STALL_NO_FREE_FP
-                self.stats.dispatch_stalls[key] += 1
-                return False
-
-        entry = ROSEntry(self._seq, inst)
-        self._seq += 1
-        entry.rename_cycle = self.cycle
-        entry.resume_cursor = op.resume_cursor
-        entry.prediction = op.prediction
-        entry.predicted_taken = op.predicted_taken
-        entry.fetch_mispredicted = op.mispredicted
-
-        # ------------------------------------------------------- sources
-        for slot, (reg_class, logical) in enumerate(inst.srcs):
-            reg_class = RegClass(reg_class)
-            physical = self.map_tables[reg_class].lookup(logical)
-            entry.src_regs.append((reg_class, logical, physical))
-            # Stores wait only for their *address* operands before issuing
-            # (slot 0 is the value by trace convention): the paper's rule is
-            # that loads wait for prior store addresses, and the data is
-            # needed no earlier than commit, which in-order retirement of
-            # the older producer already guarantees.
-            wait_for_issue = not (inst.is_store and slot == 0)
-            if wait_for_issue:
-                producer = self.register_files[reg_class].producer_of(physical)
-                if producer is not None:
-                    entry.wait_producers.add(producer)
-                    self._consumers.setdefault(producer, []).append(entry)
-            self.policies[reg_class].note_source_use(entry, slot, logical, physical)
-
-        # ------------------------------------------------------- destination
-        if inst.dest is not None:
-            dest_class = RegClass(inst.dest[0])
-            dest_logical = inst.dest[1]
-            policy = self.policies[dest_class]
-            register_file = self.register_files[dest_class]
-            old_pd = self.map_tables[dest_class].lookup(dest_logical)
-            outcome = policy.rename_destination(entry, dest_logical, old_pd)
-            if outcome.reuse_previous:
-                pd = old_pd
-                entry.allocated_new = False
-                entry.reused = True
-                register_file.set_producer(pd, entry.seq)
-            else:
-                pd = register_file.allocate(self.cycle, entry.seq)
-                self.map_tables[dest_class].set_mapping(dest_logical, pd)
-                entry.allocated_new = True
-            entry.dest_class = dest_class
-            entry.dest_logical = dest_logical
-            entry.pd = pd
-            entry.old_pd = old_pd
-            entry.rel_old = outcome.release_previous_at_commit
-            policy.note_dest_definition(entry, dest_logical)
-
-        # ------------------------------------------------------- branches
-        if inst.is_branch:
-            checkpoint = Checkpoint(
-                branch_seq=entry.seq,
-                map_snapshots={rc: mt.snapshot() for rc, mt in self.map_tables.items()},
-                policy_snapshots={rc: p.snapshot_state()
-                                  for rc, p in self.policies.items()},
-            )
-            self.checkpoints.push(checkpoint)
-            for policy in self.policies.values():
-                policy.on_branch_renamed(entry)
-
-        # ------------------------------------------------------- memory ops
-        if inst.is_mem:
-            self.lsq.insert(entry.seq, inst.is_store, inst.mem_addr)
-
-        # ------------------------------------------------------- exceptions
-        if (cfg.exception_rate > 0.0 and not entry.wrong_path
-                and self._exception_rng.random() < cfg.exception_rate):
-            entry.exception = True
-
-        self.ros.append(entry)
-        self.stats.renamed_instructions += 1
-
-        # Instructions with no execution dependencies and no FU requirement
-        # (NOPs) complete immediately at the next writeback.
-        if inst.op is OpClass.NOP:
-            self._completions.setdefault(self.cycle + 1, []).append(entry)
-            entry.issued = True
-        return True
-
-    def _may_avoid_allocation(self, dest_class: RegClass, logical: int) -> bool:
-        """Side-effect-free probe: could rename proceed without a free register?
-
-        True when the release policy would either reuse the previous
-        version or release it immediately (committed LU, no pending
-        branches), so a stalled free list does not have to stall rename.
-        """
-        policy = self.policies[dest_class]
-        if not hasattr(policy, "lus_table"):
-            return False
-        if self.map_tables[dest_class].is_stale(logical):
-            return False
-        lu = policy.lus_table.lookup(logical)
-        if lu is None:
-            # Unknown LU: basic falls back to conventional, extended treats it
-            # as committed; only the extended policy can proceed.
-            return policy.name == "extended" and self.count_pending_branches() == 0
-        if self.has_pending_branch_younger_than(lu.seq):
-            return False
-        if policy.name == "basic" and self.count_pending_branches() > 0 and \
-                self.has_pending_branch_younger_than(lu.seq):
-            return False
-        if not self.is_committed(lu.seq):
-            return False
-        if policy.name == "extended" and self.count_pending_branches() > 0:
-            return False
-        return True
-
-    # ==================================================================
-    # Stage 5: fetch
-    # ==================================================================
-    def _fetch_stage(self) -> None:
-        # Bound the front-end pipe: enough to cover the fetch-to-rename
-        # latency at full width plus two groups of slack.
-        capacity = (self.config.frontend_stages + 2) * self.config.fetch_width
-        if len(self._decode_queue) >= capacity:
-            return
-        group = self.fetch_unit.fetch_cycle(self.cycle)
-        ready = self.cycle + self.config.frontend_stages
-        for op in group:
-            self._decode_queue.append((ready, op))
-        self.stats.fetched_instructions += len(group)
-        self.stats.fetched_wrong_path += sum(1 for op in group if op.wrong_path)
-
-    # ==================================================================
-    # Statistics collection
-    # ==================================================================
-    def _collect_stats(self) -> SimStats:
-        stats = self.stats
-        stats.cycles = self.cycle
-        stats.btb_hit_rate = self.btb.hit_rate
-        stats.l1i_miss_rate = self.memory.l1i.miss_rate
-        stats.l1d_miss_rate = self.memory.l1d.miss_rate
-        stats.l2_miss_rate = self.memory.l2.miss_rate
-        stats.forwarded_loads = self.lsq.forwarded_loads
-        stats.structural_stalls = self.fus.structural_stalls
-
-        for reg_class, label in ((RegClass.INT, "int"), (RegClass.FP, "fp")):
-            register_file = self.register_files[reg_class]
-            policy = self.policies[reg_class]
-            totals = register_file.finalize_occupancy(self.cycle)
-            file_stats = RegisterFileStats(
-                num_physical=register_file.num_physical,
-                allocations=register_file.allocations,
-                releases=register_file.releases,
-                early_releases=register_file.early_releases,
-                register_reuses=policy.register_reuses,
-                immediate_releases=policy.immediate_releases,
-                scheduled_early_releases=policy.early_releases_scheduled,
-                conventional_releases=policy.conventional_releases,
-                conditional_schedulings=getattr(policy, "conditional_schedulings", 0),
-                occupancy=totals.averages(),
-            )
-            if label == "int":
-                stats.int_registers = file_stats
-            else:
-                stats.fp_registers = file_stats
-        return stats
+        return self.engine.run(max_instructions=max_instructions,
+                               max_cycles=max_cycles,
+                               deadlock_threshold=deadlock_threshold)
 
 
 def simulate(trace: Trace, config: Optional[ProcessorConfig] = None,
              max_instructions: Optional[int] = None,
-             max_cycles: Optional[int] = None) -> SimStats:
-    """Build a :class:`Processor` for ``trace`` and run it to completion.
+             max_cycles: Optional[int] = None,
+             clock: Union[None, CycleClock, EventClock] = None) -> SimStats:
+    """Simulate ``trace`` to completion and return its :class:`SimStats`.
 
     This is the main public entry point: every experiment and example uses
     it.  ``max_instructions`` limits the number of *committed* instructions
-    (defaults to the trace length); ``max_cycles`` is a safety bound.
+    (defaults to the trace length); ``max_cycles`` is a safety bound;
+    ``clock`` selects the stepping strategy (event-driven by default).
     """
-    processor = Processor(trace, config)
-    return processor.run(max_instructions=max_instructions, max_cycles=max_cycles)
+    return _engine_simulate(trace, config, max_instructions=max_instructions,
+                            max_cycles=max_cycles, clock=clock)

@@ -66,10 +66,22 @@ class TestRunSweep:
         assert needed is not None
         assert needed <= 96
 
-    def test_missing_point_raises(self, tiny_sweep):
+    def test_missing_point_raises_helpful_error(self, tiny_sweep):
         _config, result = tiny_sweep
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError) as excinfo:
             result.stats("swim", "conv", 12345)
+        message = str(excinfo.value)
+        assert "swim/conv/P12345" in message
+        assert "conv" in message and "extended" in message
+        assert "48" in message and "96" in message
+
+    def test_contains_probe(self, tiny_sweep):
+        _config, result = tiny_sweep
+        assert SweepPoint("swim", "conv", 48) in result
+        assert ("swim", "conv", 48) in result
+        assert ("swim", "conv", 12345) not in result
+        assert ("swim", "nope", 48) not in result
+        assert "not-a-point" not in result
 
     def test_run_simulation_point_standalone(self):
         config = SweepConfig(benchmarks=("swim",), trace_length=500,
@@ -77,13 +89,47 @@ class TestRunSweep:
         stats = run_simulation_point(config, SweepPoint("swim", "basic", 64))
         assert stats.committed_instructions >= 500
 
-    def test_merge(self, tiny_sweep):
+    def test_merge_disjoint(self, tiny_sweep):
         config, result = tiny_sweep
         other_config = SweepConfig(benchmarks=("swim",), policies=("basic",),
                                    register_sizes=(48,), trace_length=800,
                                    base_config=FAST)
         other = run_sweep(other_config, parallel=False)
         merged = result.merge(other)
+        assert len(merged) == len(result) + len(other)
         assert merged.ipc("swim", "basic", 48) > 0
         assert merged.ipc("gcc", "extended", 96) > 0
         assert "basic" in merged.config.policies
+        assert merged.config.benchmarks == ("swim", "gcc")
+        # every original point survives untouched
+        for point in config.points():
+            assert merged.ipc(point.benchmark, point.policy,
+                              point.num_registers) == \
+                result.ipc(point.benchmark, point.policy, point.num_registers)
+
+    def test_merge_overlapping_prefers_other(self, tiny_sweep):
+        config, result = tiny_sweep
+        # Same grid re-run with a longer trace: every point overlaps, and
+        # the merged result must carry the other sweep's statistics.
+        longer_config = SweepConfig(benchmarks=config.benchmarks,
+                                    policies=config.policies,
+                                    register_sizes=config.register_sizes,
+                                    trace_length=1_000, base_config=FAST)
+        longer = run_sweep(longer_config, parallel=False)
+        merged = result.merge(longer)
+        assert len(merged) == len(result)
+        assert merged.points() and set(merged.points()) == set(result.points())
+        for point in config.points():
+            assert merged.stats(point.benchmark, point.policy,
+                                point.num_registers) is \
+                longer.stats(point.benchmark, point.policy, point.num_registers)
+
+    def test_merge_keeps_size_and_policy_union_sorted(self, tiny_sweep):
+        _config, result = tiny_sweep
+        other_config = SweepConfig(benchmarks=("li",), policies=("basic",),
+                                   register_sizes=(64,), trace_length=800,
+                                   base_config=FAST)
+        other = run_sweep(other_config, parallel=False)
+        merged = result.merge(other)
+        assert merged.config.register_sizes == (48, 64, 96)
+        assert set(merged.config.policies) == {"conv", "extended", "basic"}

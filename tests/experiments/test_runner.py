@@ -35,9 +35,22 @@ class TestCLI:
             main(["not-an-experiment"])
 
     def test_simulation_experiment_via_cli(self, capsys):
-        assert main(["figure10", "--trace-length", "1200"]) == 0
+        assert main(["figure10", "--trace-length", "1200", "--no-cache"]) == 0
         output = capsys.readouterr().out
         assert "Figure 10" in output
+
+    def test_cached_rerun_matches_and_reuses_results(self, capsys, tmp_path):
+        args = ["figure10", "--trace-length", "1200",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert any(tmp_path.rglob("*.pkl"))       # results were persisted
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        # identical artefact from the cache (timing line differs)
+        strip = lambda out: [line for line in out.splitlines()
+                             if not line.startswith("figure10")]
+        assert strip(first) == strip(second)
 
     def test_all_expands(self, capsys):
         # Only check argument handling (run with an unknown flag combination

@@ -78,6 +78,17 @@ class TestBasicExecution:
                 break
         assert processor.finished
 
+    def test_facade_attribute_writes_reach_machine_state(self, straightline_trace,
+                                                         quick_config):
+        # The facade forwards reads *and* writes to the MachineState, so
+        # callers written against the monolithic Processor see one object.
+        processor = Processor(straightline_trace, quick_config)
+        processor.step()
+        processor.cycle = 0
+        assert processor.engine.state.cycle == 0
+        processor.step()
+        assert processor.cycle == 1
+
 
 class TestRegisterPressure:
     def test_tight_file_stalls_dispatch(self):
