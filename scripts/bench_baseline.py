@@ -14,7 +14,11 @@ The script is a thin wrapper over::
 
     PYTHONPATH=src python -m pytest benchmarks --benchmark-json <out>
 
-and exits with pytest's return code.
+plus a serial probe over representative Figure 11 grid points that
+records the event-driven scheduler's counters (cycles skipped,
+fast-forwards, ready-set peak size) alongside each point's wall-clock;
+the probe results are embedded in the snapshot under ``"scheduler"``.
+Exits with pytest's return code.
 """
 
 from __future__ import annotations
@@ -28,6 +32,169 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Representative Figure 11 grid points for the scheduler probe: the
+#: memory-latency-bound FP points the event clock targets (tight swim),
+#: one loose FP point and one branchy integer point for contrast.
+SCHEDULER_PROBE_POINTS = (
+    ("swim", "conv", 40),
+    ("swim", "conv", 48),
+    ("swim", "extended", 40),
+    ("swim", "extended", 48),
+    ("swim", "extended", 96),
+    ("gcc", "conv", 48),
+)
+
+
+#: Register sizes of the Figure 11 sub-grid used for the skip-fraction
+#: comparison (tight through loose; QUICK_SIZES of the experiment runner).
+GRID_SIZES = (40, 48, 64, 96, 160)
+
+
+def _make_pr1_semantics_clock():
+    """Build a clock with PR 1's wake rules, for snapshot comparison.
+
+    Two differences from the current ``EventClock``: any ready instruction
+    forbids skipping (no structural-stall fast-forward), and completion
+    events stranded by squashes still wake the machine (no dead-bucket
+    dropping).  Produces the same bit-identical stats — it only skips a
+    subset of the skippable cycles — so the ``cycles_skipped`` delta
+    isolates the scheduler-index improvements.
+    """
+    from repro.engine import EventClock
+    from repro.engine.stages import dispatch_hazard
+
+    class PR1SemanticsClock(EventClock):
+        def _next_wake(self, state):
+            cycle = state.cycle
+            head = state.ros.head()
+            if head is not None and head.completed:
+                return None
+            wake = state.completions.next_cycle()      # dead buckets wake too
+            if wake is not None and wake <= cycle:
+                return None
+            fetch_unit = state.fetch_unit
+            if len(state.decode_queue) >= state.decode_capacity:
+                pass
+            elif fetch_unit.trace_exhausted:
+                pass
+            elif fetch_unit.stalled_until > cycle:
+                stall_end = fetch_unit.stalled_until
+                wake = stall_end if wake is None else min(wake, stall_end)
+            else:
+                return None
+            stall_reason = None
+            if state.decode_queue:
+                ready_cycle, op = state.decode_queue[0]
+                if ready_cycle > cycle:
+                    wake = ready_cycle if wake is None else min(wake, ready_cycle)
+                else:
+                    stall_reason = dispatch_hazard(state, op.inst)
+                    if stall_reason is None:
+                        return None
+            if state.ready:
+                return None          # a ready instruction forbids skipping
+            if wake is None or wake <= cycle:
+                return None
+            return wake, stall_reason, 0
+
+    return PR1SemanticsClock
+
+
+def collect_scheduler_counters(trace_length: int = 4_000) -> dict:
+    """Serially simulate the probe points and collect scheduler telemetry.
+
+    Runs at the same scale as the ``benchmarks/`` harness (trace length,
+    default warm-up) so the wall-clock numbers are comparable PR over PR.
+    Also sweeps a Figure 11 sub-grid under both the current clock and a
+    PR 1-semantics reference clock, recording the ``cycles_skipped``
+    fraction of each so the skip-set enlargement is tracked in-snapshot.
+    """
+    import time as time_module
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.engine import EventClock, SimulationEngine
+    from repro.pipeline.config import ProcessorConfig
+    from repro.rename.free_list import FreeListError
+    from repro.trace.workloads import (fp_workloads, get_workload,
+                                       integer_workloads)
+
+    points = []
+    for benchmark_name, policy, registers in SCHEDULER_PROBE_POINTS:
+        trace = get_workload(benchmark_name, trace_length)
+        config = ProcessorConfig(release_policy=policy,
+                                 num_physical_int=registers,
+                                 num_physical_fp=registers)
+        engine = SimulationEngine(trace, config, clock=EventClock())
+        start = time_module.perf_counter()
+        stats = engine.run()
+        elapsed = time_module.perf_counter() - start
+        clock = engine.clock
+        points.append({
+            "benchmark": benchmark_name,
+            "policy": policy,
+            "num_registers": registers,
+            "wall_clock_s": round(elapsed, 4),
+            "cycles": stats.cycles,
+            "cycles_skipped": clock.cycles_skipped,
+            "skip_fraction": round(clock.cycles_skipped / stats.cycles, 4)
+            if stats.cycles else 0.0,
+            "fast_forwards": clock.fast_forwards,
+            "ready_set_peak": engine.state.ready.peak_size,
+            "ipc": round(stats.ipc, 4),
+        })
+    # Figure 11 sub-grid: current clock vs PR 1-semantics reference.
+    pr1_clock_class = _make_pr1_semantics_clock()
+    grid = {"new": [0, 0], "pr1": [0, 0]}
+    strictly_higher = 0
+    grid_points = 0
+    for benchmark_name in fp_workloads() + integer_workloads():
+        for policy in ("conv", "basic", "extended"):
+            for registers in GRID_SIZES:
+                trace = get_workload(benchmark_name, trace_length)
+                config = ProcessorConfig(release_policy=policy,
+                                         num_physical_int=registers,
+                                         num_physical_fp=registers)
+                try:
+                    new = SimulationEngine(trace, config, clock=EventClock())
+                    new_stats = new.run()
+                    ref = SimulationEngine(trace, config,
+                                           clock=pr1_clock_class())
+                    ref_stats = ref.run()
+                except FreeListError:
+                    continue     # known seed-era crash configs (ROADMAP)
+                if ref_stats.cycles != new_stats.cycles:
+                    raise RuntimeError(
+                        f"PR1-semantics reference clock diverged on "
+                        f"{benchmark_name}/{policy}/P{registers}: "
+                        f"{ref_stats.cycles} vs {new_stats.cycles} cycles — "
+                        f"the snapshot comparison would be meaningless")
+                grid_points += 1
+                grid["new"][0] += new.clock.cycles_skipped
+                grid["new"][1] += new_stats.cycles
+                grid["pr1"][0] += ref.clock.cycles_skipped
+                grid["pr1"][1] += ref_stats.cycles
+                if new.clock.cycles_skipped > ref.clock.cycles_skipped:
+                    strictly_higher += 1
+
+    total_cycles = sum(p["cycles"] for p in points)
+    total_skipped = sum(p["cycles_skipped"] for p in points)
+    return {
+        "trace_length": trace_length,
+        "points": points,
+        "probe_skip_fraction": round(total_skipped / total_cycles, 4)
+        if total_cycles else 0.0,
+        "figure11_grid": {
+            "sizes": list(GRID_SIZES),
+            "points": grid_points,
+            "skip_fraction": round(grid["new"][0] / grid["new"][1], 4)
+            if grid["new"][1] else 0.0,
+            "pr1_semantics_skip_fraction":
+                round(grid["pr1"][0] / grid["pr1"][1], 4)
+                if grid["pr1"][1] else 0.0,
+            "points_skipping_strictly_more": strictly_higher,
+        },
+    }
 
 
 def main(argv=None) -> int:
@@ -59,13 +226,34 @@ def main(argv=None) -> int:
     if returncode != 0:
         return returncode
 
-    # Human-readable recap of what was recorded.
+    # Embed the scheduler telemetry probe into the snapshot.
+    scheduler = collect_scheduler_counters()
     with open(output) as handle:
         payload = json.load(handle)
+    payload["scheduler"] = scheduler
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    # Human-readable recap of what was recorded.
     benches = payload.get("benchmarks", [])
     print(f"\nwrote {output} ({len(benches)} benchmarks)")
     for bench in sorted(benches, key=lambda b: b["stats"]["mean"], reverse=True):
         print(f"  {bench['stats']['mean']:8.2f}s  {bench['name']}")
+    print(f"\nscheduler probe (Figure 11 grid subset, "
+          f"trace length {scheduler['trace_length']}):")
+    for point in scheduler["points"]:
+        print(f"  {point['benchmark']}/{point['policy']}/"
+              f"P{point['num_registers']:<3}  {point['wall_clock_s']:6.3f}s  "
+              f"skip={point['skip_fraction']:.0%}  "
+              f"ff={point['fast_forwards']}  "
+              f"ready_peak={point['ready_set_peak']}")
+    print(f"  probe cycles_skipped fraction: "
+          f"{scheduler['probe_skip_fraction']:.1%}")
+    grid = scheduler["figure11_grid"]
+    print(f"figure11 grid ({grid['points']} points, sizes {grid['sizes']}): "
+          f"skip={grid['skip_fraction']:.2%} vs PR1 semantics "
+          f"{grid['pr1_semantics_skip_fraction']:.2%} "
+          f"({grid['points_skipping_strictly_more']} points strictly higher)")
     return 0
 
 

@@ -30,8 +30,9 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.sweep import SweepConfig, SweepPoint
@@ -42,7 +43,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 
 #: Bump when the key derivation or the pickled payload changes shape.
-CACHE_SCHEMA_VERSION = 1
+#: v2: payloads additionally record the producing code digest and a
+#: creation timestamp, so ``repro-experiments cache`` can report and prune
+#: entries by age and by stale source code.
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -117,6 +121,37 @@ def point_key(sweep_config: "SweepConfig", point: "SweepPoint") -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
+@dataclasses.dataclass
+class CacheStats:
+    """Aggregate report of one cache directory (``repro-experiments cache``)."""
+
+    total_entries: int = 0
+    total_bytes: int = 0
+    unreadable_entries: int = 0
+    stale_code_entries: int = 0
+    oldest: Optional[float] = None
+    #: workload name -> (entry count, bytes on disk).
+    workloads: Dict[str, Tuple[int, int]] = dataclasses.field(default_factory=dict)
+
+    def format(self) -> str:
+        """Human-readable report."""
+        lines = [f"entries: {self.total_entries} "
+                 f"({self.total_bytes / 1024:.1f} KiB)"]
+        if self.oldest is not None:
+            age_days = (time.time() - self.oldest) / 86400.0
+            lines.append(f"oldest entry: {age_days:.1f} days")
+        lines.append(f"stale (old source code): {self.stale_code_entries}")
+        if self.unreadable_entries:
+            lines.append(f"unreadable/outdated schema: {self.unreadable_entries}")
+        if self.workloads:
+            lines.append("per workload:")
+            for workload in sorted(self.workloads):
+                count, nbytes = self.workloads[workload]
+                lines.append(f"  {workload:<12} {count:5d} entries  "
+                             f"{nbytes / 1024:8.1f} KiB")
+        return "\n".join(lines)
+
+
 class SweepCache:
     """Directory-backed store of simulated sweep points."""
 
@@ -145,7 +180,7 @@ class SweepCache:
                 raise EOFError("schema mismatch")
             stats = payload["stats"]
         except (OSError, pickle.PickleError, EOFError, AttributeError,
-                KeyError, TypeError):
+                KeyError, TypeError, ImportError):
             self.misses += 1
             return None
         self.hits += 1
@@ -164,6 +199,8 @@ class SweepCache:
             "point": (point.benchmark, point.policy, point.num_registers),
             "trace_length": sweep_config.trace_length,
             "seed": sweep_config.seed,
+            "code": code_digest(),
+            "created": time.time(),
             "stats": stats,
         }
         tmp_name = None
@@ -183,6 +220,89 @@ class SweepCache:
             self.store_errors += 1
             return
         self.stores += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance (the ``repro-experiments cache`` subcommand)
+    # ------------------------------------------------------------------
+    def iter_entries(self) -> Iterator[Tuple[Path, Optional[dict]]]:
+        """Yield ``(path, payload)`` for every entry file on disk.
+
+        ``payload`` is None for entries that cannot be read or that carry
+        an outdated schema — those are unconditionally stale.
+        """
+        if not self.cache_dir.exists():
+            return
+        for path in sorted(self.cache_dir.rglob("*.pkl")):
+            payload: Optional[dict] = None
+            try:
+                with open(path, "rb") as handle:
+                    loaded = pickle.load(handle)
+                if isinstance(loaded, dict) and \
+                        loaded.get("schema") == CACHE_SCHEMA_VERSION:
+                    payload = loaded
+            except (OSError, pickle.PickleError, EOFError, AttributeError,
+                    KeyError, TypeError, ImportError):
+                # ImportError: an old entry pickled a class the simulator
+                # has since moved or renamed — unconditionally stale.
+                payload = None
+            yield path, payload
+
+    def stats(self) -> "CacheStats":
+        """Aggregate entry counts and sizes, grouped per workload."""
+        result = CacheStats()
+        for path, payload in self.iter_entries():
+            try:
+                size = path.stat().st_size
+            except OSError:  # pragma: no cover - concurrent cleanup
+                continue
+            result.total_entries += 1
+            result.total_bytes += size
+            if payload is None:
+                result.unreadable_entries += 1
+                continue
+            workload = payload["point"][0]
+            count, nbytes = result.workloads.get(workload, (0, 0))
+            result.workloads[workload] = (count + 1, nbytes + size)
+            created = payload.get("created")
+            if created is not None:
+                if result.oldest is None or created < result.oldest:
+                    result.oldest = created
+            if payload.get("code") != code_digest():
+                result.stale_code_entries += 1
+        return result
+
+    def prune(self, max_age_days: Optional[float] = None,
+              stale_code: bool = False,
+              now: Optional[float] = None) -> int:
+        """Delete entries older than ``max_age_days`` and/or produced by a
+        different version of the simulator source; returns the count removed.
+
+        Unreadable and outdated-schema entries are removed by either
+        criterion — they can never be served again.  At least one criterion
+        must be given (an unconditional wipe is :meth:`clear`).
+        """
+        if max_age_days is None and not stale_code:
+            raise ValueError("prune needs max_age_days and/or stale_code "
+                             "(use clear() to wipe the cache)")
+        now = time.time() if now is None else now
+        removed = 0
+        for path, payload in self.iter_entries():
+            if payload is None:
+                drop = True
+            else:
+                drop = False
+                if max_age_days is not None:
+                    created = payload.get("created", 0.0)
+                    drop = now - created > max_age_days * 86400.0
+                if not drop and stale_code:
+                    drop = payload.get("code") != code_digest()
+            if drop:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+        return removed
 
     # ------------------------------------------------------------------
     def __contains__(self, item) -> bool:

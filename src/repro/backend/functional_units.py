@@ -56,6 +56,16 @@ class FunctionalUnitPool:
         kind = FU_KIND[op]
         return any(free <= cycle for free in self._free_at[kind])
 
+    def next_free_cycle(self, op: OpClass) -> int:
+        """Earliest cycle at which a unit executing ``op`` accepts work.
+
+        In the past (≤ current cycle) when a unit is already available.
+        The event clock uses this to bound fast-forwards across windows in
+        which every ready instruction is structurally stalled — mostly
+        runs of operations on the unpipelined FP dividers.
+        """
+        return min(self._free_at[FU_KIND[op]])
+
     def issue(self, op: OpClass, cycle: int) -> int:
         """Reserve a unit for ``op`` at ``cycle``; returns the result latency.
 
@@ -73,6 +83,11 @@ class FunctionalUnitPool:
                 return latency
         raise RuntimeError(f"no {kind.name} unit available at cycle {cycle}")
 
-    def note_structural_stall(self) -> None:
-        """Record that a ready instruction could not issue for lack of a unit."""
-        self.structural_stalls += 1
+    def note_structural_stall(self, count: int = 1) -> None:
+        """Record that a ready instruction could not issue for lack of a unit.
+
+        ``count`` lets the event clock book the stalls of a whole skipped
+        window (one per blocked ready instruction per skipped cycle) in a
+        single call.
+        """
+        self.structural_stalls += count

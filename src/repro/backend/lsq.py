@@ -4,12 +4,21 @@ The paper's issue rule is conservative: "Loads are executed when all
 previously store addresses are known".  Store addresses become known when
 the store issues (address generation); stores update the data cache at
 commit.
+
+Loads blocked by that rule do not sit in the scheduler's ready set being
+re-tested every cycle: they park on the wait list of their *first* older
+store with an unknown address (:meth:`LoadStoreQueue.park_blocked_load`),
+and :meth:`LoadStoreQueue.mark_address_known` hands the parked loads back
+to the issue stage when that store computes its address.  Blocking is
+monotone — older stores only ever *gain* known addresses, and a store can
+never be squashed without also squashing every younger parked load — so
+parking on the first blocker is exact, not heuristic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -31,6 +40,8 @@ class LoadStoreQueue:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._entries: List[LSQEntry] = []
+        #: store seq -> ROS entries of loads parked until its address is known.
+        self._waiters: Dict[int, List[object]] = {}
         self.forwarded_loads = 0
 
     # ------------------------------------------------------------------
@@ -84,11 +95,33 @@ class LoadStoreQueue:
             return True
         return False
 
-    def mark_address_known(self, seq: int) -> None:
-        """The memory operation ``seq`` has computed its effective address."""
+    def park_blocked_load(self, seq: int, ros_entry: object) -> bool:
+        """Park ``ros_entry`` on its first older unknown-address store.
+
+        Returns True when the load was parked (it may not issue yet) and
+        False when no older store blocks it (the load is issue-ready).
+        The parked reference is handed back by :meth:`mark_address_known`
+        when the blocking store computes its address.
+        """
+        for entry in self._entries:
+            if entry.seq >= seq:
+                break
+            if entry.is_store and not entry.addr_known:
+                self._waiters.setdefault(entry.seq, []).append(ros_entry)
+                return True
+        return False
+
+    def mark_address_known(self, seq: int) -> List[object]:
+        """The memory operation ``seq`` has computed its effective address.
+
+        Returns the loads that were parked on it; each must be re-examined
+        by the caller (re-parked on the next unknown older store, or
+        promoted to the ready set).
+        """
         entry = self.find(seq)
         if entry is not None:
             entry.addr_known = True
+        return self._waiters.pop(seq, [])
 
     def mark_done(self, seq: int) -> None:
         """The memory operation ``seq`` completed execution."""
@@ -100,11 +133,24 @@ class LoadStoreQueue:
     def remove(self, seq: int) -> None:
         """Remove the entry of ``seq`` (at commit)."""
         self._entries = [entry for entry in self._entries if entry.seq != seq]
+        # A committing store has issued, so its wait list was drained at
+        # issue; popping defensively keeps the invariant obvious.
+        self._waiters.pop(seq, None)
 
     def squash_younger_than(self, seq: int) -> None:
-        """Drop every entry younger than ``seq`` (misprediction recovery)."""
+        """Drop every entry younger than ``seq`` (misprediction recovery).
+
+        Wait lists keyed by squashed stores go too; loads parked on
+        *surviving* stores may themselves be squashed — the issue stage
+        skips those when the list is drained.
+        """
         self._entries = [entry for entry in self._entries if entry.seq <= seq]
+        if self._waiters:
+            self._waiters = {store_seq: waiters
+                             for store_seq, waiters in self._waiters.items()
+                             if store_seq <= seq}
 
     def clear(self) -> None:
         """Drop every entry (exception flush)."""
         self._entries.clear()
+        self._waiters.clear()

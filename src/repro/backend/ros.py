@@ -11,7 +11,7 @@ stored here as a slot bitmask).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, List, Optional, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.isa import Instruction, RegClass
 
@@ -110,6 +110,9 @@ class ReorderStructure:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._entries: Deque[ROSEntry] = deque()
+        #: seq -> entry index kept in lockstep by every mutator, so
+        #: :meth:`find` (the release policies' LU lookups) is O(1).
+        self._by_seq: Dict[int, ROSEntry] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -144,10 +147,13 @@ class ReorderStructure:
         if self._entries and entry.seq <= self._entries[-1].seq:
             raise ValueError("ROS entries must be appended in program order")
         self._entries.append(entry)
+        self._by_seq[entry.seq] = entry
 
     def pop_head(self) -> ROSEntry:
         """Remove and return the committing head entry."""
-        return self._entries.popleft()
+        entry = self._entries.popleft()
+        del self._by_seq[entry.seq]
+        return entry
 
     def squash_younger_than(self, seq: int) -> List[ROSEntry]:
         """Remove every entry younger than ``seq``; youngest first.
@@ -157,18 +163,18 @@ class ReorderStructure:
         """
         squashed: List[ROSEntry] = []
         while self._entries and self._entries[-1].seq > seq:
-            squashed.append(self._entries.pop())
+            entry = self._entries.pop()
+            del self._by_seq[entry.seq]
+            squashed.append(entry)
         return squashed
 
     def squash_all(self) -> List[ROSEntry]:
         """Remove every entry (exception flush); youngest first."""
         squashed = list(self._entries)[::-1]
         self._entries.clear()
+        self._by_seq.clear()
         return squashed
 
     def find(self, seq: int) -> Optional[ROSEntry]:
-        """Return the in-flight entry with sequence number ``seq`` (linear scan)."""
-        for entry in self._entries:
-            if entry.seq == seq:
-                return entry
-        return None
+        """Return the in-flight entry with sequence number ``seq`` (O(1))."""
+        return self._by_seq.get(seq)

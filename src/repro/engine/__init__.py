@@ -2,10 +2,12 @@
 
 This package hosts the simulation kernel: :class:`MachineState` (the
 explicit shared machine state), the five :class:`Stage` objects
-(commit, writeback, issue, rename, fetch), the clocks
-(:class:`CycleClock` for classic per-cycle stepping, :class:`EventClock`
-for quiescence fast-forward) and :class:`SimulationEngine`, which wires
-them together.  :func:`simulate` is the one-call entry point.
+(commit, writeback, issue, rename, fetch), the indexed scheduler
+structures (:class:`ReadySet`, :class:`WakeupIndex`,
+:class:`CompletionQueue`), the clocks (:class:`CycleClock` for classic
+per-cycle stepping, :class:`EventClock` for per-stage wake-time
+fast-forward) and :class:`SimulationEngine`, which wires them together.
+:func:`simulate` is the one-call entry point.
 
 The legacy :class:`repro.pipeline.processor.Processor` and
 :func:`repro.pipeline.processor.simulate` remain as thin facades over this
@@ -14,6 +16,7 @@ package, so existing callers keep working unchanged.
 
 from repro.engine.clock import CycleClock, EventClock
 from repro.engine.engine import DeadlockError, SimulationEngine, simulate
+from repro.engine.events import CompletionQueue, ReadySet, WakeupIndex
 from repro.engine.stages import (
     CommitStage,
     FetchStage,
@@ -37,6 +40,9 @@ from repro.engine.state import (
 __all__ = [
     "CycleClock",
     "EventClock",
+    "CompletionQueue",
+    "ReadySet",
+    "WakeupIndex",
     "DeadlockError",
     "SimulationEngine",
     "simulate",

@@ -1,0 +1,215 @@
+"""Indexed scheduler structures: ready set, wakeup index, completion queue.
+
+The issue stage used to rediscover ready instructions by scanning the
+whole Reorder Structure every cycle, and the event clock re-scanned it
+again to prove quiescence.  This module replaces those scans with three
+incrementally maintained indexes over the in-flight window:
+
+* :class:`ReadySet` — the age-ordered queue of instructions whose source
+  operands are all available and (for loads) whose older store addresses
+  are all known.  The issue stage pops it oldest-first; the event clock
+  reads its size and members in O(1)/O(ready).
+* :class:`WakeupIndex` — the producer→consumer lists.  Writeback calls
+  :meth:`WakeupIndex.wake` with a completing producer and gets back
+  exactly the consumers whose *last* outstanding producer that was, so
+  only those are promoted to the ready set.
+* :class:`CompletionQueue` — completion events keyed by cycle with a
+  min-heap over the scheduled cycles, so "when is the next writeback?"
+  is O(1) for the event clock instead of ``min()`` over dict keys.
+
+All three use lazy deletion against an authoritative dict: squash simply
+removes the dict entry and lets stale heap keys be skipped on the next
+pop, which keeps misprediction recovery O(squashed) instead of
+O(heap).  Sequence numbers are never reused, so a stale key can never
+alias a live entry.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, ValuesView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backend.ros import ROSEntry
+
+
+class ReadySet:
+    """Age-ordered set of issue-ready instructions (min-heap on seq).
+
+    Membership is the dict (``seq -> entry``); the heap only orders
+    candidate sequence numbers and may lag behind after :meth:`discard`
+    (squash) — stale keys are dropped on the next :meth:`pop`.
+    """
+
+    __slots__ = ("_heap", "_entries", "peak_size")
+
+    def __init__(self) -> None:
+        self._heap: List[int] = []
+        self._entries: Dict[int, "ROSEntry"] = {}
+        #: high-water mark of the membership (scheduler telemetry).
+        self.peak_size = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, seq: int) -> bool:
+        return seq in self._entries
+
+    def entries(self) -> ValuesView["ROSEntry"]:
+        """Live members, unordered (the clock's structural-stall probe)."""
+        return self._entries.values()
+
+    # ------------------------------------------------------------------
+    def add(self, entry: "ROSEntry") -> None:
+        """Insert ``entry``; a no-op when it is already a member."""
+        seq = entry.seq
+        if seq in self._entries:
+            return
+        self._entries[seq] = entry
+        heapq.heappush(self._heap, seq)
+        if len(self._entries) > self.peak_size:
+            self.peak_size = len(self._entries)
+
+    def discard(self, seq: int) -> None:
+        """Remove ``seq`` if present (squash); the heap key goes stale."""
+        self._entries.pop(seq, None)
+
+    def pop(self) -> "ROSEntry":
+        """Remove and return the oldest ready entry."""
+        heap = self._heap
+        entries = self._entries
+        while heap:
+            seq = heapq.heappop(heap)
+            entry = entries.pop(seq, None)
+            if entry is not None:
+                return entry
+        raise IndexError("pop from an empty ReadySet")
+
+    def clear(self) -> None:
+        """Drop every member (exception flush)."""
+        self._heap.clear()
+        self._entries.clear()
+
+
+class WakeupIndex:
+    """Producer seq → list of consumers still waiting on it."""
+
+    __slots__ = ("_waiters",)
+
+    def __init__(self) -> None:
+        self._waiters: Dict[int, List["ROSEntry"]] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def register(self, producer_seq: int, consumer: "ROSEntry") -> None:
+        """``consumer`` waits for the result of ``producer_seq``."""
+        self._waiters.setdefault(producer_seq, []).append(consumer)
+
+    def wake(self, producer_seq: int) -> List["ROSEntry"]:
+        """Producer completed: clear it from every waiter and return the
+        consumers for which it was the *last* outstanding producer.
+
+        Squashed waiters are cleared but never returned — they can no
+        longer issue.
+        """
+        woken: List["ROSEntry"] = []
+        for consumer in self._waiters.pop(producer_seq, ()):
+            consumer.wait_producers.discard(producer_seq)
+            if consumer.squashed:
+                continue
+            if not consumer.wait_producers:
+                woken.append(consumer)
+        return woken
+
+    def drop(self, producer_seq: int) -> None:
+        """Forget the waiters of a squashed producer (they are squashed too)."""
+        self._waiters.pop(producer_seq, None)
+
+    def clear(self) -> None:
+        """Drop every list (exception flush)."""
+        self._waiters.clear()
+
+
+class CompletionQueue:
+    """Completion events bucketed by cycle, with an O(1) next-cycle probe.
+
+    The writeback stage drains the bucket of the current cycle; the event
+    clock bounds its jumps by :meth:`next_cycle`.  Buckets are the
+    authority — heap keys of already-drained cycles are skipped lazily.
+    """
+
+    __slots__ = ("_buckets", "_heap")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, List["ROSEntry"]] = {}
+        self._heap: List[int] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __bool__(self) -> bool:
+        return bool(self._buckets)
+
+    def schedule(self, cycle: int, entry: "ROSEntry") -> None:
+        """``entry`` finishes execution at ``cycle``."""
+        bucket = self._buckets.get(cycle)
+        if bucket is None:
+            self._buckets[cycle] = [entry]
+            heapq.heappush(self._heap, cycle)
+        else:
+            bucket.append(entry)
+
+    def pop_due(self, cycle: int) -> Optional[List["ROSEntry"]]:
+        """Remove and return the events of ``cycle`` (None when there are none)."""
+        return self._buckets.pop(cycle, None)
+
+    def next_cycle(self) -> Optional[int]:
+        """Earliest cycle with a pending event, or None when empty."""
+        heap = self._heap
+        buckets = self._buckets
+        while heap:
+            if heap[0] in buckets:
+                return heap[0]
+            heapq.heappop(heap)
+        return None
+
+    def next_live_cycle(self) -> Optional[int]:
+        """Earliest cycle whose bucket holds a non-squashed entry.
+
+        Buckets containing only squashed entries are dropped on the way:
+        squash is permanent (sequence numbers are never reused), so such a
+        bucket can never produce observable work — waking the machine for
+        it would cost one spurious stage sweep.  The event clock bounds
+        its jumps with this; the writeback stage keeps draining via
+        :meth:`pop_due`, which is unaffected by the early drops.
+        """
+        heap = self._heap
+        buckets = self._buckets
+        while heap:
+            cycle = heap[0]
+            bucket = buckets.get(cycle)
+            if bucket is None:
+                heapq.heappop(heap)
+                continue
+            if any(not entry.squashed for entry in bucket):
+                return cycle
+            del buckets[cycle]
+            heapq.heappop(heap)
+        return None
+
+    def pending(self) -> Iterable["ROSEntry"]:
+        """Every scheduled entry, in no particular order (tests/debugging)."""
+        for bucket in self._buckets.values():
+            yield from bucket
+
+    def clear(self) -> None:
+        """Drop every event (tests/debugging; flushes keep squashed events)."""
+        self._buckets.clear()
+        self._heap.clear()

@@ -9,11 +9,14 @@ behave like a real machine:
    entries, update the in-order map table, drive the release policy's
    commit hooks, take exceptions;
 2. :class:`WritebackStage` — finish instructions whose execution latency
-   expires this cycle, wake their consumers, resolve branches (confirm or
-   recover);
-3. :class:`IssueStage`     — select up to ``issue_width`` ready
-   instructions, oldest first, subject to functional-unit and
-   load/store-queue rules;
+   expires this cycle (drained from the indexed completion queue), wake
+   exactly the consumers whose last producer completed, resolve branches
+   (confirm or recover);
+3. :class:`IssueStage`     — pop up to ``issue_width`` instructions from
+   the age-ordered ready set, subject to functional-unit availability;
+   the dependency and memory-ordering rules were already enforced when
+   the entries became ready (see
+   :meth:`repro.engine.state.MachineState.make_issue_ready`);
 4. :class:`RenameStage`    — rename/dispatch up to ``rename_width``
    decoded instructions, allocating physical registers, ROS/LSQ entries
    and branch checkpoints, and invoking the release policy's rename hooks
@@ -104,7 +107,7 @@ def dispatch_hazard(state: MachineState, inst: Instruction) -> Optional[str]:
     if inst.is_branch and state.checkpoints.is_full:
         return STALL_CHECKPOINTS_FULL
     if inst.dest is not None:
-        dest_class = RegClass(inst.dest[0])
+        dest_class = inst.dest[0]
         if not state.register_files[dest_class].can_allocate() and \
                 not may_avoid_allocation(state, dest_class, inst.dest[1]):
             return (STALL_NO_FREE_INT if dest_class is RegClass.INT
@@ -121,48 +124,54 @@ class CommitStage(Stage):
     name = "commit"
 
     def tick(self, state: MachineState) -> None:
+        ros = state.ros
+        entry = ros.head()
+        if entry is None or not entry.completed:
+            return
+        cycle = state.cycle
+        stats = state.stats
+        by_class = stats.committed_by_class
+        policies = state.policy_list
+        register_files = state.register_files
         committed = 0
         while committed < state.config.commit_width:
-            entry = state.ros.head()
             if entry is None or not entry.completed:
                 break
-            state.ros.pop_head()
+            ros.pop_head()
             committed += 1
             state.committed_watermark = entry.seq
-            state.last_commit_cycle = state.cycle
-            state.stats.committed_instructions += 1
-            op_name = entry.inst.op.name
-            state.stats.committed_by_class[op_name] = \
-                state.stats.committed_by_class.get(op_name, 0) + 1
+            stats.committed_instructions += 1
+            op_name = entry.inst.op_name
+            by_class[op_name] = by_class.get(op_name, 0) + 1
 
             # Architectural (in-order) map table update.
-            if entry.has_dest:
-                assert entry.dest_class is not None and entry.dest_logical is not None
+            if entry.dest_class is not None:
                 state.iomts[entry.dest_class].commit_mapping(entry.dest_logical,
                                                              entry.pd)
             # Release-policy commit hooks (both register classes see every entry).
-            for policy in state.policies.values():
-                policy.on_commit(entry, state.cycle)
+            for policy in policies:
+                policy.on_commit(entry, cycle)
 
             # Occupancy accounting: this commit is (potentially) the last use
             # of each source register, and of the destination if never read.
             for reg_class, _logical, physical in entry.src_regs:
-                state.register_files[reg_class].note_use_commit(physical, state.cycle)
-            if entry.has_dest:
-                state.register_files[entry.dest_class].note_use_commit(entry.pd,
-                                                                       state.cycle)
+                register_files[reg_class].note_use_commit(physical, cycle)
+            if entry.dest_class is not None:
+                register_files[entry.dest_class].note_use_commit(entry.pd, cycle)
 
             # Memory operations leave the LSQ at commit; stores write the cache.
-            if entry.inst.is_store:
-                state.memory.data_write(entry.inst.mem_addr)
-                state.lsq.remove(entry.seq)
-            elif entry.inst.is_load:
+            inst = entry.inst
+            if inst.is_mem:
+                if inst.is_store:
+                    state.memory.data_write(inst.mem_addr)
                 state.lsq.remove(entry.seq)
 
             if entry.exception:
-                state.stats.exceptions_taken += 1
+                stats.exceptions_taken += 1
                 state.exception_flush(entry)
                 break
+            entry = ros.head()
+        state.last_commit_cycle = cycle
 
 
 # ======================================================================
@@ -174,23 +183,28 @@ class WritebackStage(Stage):
     name = "writeback"
 
     def tick(self, state: MachineState) -> None:
-        entries = state.completions.pop(state.cycle, None)
+        entries = state.completions.pop_due(state.cycle)
         if not entries:
             return
+        cycle = state.cycle
+        register_files = state.register_files
+        consumers = state.consumers
         for entry in entries:
             if entry.squashed:
                 continue
             entry.completed = True
-            entry.complete_cycle = state.cycle
-            if entry.has_dest:
-                state.register_files[entry.dest_class].mark_written(entry.pd,
-                                                                    state.cycle)
-            # Wake up consumers.
-            for consumer in state.consumers.pop(entry.seq, ()):
-                consumer.wait_producers.discard(entry.seq)
-            if entry.inst.is_load:
+            entry.complete_cycle = cycle
+            if entry.dest_class is not None:
+                register_files[entry.dest_class].mark_written(entry.pd, cycle)
+            # Wake the consumers for which this was the last outstanding
+            # producer: they become issue-ready right now.
+            for consumer in consumers.wake(entry.seq):
+                if not consumer.issued:
+                    state.make_issue_ready(consumer)
+            inst = entry.inst
+            if inst.is_load:
                 state.lsq.mark_done(entry.seq)
-            if entry.inst.is_branch:
+            if inst.is_branch:
                 self._resolve_branch(state, entry)
 
     # ------------------------------------------------------------------
@@ -217,44 +231,61 @@ class WritebackStage(Stage):
 # Stage 3: issue / execute
 # ======================================================================
 class IssueStage(Stage):
-    """Out-of-order selection of ready instructions, oldest first."""
+    """Out-of-order selection from the age-ordered ready set.
+
+    The per-cycle work is proportional to the instructions actually
+    considered (issued plus structurally stalled), not to the ROS
+    occupancy: entries waiting on producers or on older store addresses
+    are not in the ready set at all.  A store issuing here drains its LSQ
+    wait list, so a younger parked load can still issue *in the same
+    cycle* — it re-enters the ready set with a higher sequence number
+    than the store being processed and is popped later in this tick,
+    exactly where the old oldest-first ROS scan would have met it.
+    """
 
     name = "issue"
 
     def tick(self, state: MachineState) -> None:
+        ready = state.ready
+        if not ready:
+            return
         issued = 0
-        for entry in state.ros:
-            if issued >= state.config.issue_width:
-                break
-            if entry.issued or entry.completed:
-                continue
-            if entry.wait_producers:
-                continue
+        blocked: Optional[list] = None
+        fus = state.fus
+        cycle = state.cycle
+        while issued < state.config.issue_width and ready:
+            entry = ready.pop()
             inst = entry.inst
-            if inst.is_load and not state.lsq.load_may_issue(entry.seq):
+            if not fus.can_issue(inst.op, cycle):
+                # Still ready next cycle; re-armed below so the pop order
+                # (and the stall accounting) matches the old full scan.
+                fus.note_structural_stall()
+                if blocked is None:
+                    blocked = []
+                blocked.append(entry)
                 continue
-            if not state.fus.can_issue(inst.op, state.cycle):
-                state.fus.note_structural_stall()
-                continue
-            latency = state.fus.issue(inst.op, state.cycle)
+            latency = fus.issue(inst.op, cycle)
             entry.issued = True
-            entry.issue_cycle = state.cycle
+            entry.issue_cycle = cycle
             issued += 1
 
+            if inst.is_mem:
+                for load in state.lsq.mark_address_known(entry.seq):
+                    if not load.squashed:
+                        state.make_issue_ready(load)
             if inst.is_load:
-                state.lsq.mark_address_known(entry.seq)
                 if state.lsq.store_forwards_to(entry.seq, inst.mem_addr):
                     mem_latency = 1
                 else:
                     mem_latency = state.memory.data_read(inst.mem_addr)
                 entry.mem_latency = mem_latency
-                complete_at = state.cycle + latency + mem_latency
-            elif inst.is_store:
-                state.lsq.mark_address_known(entry.seq)
-                complete_at = state.cycle + latency
+                complete_at = cycle + latency + mem_latency
             else:
-                complete_at = state.cycle + latency
-            state.completions.setdefault(complete_at, []).append(entry)
+                complete_at = cycle + latency
+            state.completions.schedule(complete_at, entry)
+        if blocked:
+            for entry in blocked:
+                ready.add(entry)
 
 
 # ======================================================================
@@ -296,30 +327,32 @@ class RenameStage(Stage):
         entry.fetch_mispredicted = op.mispredicted
 
         # ------------------------------------------------------- sources
+        map_tables = state.map_tables
+        register_files = state.register_files
+        policies = state.policies
+        src_regs = entry.src_regs
+        is_store = inst.is_store
         for slot, (reg_class, logical) in enumerate(inst.srcs):
-            reg_class = RegClass(reg_class)
-            physical = state.map_tables[reg_class].lookup(logical)
-            entry.src_regs.append((reg_class, logical, physical))
+            physical = map_tables[reg_class].lookup(logical)
+            src_regs.append((reg_class, logical, physical))
             # Stores wait only for their *address* operands before issuing
             # (slot 0 is the value by trace convention): the paper's rule is
             # that loads wait for prior store addresses, and the data is
             # needed no earlier than commit, which in-order retirement of
             # the older producer already guarantees.
-            wait_for_issue = not (inst.is_store and slot == 0)
-            if wait_for_issue:
-                producer = state.register_files[reg_class].producer_of(physical)
+            if not (is_store and slot == 0):
+                producer = register_files[reg_class].producer_of(physical)
                 if producer is not None:
                     entry.wait_producers.add(producer)
-                    state.consumers.setdefault(producer, []).append(entry)
-            state.policies[reg_class].note_source_use(entry, slot, logical, physical)
+                    state.consumers.register(producer, entry)
+            policies[reg_class].note_source_use(entry, slot, logical, physical)
 
         # ------------------------------------------------------- destination
         if inst.dest is not None:
-            dest_class = RegClass(inst.dest[0])
-            dest_logical = inst.dest[1]
-            policy = state.policies[dest_class]
-            register_file = state.register_files[dest_class]
-            old_pd = state.map_tables[dest_class].lookup(dest_logical)
+            dest_class, dest_logical = inst.dest
+            policy = policies[dest_class]
+            register_file = register_files[dest_class]
+            old_pd = map_tables[dest_class].lookup(dest_logical)
             outcome = policy.rename_destination(entry, dest_logical, old_pd)
             if outcome.reuse_previous:
                 pd = old_pd
@@ -328,7 +361,7 @@ class RenameStage(Stage):
                 register_file.set_producer(pd, entry.seq)
             else:
                 pd = register_file.allocate(state.cycle, entry.seq)
-                state.map_tables[dest_class].set_mapping(dest_logical, pd)
+                map_tables[dest_class].set_mapping(dest_logical, pd)
                 entry.allocated_new = True
             entry.dest_class = dest_class
             entry.dest_logical = dest_logical
@@ -342,12 +375,12 @@ class RenameStage(Stage):
             checkpoint = Checkpoint(
                 branch_seq=entry.seq,
                 map_snapshots={rc: mt.snapshot()
-                               for rc, mt in state.map_tables.items()},
+                               for rc, mt in map_tables.items()},
                 policy_snapshots={rc: p.snapshot_state()
-                                  for rc, p in state.policies.items()},
+                                  for rc, p in policies.items()},
             )
             state.checkpoints.push(checkpoint)
-            for policy in state.policies.values():
+            for policy in state.policy_list:
                 policy.on_branch_renamed(entry)
 
         # ------------------------------------------------------- memory ops
@@ -363,10 +396,14 @@ class RenameStage(Stage):
         state.stats.renamed_instructions += 1
 
         # Instructions with no execution dependencies and no FU requirement
-        # (NOPs) complete immediately at the next writeback.
+        # (NOPs) complete immediately at the next writeback; everything
+        # else either enters the ready set now or waits on its producers'
+        # wakeup lists.
         if inst.op is OpClass.NOP:
-            state.completions.setdefault(state.cycle + 1, []).append(entry)
+            state.completions.schedule(state.cycle + 1, entry)
             entry.issued = True
+        elif not entry.wait_producers:
+            state.make_issue_ready(entry)
         return True
 
 

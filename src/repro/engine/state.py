@@ -1,12 +1,22 @@
 """Shared machine state operated on by the pipeline stages.
 
 :class:`MachineState` owns every structure of the simulated processor —
-front end, rename substrate, back end, the event books (completion and
-wakeup lists) and the statistics — and implements the
+front end, rename substrate, back end, the scheduler indexes of
+:mod:`repro.engine.events` (ready set, wakeup index, completion queue)
+and the statistics — and implements the
 :class:`repro.core.release_policy.PipelineView` protocol the release
 policies query.  The stages in :mod:`repro.engine.stages` are stateless
 and mutate one ``MachineState``; the clocks in :mod:`repro.engine.clock`
 advance :attr:`MachineState.cycle`.
+
+The scheduler indexes are maintained *incrementally*: rename either
+inserts an instruction into :attr:`ready` (operands available) or
+registers it on its producers' wakeup lists; writeback promotes exactly
+the consumers whose last producer completed; squash recovery filters the
+indexes by the squashed window.  :meth:`make_issue_ready` is the single
+funnel through which an instruction enters the ready set, so the
+"park blocked loads on their first unknown-address store" rule lives in
+one place.
 
 Cross-stage state transitions (misprediction recovery, precise-exception
 flush, squash undo) live here because more than one stage triggers them.
@@ -23,6 +33,7 @@ from repro.backend.functional_units import FunctionalUnitPool
 from repro.backend.lsq import LoadStoreQueue
 from repro.backend.ros import ROSEntry, ReorderStructure
 from repro.core import make_release_policy
+from repro.engine.events import CompletionQueue, ReadySet, WakeupIndex
 from repro.core.release_policy import PolicyOptions, ReleasePolicy
 from repro.frontend.btb import BranchTargetBuffer
 from repro.frontend.fetch import FetchedOp, FetchUnit
@@ -90,6 +101,9 @@ class MachineState:
                                     options=options)
             for rc in (RegClass.INT, RegClass.FP)
         }
+        #: the same two policies as a tuple: the per-commit/per-rename hooks
+        #: iterate this instead of rebuilding a dict values view each entry.
+        self.policy_list: Tuple[ReleasePolicy, ...] = tuple(self.policies.values())
 
         # ------------------------------------------------------------ back end
         self.ros = ReorderStructure(capacity=cfg.ros_size)
@@ -102,10 +116,15 @@ class MachineState:
         self.committed_watermark = -1
         #: front-end pipe: (cycle the op becomes available to rename, op).
         self.decode_queue: Deque[Tuple[int, FetchedOp]] = deque()
-        #: completion events: cycle -> entries finishing execution.
-        self.completions: Dict[int, List[ROSEntry]] = {}
-        #: consumers waiting on a producer seq (wakeup lists).
-        self.consumers: Dict[int, List[ROSEntry]] = {}
+        #: front-end pipe bound: fetch-to-rename latency at full width plus
+        #: two groups of slack (config-derived constant, read every cycle).
+        self.decode_capacity = (cfg.frontend_stages + 2) * cfg.fetch_width
+        #: completion events, indexed by cycle (next-writeback in O(1)).
+        self.completions = CompletionQueue()
+        #: producer -> consumer wakeup lists.
+        self.consumers = WakeupIndex()
+        #: age-ordered queue of issue-ready instructions.
+        self.ready = ReadySet()
         self.exception_rng = np.random.default_rng(cfg.seed + 0xE)
 
         # ------------------------------------------------------------ statistics
@@ -120,12 +139,6 @@ class MachineState:
             self._warm_state()
 
     # ------------------------------------------------------------------
-    @property
-    def decode_capacity(self) -> int:
-        """Front-end pipe bound: fetch-to-rename latency at full width plus
-        two groups of slack."""
-        return (self.config.frontend_stages + 2) * self.config.fetch_width
-
     @property
     def finished(self) -> bool:
         """True when every fetched instruction has drained from the pipeline."""
@@ -206,6 +219,21 @@ class MachineState:
         return self.cycle
 
     # ==================================================================
+    # Scheduler index maintenance
+    # ==================================================================
+    def make_issue_ready(self, entry: ROSEntry) -> None:
+        """All source operands of ``entry`` are available: queue it for issue.
+
+        Loads additionally obey the paper's memory-ordering rule ("loads
+        are executed when all previous store addresses are known"): a load
+        with an older unknown-address store parks on that store's LSQ wait
+        list instead, and re-enters here when the store issues.
+        """
+        if entry.inst.is_load and self.lsq.park_blocked_load(entry.seq, entry):
+            return
+        self.ready.add(entry)
+
+    # ==================================================================
     # Cross-stage state transitions
     # ==================================================================
     def exception_flush(self, excepting: ROSEntry) -> None:
@@ -255,7 +283,8 @@ class MachineState:
                 self.register_files[entry.dest_class].set_producer(entry.pd, None)
             for policy in self.policies.values():
                 policy.on_squash(entry, self.cycle)
-            self.consumers.pop(entry.seq, None)
+            self.consumers.drop(entry.seq)
+            self.ready.discard(entry.seq)
 
     # ==================================================================
     # Statistics collection

@@ -15,6 +15,12 @@ configuration hash, trace length and seed), so re-generating a figure — or
 generating Table 4 after Figure 11 — only simulates points never simulated
 before.  ``--no-cache`` disables the cache, ``--cache-dir`` relocates it
 (default: ``$REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``).
+
+The ``cache`` subcommand inspects and maintains that store::
+
+    repro-experiments cache                          # per-workload stats
+    repro-experiments cache --prune --max-age-days 30
+    repro-experiments cache --prune --stale-code     # drop old-code entries
 """
 
 from __future__ import annotations
@@ -74,15 +80,53 @@ def run_experiment(name: str, trace_length: Optional[int] = None,
     return module.run(**kwargs)
 
 
+def cache_main(argv: List[str]) -> int:
+    """The ``repro-experiments cache`` subcommand: stats and pruning."""
+    from repro.analysis.cache import SweepCache
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments cache",
+        description="Inspect or prune the on-disk sweep result cache.")
+    parser.add_argument("--cache-dir", default=None,
+                        help="root of the sweep result cache (default: "
+                             "$REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)")
+    parser.add_argument("--prune", action="store_true",
+                        help="delete entries matching the criteria below "
+                             "(plus unreadable/outdated-schema files)")
+    parser.add_argument("--max-age-days", type=float, default=None,
+                        help="with --prune: drop entries older than this")
+    parser.add_argument("--stale-code", action="store_true",
+                        help="with --prune: drop entries produced by a "
+                             "different version of the simulator source")
+    args = parser.parse_args(argv)
+
+    cache = SweepCache(args.cache_dir)
+    if args.prune:
+        if args.max_age_days is None and not args.stale_code:
+            parser.error("--prune needs --max-age-days and/or --stale-code")
+        removed = cache.prune(max_age_days=args.max_age_days,
+                              stale_code=args.stale_code)
+        print(f"pruned {removed} entries from {cache.cache_dir}")
+    else:
+        if args.max_age_days is not None or args.stale_code:
+            parser.error("--max-age-days/--stale-code require --prune")
+        print(f"cache: {cache.cache_dir}")
+        print(cache.stats().format())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Command-line interface (see module docstring)."""
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
+    if raw_argv and raw_argv[0] == "cache":
+        return cache_main(raw_argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of 'Hardware Schemes for "
                     "Early Register Release' (ICPP 2002).")
     parser.add_argument("experiments", nargs="+",
-                        help="experiment names (%s) or 'all'"
-                             % ", ".join(sorted(EXPERIMENTS)))
+                        help="experiment names (%s), 'all', or the 'cache' "
+                             "subcommand" % ", ".join(sorted(EXPERIMENTS)))
     parser.add_argument("--trace-length", type=int, default=None,
                         help="dynamic instructions per benchmark simulation")
     parser.add_argument("--serial", action="store_true",
@@ -95,7 +139,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="root of the sweep result cache (default: "
                              "$REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)")
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw_argv)
 
     if args.no_cache:
         cache = None

@@ -67,6 +67,10 @@ class FetchUnit:
                  wrongpath: Optional[WrongPathGenerator] = None,
                  fetch_width: int = 8, max_taken_per_cycle: int = 2) -> None:
         self.trace = trace
+        #: the raw instruction list and its length, hoisted out of the
+        #: per-instruction fetch path (Trace.__getitem__ is a delegation).
+        self._instructions = trace.instructions
+        self._trace_len = len(trace.instructions)
         self.predictor = predictor
         self.btb = btb
         self.memory = memory
@@ -87,7 +91,7 @@ class FetchUnit:
     @property
     def trace_exhausted(self) -> bool:
         """True when every correct-path instruction has been fetched."""
-        return self.cursor >= len(self.trace) and not self.on_wrong_path
+        return self.cursor >= self._trace_len and not self.on_wrong_path
 
     @property
     def stalled_until(self) -> int:
@@ -110,9 +114,9 @@ class FetchUnit:
 
     # ------------------------------------------------------------------
     def _next_correct_path(self) -> Optional[Instruction]:
-        if self.cursor >= len(self.trace):
+        if self.cursor >= self._trace_len:
             return None
-        inst = self.trace[self.cursor]
+        inst = self._instructions[self.cursor]
         self.cursor += 1
         return inst
 
@@ -173,8 +177,8 @@ class FetchUnit:
         leading_pc = None
         if self.on_wrong_path:
             leading_pc = self._wrong_path_pc
-        elif self.cursor < len(self.trace):
-            leading_pc = self.trace[self.cursor].pc
+        elif self.cursor < self._trace_len:
+            leading_pc = self._instructions[self.cursor].pc
         if leading_pc is not None and self.memory is not None:
             latency = self.memory.instruction_access(leading_pc)
             if latency > 1:

@@ -67,27 +67,34 @@ class Instruction:
     wrong_path: bool = False
 
     # ------------------------------------------------------------------
-    # Derived predicates
+    # Derived predicates, precomputed once at construction.  A trace
+    # record is consulted every cycle its instruction is in flight (and
+    # traces are replayed across whole configuration sweeps), so these
+    # must be plain attribute loads, not property calls.  They are
+    # excluded from comparison/repr: they are functions of ``op``.
     # ------------------------------------------------------------------
-    @property
-    def is_branch(self) -> bool:
-        """True for control-flow instructions."""
-        return is_branch_op(self.op)
+    is_branch: bool = field(init=False, repr=False, compare=False)
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
+    is_mem: bool = field(init=False, repr=False, compare=False)
+    op_name: str = field(init=False, repr=False, compare=False)
 
-    @property
-    def is_load(self) -> bool:
-        """True for loads of either register class."""
-        return is_load_op(self.op)
-
-    @property
-    def is_store(self) -> bool:
-        """True for stores of either register class."""
-        return is_store_op(self.op)
-
-    @property
-    def is_mem(self) -> bool:
-        """True for loads and stores."""
-        return is_memory_op(self.op)
+    def __post_init__(self) -> None:
+        set_attr = object.__setattr__  # frozen dataclass: bypass the guard
+        # Normalise register references to RegClass members so the rename
+        # hot path never converts (builders already pass members; raw ints
+        # from hand-written tests are upgraded here, once).
+        if self.dest is not None and type(self.dest[0]) is not RegClass:
+            set_attr(self, "dest", (RegClass(self.dest[0]), self.dest[1]))
+        if any(type(reg_class) is not RegClass for reg_class, _ in self.srcs):
+            set_attr(self, "srcs", tuple((RegClass(reg_class), index)
+                                         for reg_class, index in self.srcs))
+        op = self.op
+        set_attr(self, "is_branch", is_branch_op(op))
+        set_attr(self, "is_load", is_load_op(op))
+        set_attr(self, "is_store", is_store_op(op))
+        set_attr(self, "is_mem", is_memory_op(op))
+        set_attr(self, "op_name", op.name)  # enum .name is a descriptor call
 
     @property
     def has_dest(self) -> bool:

@@ -1,0 +1,122 @@
+"""Tests of the cache maintenance layer: stats, pruning and the
+``repro-experiments cache`` subcommand."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.analysis.cache import SweepCache
+from repro.analysis.sweep import SweepConfig, SweepPoint, run_sweep
+from repro.experiments import runner
+from repro.pipeline.config import ProcessorConfig
+
+FAST = ProcessorConfig(warmup=False, enable_wrong_path=False)
+
+
+def tiny_config(**kwargs):
+    defaults = dict(benchmarks=("swim",), policies=("conv",),
+                    register_sizes=(48,), trace_length=400, base_config=FAST)
+    defaults.update(kwargs)
+    return SweepConfig(**defaults)
+
+
+def populated_cache(tmp_path, benchmarks=("swim", "gcc")):
+    cache = SweepCache(tmp_path / "cache")
+    run_sweep(tiny_config(benchmarks=tuple(benchmarks)), parallel=False,
+              cache=cache)
+    return cache
+
+
+class TestCacheStats:
+    def test_per_workload_counts_and_sizes(self, tmp_path):
+        cache = populated_cache(tmp_path)
+        stats = cache.stats()
+        assert stats.total_entries == 2
+        assert set(stats.workloads) == {"swim", "gcc"}
+        for count, nbytes in stats.workloads.values():
+            assert count == 1 and nbytes > 0
+        assert stats.total_bytes == sum(b for _, b in stats.workloads.values())
+        assert stats.stale_code_entries == 0
+        assert stats.oldest is not None
+        report = stats.format()
+        assert "swim" in report and "entries: 2" in report
+
+    def test_unreadable_entries_are_counted(self, tmp_path):
+        cache = populated_cache(tmp_path, benchmarks=("swim",))
+        bad = cache.cache_dir / "zz" / ("0" * 64 + ".pkl")
+        bad.parent.mkdir(parents=True)
+        bad.write_bytes(b"not a pickle")
+        stats = cache.stats()
+        assert stats.total_entries == 2
+        assert stats.unreadable_entries == 1
+
+    def test_empty_cache(self, tmp_path):
+        stats = SweepCache(tmp_path / "missing").stats()
+        assert stats.total_entries == 0
+        assert "entries: 0" in stats.format()
+
+
+class TestPrune:
+    def test_prune_requires_a_criterion(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepCache(tmp_path).prune()
+
+    def test_prune_by_age(self, tmp_path):
+        cache = populated_cache(tmp_path, benchmarks=("swim",))
+        assert cache.prune(max_age_days=1) == 0
+        future = time.time() + 7 * 86400
+        assert cache.prune(max_age_days=1, now=future) == 1
+        assert cache.stats().total_entries == 0
+
+    def test_prune_by_stale_code(self, tmp_path, monkeypatch):
+        import repro.analysis.cache as cache_module
+
+        cache = populated_cache(tmp_path, benchmarks=("swim",))
+        assert cache.prune(stale_code=True) == 0
+        # Pretend the simulator source changed since the entry was written.
+        monkeypatch.setattr(cache_module, "code_digest",
+                            lambda: "new-code-version")
+        assert cache.stats().stale_code_entries == 1
+        assert cache.prune(stale_code=True) == 1
+
+    def test_prune_drops_unreadable_and_old_schema_entries(self, tmp_path):
+        cache = populated_cache(tmp_path, benchmarks=("swim",))
+        point = SweepPoint("swim", "conv", 48)
+        path = cache.path_for(tiny_config(), point)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["schema"] = 1                     # previous schema version
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        assert cache.prune(stale_code=True) == 1
+        assert cache.stats().total_entries == 0
+
+
+class TestCacheSubcommand:
+    def test_stats_output(self, tmp_path, capsys, monkeypatch):
+        cache = populated_cache(tmp_path)
+        assert runner.main(["cache", "--cache-dir",
+                            str(cache.cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out and "swim" in out
+
+    def test_prune_flow(self, tmp_path, capsys):
+        cache = populated_cache(tmp_path, benchmarks=("swim",))
+        assert runner.main(["cache", "--cache-dir", str(cache.cache_dir),
+                            "--prune", "--stale-code"]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+
+    def test_prune_without_criterion_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            runner.main(["cache", "--cache-dir", str(tmp_path), "--prune"])
+
+    def test_criteria_without_prune_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            runner.main(["cache", "--cache-dir", str(tmp_path),
+                         "--stale-code"])
+
+    def test_env_default_directory(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "envcache"))
+        assert runner.main(["cache"]) == 0
+        assert "envcache" in capsys.readouterr().out

@@ -1,0 +1,39 @@
+"""Regression pins for the known seed-era ``FreeListError`` crashes.
+
+ROADMAP records two reachable crashes in the *basic* release policy's
+squash/release bookkeeping, carried verbatim from the seed per-cycle
+processor into the engine.  Until the release-policy fix lands these
+tests pin the exact crash signatures (strict xfail): if a change makes
+either configuration start passing — or crash differently — the suite
+flags it, so the fix (or an accidental behaviour change) is noticed.
+"""
+
+import pytest
+
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.processor import simulate
+from repro.rename.free_list import FreeListError
+from repro.trace.workloads import get_workload
+
+TRACE_LENGTH = 2_000  # shortest length reproducing both crashes (seed 0)
+
+
+@pytest.mark.xfail(raises=FreeListError, strict=True,
+                   reason="seed-era bug: basic policy double-releases a "
+                          "register during exception squash recovery "
+                          "(ROADMAP known pre-existing bug)")
+def test_basic_policy_exception_squash_double_release():
+    trace = get_workload("compress", TRACE_LENGTH, seed=0)
+    config = ProcessorConfig(release_policy="basic", exception_rate=0.003)
+    simulate(trace, config)
+
+
+@pytest.mark.xfail(raises=FreeListError, strict=True,
+                   reason="seed-era bug: basic policy allocates from an "
+                          "empty free list with a 34-register file "
+                          "(ROADMAP known pre-existing bug)")
+def test_basic_policy_tight_file_empty_free_list():
+    trace = get_workload("li", TRACE_LENGTH, seed=0)
+    config = ProcessorConfig(release_policy="basic",
+                             num_physical_int=34, num_physical_fp=34)
+    simulate(trace, config)

@@ -9,9 +9,10 @@ cycles would have accumulated.
 
 import dataclasses
 
+from repro.backend.functional_units import FUConfig
 from repro.engine import (CycleClock, EventClock, MachineState,
                           SimulationEngine, default_stages)
-from repro.isa import InstructionBuilder, RegClass
+from repro.isa import FUKind, InstructionBuilder, OpClass, RegClass
 from repro.pipeline.config import ProcessorConfig
 from repro.trace.records import Trace
 
@@ -63,6 +64,55 @@ class TestFastForward:
         assert reference.dispatch_stalls["no_free_int_register"] > 0
         assert fast.dispatch_stalls == reference.dispatch_stalls
         assert event_engine.clock.cycles_skipped > 0
+
+    def test_structural_stall_window_is_fast_forwarded(self):
+        # Six independent FP divides on a single unpipelined divider:
+        # after each issue the remaining ready divides are structurally
+        # blocked for the full 16-cycle occupancy.  The clock must jump
+        # those windows (the old whole-machine quiescence test could not —
+        # a ready instruction always forbade skipping) and book one
+        # structural stall per blocked ready entry per skipped cycle.
+        builder = InstructionBuilder(pc=0x1000)
+        for i in range(6):
+            builder.alu(dest=10 + i, srcs=(1, 2), fp=True, op=OpClass.FP_DIV)
+        trace = make_trace("divs", builder)
+        starved = FUConfig(counts={
+            FUKind.SIMPLE_INT: 8, FUKind.INT_MULT: 4, FUKind.SIMPLE_FP: 6,
+            FUKind.FP_MULT: 4, FUKind.FP_DIV: 1, FUKind.LOAD_STORE: 4,
+        })
+        config = ProcessorConfig(functional_units=starved, **FAST)
+        engine = SimulationEngine(trace, config, clock=EventClock())
+        stats = engine.run()
+        reference = SimulationEngine(trace, config, clock=CycleClock()).run()
+        assert dataclasses.asdict(stats) == dataclasses.asdict(reference)
+        assert reference.structural_stalls > 0
+        # ~5 serialized 16-cycle divides of idle-except-stall time.
+        assert engine.clock.cycles_skipped > 20
+
+    def test_parked_load_issues_with_unblocking_store(self):
+        # seq 2 is a store whose address register is fed by a missing
+        # load; seq 3 is a younger, register-independent load.  The load
+        # parks on the store's LSQ wait list and must issue in the very
+        # cycle the store's address becomes known (intra-sweep wakeup).
+        builder = InstructionBuilder(pc=0x1000)
+        builder.load(dest=1, addr_reg=30, mem_addr=0x800000)      # misses
+        builder.alu(dest=2, srcs=(1,))                            # address
+        builder.store(value_reg=3, addr_reg=2, mem_addr=0x1000)
+        builder.load(dest=4, addr_reg=30, mem_addr=0x2000)        # parks
+        trace = make_trace("park", builder)
+        config = ProcessorConfig(**FAST)
+        engine = SimulationEngine(trace, config, clock=CycleClock())
+        issue_cycles = {}
+        while not engine.finished and engine.state.cycle < 500:
+            engine.step()
+            for entry in engine.state.ros:
+                if entry.issued and entry.seq not in issue_cycles:
+                    issue_cycles[entry.seq] = entry.issue_cycle
+        assert issue_cycles[3] == issue_cycles[2]
+        assert issue_cycles[2] > issue_cycles[0]  # store waited for the miss
+        fast = SimulationEngine(trace, config, clock=EventClock()).run()
+        reference = SimulationEngine(trace, config, clock=CycleClock()).run()
+        assert dataclasses.asdict(fast) == dataclasses.asdict(reference)
 
     def test_cycle_clock_never_jumps(self):
         engine = SimulationEngine(load_chain_trace(), ProcessorConfig(**FAST),

@@ -1,17 +1,26 @@
 """Cycle-accuracy equivalence of the event-driven engine.
 
 The event-driven :class:`~repro.engine.clock.EventClock` fast-forwards
-across provably idle cycles; these tests pin the core guarantee: for every
-release policy and workload, the resulting :class:`SimStats` — cycles,
-IPC, stall counts, occupancy averages, everything — are *bit-identical* to
-the classic per-cycle loop (:class:`~repro.engine.clock.CycleClock`).
+across provably idle *and partially idle* cycles (stall-only windows are
+skipped with their stalls booked in bulk); these tests pin the core
+guarantee: for every release policy and workload, the resulting
+:class:`SimStats` — cycles, IPC, stall counts, occupancy averages,
+everything — are *bit-identical* to the classic per-cycle loop
+(:class:`~repro.engine.clock.CycleClock`).
+
+Both clocks drive the same indexed scheduler (ready set + wakeup index +
+completion queue), so the suite also cross-checks that the incremental
+index maintenance agrees with per-cycle stepping under squashes,
+exceptions and every hazard class.
 """
 
 import dataclasses
 
 import pytest
 
+from repro.backend.functional_units import FUConfig
 from repro.engine import CycleClock, EventClock, SimulationEngine
+from repro.isa import FUKind
 from repro.pipeline.config import ProcessorConfig
 from repro.trace.workloads import get_workload
 
@@ -60,6 +69,42 @@ class TestBitIdenticalStats:
         (knob, _), = tight_kwargs.items()
         assert reference.dispatch_stalls[stall_key[knob]] > 0
         assert dataclasses.asdict(fast) == dataclasses.asdict(reference)
+
+    def test_structural_stall_window_booking(self):
+        # A single unpipelined FP divider turns divide runs into windows
+        # where ready instructions exist but nothing can issue.  The clock
+        # fast-forwards through them, booking one structural stall per
+        # blocked ready entry per skipped cycle — totals must stay pinned.
+        starved = FUConfig(counts={
+            FUKind.SIMPLE_INT: 8, FUKind.INT_MULT: 4, FUKind.SIMPLE_FP: 6,
+            FUKind.FP_MULT: 4, FUKind.FP_DIV: 1, FUKind.LOAD_STORE: 4,
+        })
+        reference, fast, engine = run_both("swim", "conv",
+                                           functional_units=starved)
+        assert reference.structural_stalls > 0
+        assert dataclasses.asdict(fast) == dataclasses.asdict(reference)
+        assert engine.clock.cycles_skipped > 0
+
+    def test_parked_load_wait_lists(self):
+        # A tiny LSQ plus a store-heavy integer workload exercises the
+        # per-LSQ wait lists: loads blocked on older unknown store
+        # addresses must re-enter the ready set exactly when the blocking
+        # store issues, including intra-cycle (same issue sweep) wakeups.
+        reference, fast, engine = run_both("compress", "basic",
+                                           lsq_size=12)
+        assert dataclasses.asdict(fast) == dataclasses.asdict(reference)
+        # The run must actually have drained through the scheduler.
+        assert engine.state.ready.peak_size > 0
+
+    def test_scheduler_indexes_drain_clean(self):
+        # After a completed run nothing may linger: a leaked ready entry
+        # or waiter would mean the incremental maintenance lost an event.
+        for policy in POLICIES:
+            _, _, engine = run_both("gcc", policy)
+            state = engine.state
+            assert engine.finished
+            assert len(state.ready) == 0
+            assert len(state.consumers) == 0
 
     def test_fast_forward_actually_happens(self):
         # The equivalence above would hold trivially if the event clock
