@@ -101,14 +101,17 @@ def _make_pr1_semantics_clock():
     return PR1SemanticsClock
 
 
-def collect_scheduler_counters(trace_length: int = 4_000) -> dict:
+def collect_scheduler_counters(trace_length: int = 4_000,
+                               include_grid: bool = True) -> dict:
     """Serially simulate the probe points and collect scheduler telemetry.
 
     Runs at the same scale as the ``benchmarks/`` harness (trace length,
     default warm-up) so the wall-clock numbers are comparable PR over PR.
-    Also sweeps a Figure 11 sub-grid under both the current clock and a
-    PR 1-semantics reference clock, recording the ``cycles_skipped``
-    fraction of each so the skip-set enlargement is tracked in-snapshot.
+    With ``include_grid`` (the default) it also sweeps a Figure 11
+    sub-grid under both the current clock and a PR 1-semantics reference
+    clock, recording the ``cycles_skipped`` fraction of each so the
+    skip-set enlargement is tracked in-snapshot; ``--probe-only`` (CI)
+    skips the grid, which dominates the runtime.
     """
     import time as time_module
 
@@ -143,6 +146,17 @@ def collect_scheduler_counters(trace_length: int = 4_000) -> dict:
             "ready_set_peak": engine.state.ready.peak_size,
             "ipc": round(stats.ipc, 4),
         })
+    total_cycles = sum(p["cycles"] for p in points)
+    total_skipped = sum(p["cycles_skipped"] for p in points)
+    result = {
+        "trace_length": trace_length,
+        "points": points,
+        "probe_skip_fraction": round(total_skipped / total_cycles, 4)
+        if total_cycles else 0.0,
+    }
+    if not include_grid:
+        return result
+
     # Figure 11 sub-grid: current clock vs PR 1-semantics reference.
     pr1_clock_class = _make_pr1_semantics_clock()
     grid = {"new": [0, 0], "pr1": [0, 0]}
@@ -177,24 +191,36 @@ def collect_scheduler_counters(trace_length: int = 4_000) -> dict:
                 if new.clock.cycles_skipped > ref.clock.cycles_skipped:
                     strictly_higher += 1
 
-    total_cycles = sum(p["cycles"] for p in points)
-    total_skipped = sum(p["cycles_skipped"] for p in points)
-    return {
-        "trace_length": trace_length,
-        "points": points,
-        "probe_skip_fraction": round(total_skipped / total_cycles, 4)
-        if total_cycles else 0.0,
-        "figure11_grid": {
-            "sizes": list(GRID_SIZES),
-            "points": grid_points,
-            "skip_fraction": round(grid["new"][0] / grid["new"][1], 4)
-            if grid["new"][1] else 0.0,
-            "pr1_semantics_skip_fraction":
-                round(grid["pr1"][0] / grid["pr1"][1], 4)
-                if grid["pr1"][1] else 0.0,
-            "points_skipping_strictly_more": strictly_higher,
-        },
+    result["figure11_grid"] = {
+        "sizes": list(GRID_SIZES),
+        "points": grid_points,
+        "skip_fraction": round(grid["new"][0] / grid["new"][1], 4)
+        if grid["new"][1] else 0.0,
+        "pr1_semantics_skip_fraction":
+            round(grid["pr1"][0] / grid["pr1"][1], 4)
+            if grid["pr1"][1] else 0.0,
+        "points_skipping_strictly_more": strictly_higher,
     }
+    return result
+
+
+def format_probe_summary(scheduler: dict) -> str:
+    """Human/CI-readable recap of the scheduler probe (markdown-friendly)."""
+    lines = [f"scheduler probe (trace length {scheduler['trace_length']}):"]
+    for point in scheduler["points"]:
+        lines.append(
+            f"  {point['benchmark']}/{point['policy']}/"
+            f"P{point['num_registers']:<3}  {point['wall_clock_s']:6.3f}s  "
+            f"skip={point['skip_fraction']:.0%}  "
+            f"ff={point['fast_forwards']}  "
+            f"ready_peak={point['ready_set_peak']}  ipc={point['ipc']:.2f}")
+    lines.append(f"  probe cycles_skipped fraction: "
+                 f"{scheduler['probe_skip_fraction']:.1%}")
+    throughput = sum(p["cycles"] / p["wall_clock_s"]
+                     for p in scheduler["points"] if p["wall_clock_s"])
+    lines.append(f"  aggregate simulated cycles/s over the probe: "
+                 f"{throughput:,.0f}")
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -205,7 +231,22 @@ def main(argv=None) -> int:
                              "in the repository root)")
     parser.add_argument("--select", default=None,
                         help="pytest -k expression to run a subset of the harness")
+    parser.add_argument("--probe-only", action="store_true",
+                        help="skip the pytest harness and the Figure 11 grid "
+                             "comparison; run only the fast scheduler probe "
+                             "and print its summary (CI smoke signal). "
+                             "Appends to $GITHUB_STEP_SUMMARY when set.")
     args = parser.parse_args(argv)
+
+    if args.probe_only:
+        scheduler = collect_scheduler_counters(include_grid=False)
+        summary = format_probe_summary(scheduler)
+        print(summary)
+        step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+        if step_summary:
+            with open(step_summary, "a") as handle:
+                handle.write("### Bench probe\n\n```\n" + summary + "\n```\n")
+        return 0
 
     if args.output is None:
         stamp = datetime.datetime.now(datetime.timezone.utc).strftime("%Y%m%dT%H%M%SZ")
@@ -239,16 +280,8 @@ def main(argv=None) -> int:
     print(f"\nwrote {output} ({len(benches)} benchmarks)")
     for bench in sorted(benches, key=lambda b: b["stats"]["mean"], reverse=True):
         print(f"  {bench['stats']['mean']:8.2f}s  {bench['name']}")
-    print(f"\nscheduler probe (Figure 11 grid subset, "
-          f"trace length {scheduler['trace_length']}):")
-    for point in scheduler["points"]:
-        print(f"  {point['benchmark']}/{point['policy']}/"
-              f"P{point['num_registers']:<3}  {point['wall_clock_s']:6.3f}s  "
-              f"skip={point['skip_fraction']:.0%}  "
-              f"ff={point['fast_forwards']}  "
-              f"ready_peak={point['ready_set_peak']}")
-    print(f"  probe cycles_skipped fraction: "
-          f"{scheduler['probe_skip_fraction']:.1%}")
+    print()
+    print(format_probe_summary(scheduler))
     grid = scheduler["figure11_grid"]
     print(f"figure11 grid ({grid['points']} points, sizes {grid['sizes']}): "
           f"skip={grid['skip_fraction']:.2%} vs PR1 semantics "

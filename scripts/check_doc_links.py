@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Check intra-repository links in the markdown docs.
+
+Scans ``docs/*.md`` plus the top-level markdown files for
+``[text](target)`` links and verifies that every non-external target
+(no scheme, no leading ``#``) resolves to an existing file or directory
+relative to the linking document.  Exits non-zero listing every dead
+link.  Run from anywhere::
+
+    python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown files whose links are checked.
+DOC_FILES = sorted(
+    list((REPO_ROOT / "docs").glob("*.md")) + list(REPO_ROOT.glob("*.md"))
+)
+
+#: inline markdown links; deliberately simple — the docs do not use
+#: reference-style links or angle-bracket targets.
+LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def dead_links(path: Path) -> list:
+    """Return (target, reason) pairs for every unresolvable link in ``path``."""
+    problems = []
+    for target in LINK_RE.findall(path.read_text()):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:
+            continue
+        resolved = (path.parent / plain).resolve()
+        if not resolved.exists():
+            problems.append((target, f"no such path: {resolved}"))
+        elif REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+            problems.append((target, "points outside the repository"))
+    return problems
+
+
+def main() -> int:
+    failures = 0
+    for path in DOC_FILES:
+        for target, reason in dead_links(path):
+            print(f"{path.relative_to(REPO_ROOT)}: dead link {target!r} ({reason})")
+            failures += 1
+    checked = len(DOC_FILES)
+    if failures:
+        print(f"{failures} dead link(s) across {checked} files")
+        return 1
+    print(f"all intra-repo links resolve ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

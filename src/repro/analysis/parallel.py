@@ -18,6 +18,7 @@ across the pool, large enough to amortise the per-future overhead.
 
 from __future__ import annotations
 
+import gc
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
@@ -76,6 +77,26 @@ class ParallelSweepRunner:
             chunk_size = default_chunk_size(len(points), workers)
         chunks = [list(points[start:start + chunk_size])
                   for start in range(0, len(points), chunk_size)]
+        if workers == 1:
+            # No parallelism to gain: a single-worker pool would only add
+            # process spawn, argument/result pickling and a cold
+            # per-process workload cache (the worker regenerates every
+            # trace the parent already holds).  Run the shards in-process.
+            # Freeze the caller's heap first: a worker process would have
+            # started with a clean heap, whereas a long-lived caller
+            # (e.g. a test session) drags its live objects through every
+            # generational GC pass of the simulation's object churn.
+            gc.collect()
+            gc.freeze()
+            try:
+                for chunk in chunks:
+                    for point, stats in _run_chunk(sweep_config, chunk):
+                        results[point] = stats
+                        if on_result is not None:
+                            on_result(point, stats)
+            finally:
+                gc.unfreeze()
+            return results
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_run_chunk, sweep_config, chunk)
                        for chunk in chunks]

@@ -31,15 +31,32 @@ class FUConfig:
 
 
 class FunctionalUnitPool:
-    """Tracks per-cycle availability of every functional unit pool."""
+    """Tracks per-cycle availability of every functional unit pool.
+
+    Pipelined pools (unit busy for one cycle) are represented in O(1) as
+    ``[cycle_of_last_issue, issues_that_cycle]``: a unit is free unless
+    all ``count`` units issued in the current cycle, which is exactly the
+    per-unit ``free_at`` bookkeeping collapsed (every busy unit's
+    ``free_at`` equals ``cycle + 1``).  Unpipelined pools (the FP
+    dividers, busy for the full latency) keep the per-unit list.
+    """
 
     def __init__(self, config: FUConfig | None = None) -> None:
         self.config = config or FUConfig()
-        #: per pool: the cycle at which each unit can accept a new operation.
+        unpipelined = self.config.unpipelined
+        #: unpipelined pools: the cycle at which each unit frees up.
         self._free_at: Dict[FUKind, List[int]] = {
             kind: [0] * count for kind, count in self.config.counts.items()
+            if kind in unpipelined
         }
-        self.issues: Dict[FUKind, int] = {kind: 0 for kind in self._free_at}
+        #: pipelined pools: [cycle of last issue, issues in that cycle].
+        self._pipelined: Dict[FUKind, List[int]] = {
+            kind: [-1, 0] for kind in self.config.counts
+            if kind not in unpipelined
+        }
+        self._counts: Dict[FUKind, int] = dict(self.config.counts)
+        self._latencies = self.config.latencies
+        self.issues: Dict[FUKind, int] = {kind: 0 for kind in self.config.counts}
         self.structural_stalls = 0
 
     # ------------------------------------------------------------------
@@ -54,6 +71,9 @@ class FunctionalUnitPool:
     def can_issue(self, op: OpClass, cycle: int) -> bool:
         """True when a unit of the right kind is available at ``cycle``."""
         kind = FU_KIND[op]
+        state = self._pipelined.get(kind)
+        if state is not None:
+            return state[0] != cycle or state[1] < self._counts[kind]
         return any(free <= cycle for free in self._free_at[kind])
 
     def next_free_cycle(self, op: OpClass) -> int:
@@ -64,24 +84,58 @@ class FunctionalUnitPool:
         which every ready instruction is structurally stalled — mostly
         runs of operations on the unpipelined FP dividers.
         """
-        return min(self._free_at[FU_KIND[op]])
+        kind = FU_KIND[op]
+        state = self._pipelined.get(kind)
+        if state is not None:
+            # A full pipelined pool frees up one cycle after its (current)
+            # issue burst; otherwise a unit is available now.
+            if state[1] >= self._counts[kind]:
+                return state[0] + 1
+            return state[0]
+        return min(self._free_at[kind])
+
+    def try_issue(self, op: OpClass, cycle: int) -> int | None:
+        """Reserve a unit for ``op`` at ``cycle`` if one is available.
+
+        Returns the result latency, or None when the pool is fully busy
+        (the caller books a structural stall).  Fused
+        :meth:`can_issue`/:meth:`issue` for the issue stage's hot loop —
+        one pool lookup instead of two.
+        """
+        kind = FU_KIND[op]
+        state = self._pipelined.get(kind)
+        if state is not None:
+            if state[0] != cycle:
+                state[0] = cycle
+                state[1] = 1
+            elif state[1] < self._counts[kind]:
+                state[1] += 1
+            else:
+                return None
+            self.issues[kind] += 1
+            return self._latencies[op]
+        units = self._free_at[kind]
+        for index, free in enumerate(units):
+            if free <= cycle:
+                latency = self._latencies[op]
+                units[index] = cycle + latency
+                self.issues[kind] += 1
+                return latency
+        return None
 
     def issue(self, op: OpClass, cycle: int) -> int:
         """Reserve a unit for ``op`` at ``cycle``; returns the result latency.
 
         Raises :class:`RuntimeError` when no unit is available (callers use
-        :meth:`can_issue` and count a structural stall instead).
+        :meth:`can_issue` and count a structural stall instead).  Thin
+        wrapper over :meth:`try_issue` — the reservation logic lives in
+        one place.
         """
-        kind = FU_KIND[op]
-        latency = self.config.latencies[op]
-        occupancy = latency if kind in self.config.unpipelined else 1
-        units = self._free_at[kind]
-        for index, free in enumerate(units):
-            if free <= cycle:
-                units[index] = cycle + occupancy
-                self.issues[kind] += 1
-                return latency
-        raise RuntimeError(f"no {kind.name} unit available at cycle {cycle}")
+        latency = self.try_issue(op, cycle)
+        if latency is None:
+            raise RuntimeError(
+                f"no {FU_KIND[op].name} unit available at cycle {cycle}")
+        return latency
 
     def note_structural_stall(self, count: int = 1) -> None:
         """Record that a ready instruction could not issue for lack of a unit.

@@ -13,15 +13,28 @@ to the issue stage when that store computes its address.  Blocking is
 monotone — older stores only ever *gain* known addresses, and a store can
 never be squashed without also squashing every younger parked load — so
 parking on the first blocker is exact, not heuristic.
+
+The queue itself is a deque ordered by program order with a seq-keyed
+side index, so the per-instruction operations are O(1): commit removes
+from the front (retirement is in order), squash pops from the back, and
+the completion/address-known updates resolve their entry through the
+index instead of scanning.
+
+Parked references are stored seq-tagged: the columnar Reorder Structure
+recycles its row handles, so a load squashed while parked may have its
+handle reused by a later instruction.  :meth:`mark_address_known`
+compares the recorded sequence number against ``entry.seq`` and drops
+dead references instead of waking the row's new occupant.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class LSQEntry:
     """One in-flight memory operation."""
 
@@ -39,9 +52,12 @@ class LoadStoreQueue:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._entries: List[LSQEntry] = []
-        #: store seq -> ROS entries of loads parked until its address is known.
-        self._waiters: Dict[int, List[object]] = {}
+        self._entries: Deque[LSQEntry] = deque()
+        #: seq -> entry, kept in lockstep with the deque (O(1) find).
+        self._by_seq: Dict[int, LSQEntry] = {}
+        #: store seq -> seq-tagged ROS entries of loads parked until its
+        #: address is known (tag validated at drain; see module docstring).
+        self._waiters: Dict[int, List[Tuple[int, object]]] = {}
         self.forwarded_loads = 0
 
     # ------------------------------------------------------------------
@@ -55,20 +71,18 @@ class LoadStoreQueue:
 
     def insert(self, seq: int, is_store: bool, address: int) -> LSQEntry:
         """Add a renamed memory operation at the queue tail."""
-        if self.is_full:
+        if len(self._entries) >= self.capacity:
             raise RuntimeError("LSQ overflow: dispatch must stall instead")
         if self._entries and seq <= self._entries[-1].seq:
             raise ValueError("LSQ entries must be inserted in program order")
         entry = LSQEntry(seq=seq, is_store=is_store, address=address)
         self._entries.append(entry)
+        self._by_seq[seq] = entry
         return entry
 
     def find(self, seq: int) -> Optional[LSQEntry]:
-        """Entry for instruction ``seq``, or None."""
-        for entry in self._entries:
-            if entry.seq == seq:
-                return entry
-        return None
+        """Entry for instruction ``seq``, or None (O(1))."""
+        return self._by_seq.get(seq)
 
     # ------------------------------------------------------------------
     def load_may_issue(self, seq: int) -> bool:
@@ -84,11 +98,12 @@ class LoadStoreQueue:
         """True when the youngest older store to the same (8-byte) word
         can forward its data to the load ``seq``."""
         best: Optional[LSQEntry] = None
+        target = address & line_mask
         for entry in self._entries:
             if entry.seq >= seq:
                 break
             if entry.is_store and entry.addr_known and \
-                    (entry.address & line_mask) == (address & line_mask):
+                    (entry.address & line_mask) == target:
                 best = entry
         if best is not None:
             self.forwarded_loads += 1
@@ -107,44 +122,67 @@ class LoadStoreQueue:
             if entry.seq >= seq:
                 break
             if entry.is_store and not entry.addr_known:
-                self._waiters.setdefault(entry.seq, []).append(ros_entry)
+                self._waiters.setdefault(entry.seq, []).append((seq, ros_entry))
                 return True
         return False
 
     def mark_address_known(self, seq: int) -> List[object]:
         """The memory operation ``seq`` has computed its effective address.
 
-        Returns the loads that were parked on it; each must be re-examined
-        by the caller (re-parked on the next unknown older store, or
-        promoted to the ready set).
+        Returns the *live* loads that were parked on it; each must be
+        re-examined by the caller (re-parked on the next unknown older
+        store, or promoted to the ready set).  Parked loads that were
+        squashed — or whose recycled handle now belongs to a different
+        instruction — are dropped here.
         """
-        entry = self.find(seq)
+        entry = self._by_seq.get(seq)
         if entry is not None:
             entry.addr_known = True
-        return self._waiters.pop(seq, [])
+        parked = self._waiters.pop(seq, None)
+        if not parked:
+            return []
+        return [load for load_seq, load in parked
+                if load.seq == load_seq and not load.squashed]
 
     def mark_done(self, seq: int) -> None:
         """The memory operation ``seq`` completed execution."""
-        entry = self.find(seq)
+        entry = self._by_seq.get(seq)
         if entry is not None:
             entry.done = True
 
     # ------------------------------------------------------------------
     def remove(self, seq: int) -> None:
-        """Remove the entry of ``seq`` (at commit)."""
-        self._entries = [entry for entry in self._entries if entry.seq != seq]
+        """Remove the entry of ``seq`` (at commit).
+
+        Commit is in order and the queue is program-ordered, so the entry
+        is (almost) always the queue head; the defensive fallback scans.
+        """
+        if self._by_seq.pop(seq, None) is None:
+            return
+        entries = self._entries
+        if entries and entries[0].seq == seq:
+            entries.popleft()
+        else:  # pragma: no cover - unreachable under in-order commit
+            for entry in entries:
+                if entry.seq == seq:
+                    entries.remove(entry)
+                    break
         # A committing store has issued, so its wait list was drained at
         # issue; popping defensively keeps the invariant obvious.
-        self._waiters.pop(seq, None)
+        if self._waiters:
+            self._waiters.pop(seq, None)
 
     def squash_younger_than(self, seq: int) -> None:
         """Drop every entry younger than ``seq`` (misprediction recovery).
 
         Wait lists keyed by squashed stores go too; loads parked on
-        *surviving* stores may themselves be squashed — the issue stage
-        skips those when the list is drained.
+        *surviving* stores may themselves be squashed — the seq tags
+        filter those when the list is drained.
         """
-        self._entries = [entry for entry in self._entries if entry.seq <= seq]
+        entries = self._entries
+        by_seq = self._by_seq
+        while entries and entries[-1].seq > seq:
+            del by_seq[entries.pop().seq]
         if self._waiters:
             self._waiters = {store_seq: waiters
                              for store_seq, waiters in self._waiters.items()
@@ -153,4 +191,5 @@ class LoadStoreQueue:
     def clear(self) -> None:
         """Drop every entry (exception flush)."""
         self._entries.clear()
+        self._by_seq.clear()
         self._waiters.clear()

@@ -40,6 +40,9 @@ class BasicEarlyRelease(ReleasePolicy):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.lus_table = LastUsesTable(self.map_table.num_logical)
+        #: direct view of the table's entry list (identity-stable across
+        #: reset/restore); written once per renamed operand.
+        self._lus_entries = self.lus_table._entries
         self.fallback_conventional = 0
 
     # ------------------------------------------------------------------
@@ -48,11 +51,11 @@ class BasicEarlyRelease(ReleasePolicy):
     def note_source_use(self, entry: ROSEntry, slot: int, logical: int,
                         physical: int) -> None:
         """Renaming 1 (paper): record this instruction as the last user of ``logical``."""
-        self.lus_table.record_use(logical, entry.seq, slot)
+        self._lus_entries[logical] = LastUse(entry.seq, slot)
 
     def note_dest_definition(self, entry: ROSEntry, logical: int) -> None:
         """Renaming 1 (paper): record the definition as a (Kind=dst) use."""
-        self.lus_table.record_use(logical, entry.seq, DST_SLOT)
+        self._lus_entries[logical] = LastUse(entry.seq, DST_SLOT)
 
     def rename_destination(self, entry: ROSEntry, logical: int,
                            old_pd: int) -> DestRenameOutcome:
@@ -74,7 +77,7 @@ class BasicEarlyRelease(ReleasePolicy):
             self.fallback_conventional += 1
             return DestRenameOutcome(release_previous_at_commit=True)
 
-        if self.view.is_committed(lu.seq):
+        if lu.seq <= self.view.committed_watermark:
             # LU already committed: release immediately, or reuse the register.
             if self.options.reuse_on_committed_lu:
                 self.register_reuses += 1
@@ -110,7 +113,19 @@ class BasicEarlyRelease(ReleasePolicy):
     # Commit / flush hooks
     # ------------------------------------------------------------------
     def on_commit(self, entry: ROSEntry, cycle: int) -> None:
-        """Release the registers whose early-release bits point at this entry."""
+        """Release the registers whose early-release bits point at this entry.
+
+        The architectural-liveness update for the entry's own destination
+        runs *before* the mask releases: when the entry's destination slot
+        bit is set (its version was last used by its own definition), the
+        release below frees the register the IOMT now names, and the
+        resulting ``arch_version_released`` flag must survive this commit —
+        updating afterwards would clear it and let a later exception flush
+        rebuild a live-looking mapping to a freed register.
+        """
+        if entry.dest_class is self.reg_class:
+            assert entry.dest_logical is not None
+            self._note_architectural_update(entry.dest_logical)
         mask = entry.early_release_mask
         if mask:
             bit = 1
@@ -121,12 +136,10 @@ class BasicEarlyRelease(ReleasePolicy):
                         self._release_physical(physical, logical, cycle, early=True)
                 bit <<= 1
         if entry.dest_class is self.reg_class:
-            assert entry.dest_logical is not None
             if entry.rel_old and entry.allocated_new and entry.old_pd is not None:
                 self._release_physical(entry.old_pd, entry.dest_logical, cycle,
                                        early=False)
                 self.conventional_releases += 1
-            self._note_architectural_update(entry.dest_logical)
 
     def on_exception_flush(self, cycle: int) -> None:
         """Nothing is in flight any more: forget all recorded last uses."""

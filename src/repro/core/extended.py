@@ -43,6 +43,9 @@ class ExtendedEarlyRelease(ReleasePolicy):
     def __init__(self, *args, release_queue_capacity: int = 20, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.lus_table = LastUsesTable(self.map_table.num_logical)
+        #: direct view of the table's entry list (identity-stable across
+        #: reset/restore); written once per renamed operand.
+        self._lus_entries = self.lus_table._entries
         self.release_queue = ReleaseQueue(capacity=release_queue_capacity)
         self.conditional_schedulings = 0
 
@@ -52,11 +55,11 @@ class ExtendedEarlyRelease(ReleasePolicy):
     def note_source_use(self, entry: ROSEntry, slot: int, logical: int,
                         physical: int) -> None:
         """Record this instruction as the last user of ``logical``."""
-        self.lus_table.record_use(logical, entry.seq, slot)
+        self._lus_entries[logical] = LastUse(entry.seq, slot)
 
     def note_dest_definition(self, entry: ROSEntry, logical: int) -> None:
         """Record the definition as a (Kind=dst) use."""
-        self.lus_table.record_use(logical, entry.seq, DST_SLOT)
+        self._lus_entries[logical] = LastUse(entry.seq, DST_SLOT)
 
     def on_branch_renamed(self, entry: ROSEntry) -> None:
         """Step 1: append a Release Queue level for the new pending branch."""
@@ -72,7 +75,7 @@ class ExtendedEarlyRelease(ReleasePolicy):
 
         lu: Optional[LastUse] = self.lus_table.lookup(logical)
         pending = self.view.count_pending_branches()
-        lu_committed = lu is None or self.view.is_committed(lu.seq)
+        lu_committed = lu is None or lu.seq <= self.view.committed_watermark
 
         if lu_committed:
             if pending == 0:
@@ -153,7 +156,16 @@ class ExtendedEarlyRelease(ReleasePolicy):
     # Commit / flush hooks
     # ------------------------------------------------------------------
     def on_commit(self, entry: ROSEntry, cycle: int) -> None:
-        """Step 5/6: release RwC0 registers; move conditional RwC bits to RwNS."""
+        """Step 5/6: release RwC0 registers; move conditional RwC bits to RwNS.
+
+        As in the basic mechanism, the architectural-liveness update for the
+        entry's own destination must run *before* the mask releases so that
+        a destination-slot self-release leaves ``arch_version_released``
+        set (see :meth:`BasicEarlyRelease.on_commit`).
+        """
+        if entry.dest_class is self.reg_class:
+            assert entry.dest_logical is not None
+            self._note_architectural_update(entry.dest_logical)
         mask = entry.early_release_mask
         if mask:
             bit = 1
@@ -169,10 +181,6 @@ class ExtendedEarlyRelease(ReleasePolicy):
             return physical, logical
 
         self.release_queue.on_lu_commit(entry.seq, slot_resolver)
-
-        if entry.dest_class is self.reg_class:
-            assert entry.dest_logical is not None
-            self._note_architectural_update(entry.dest_logical)
 
     def on_exception_flush(self, cycle: int) -> None:
         """Nothing is in flight: forget last uses and drop conditional releases."""

@@ -18,19 +18,19 @@ copies holds by construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 #: Slot identifier for a destination ("Kind = dst" in the paper).
 DST_SLOT = 3
 
 
-@dataclass(frozen=True)
-class LastUse:
+class LastUse(NamedTuple):
     """One LUs Table entry: the last user of a logical register.
 
     ``slot`` is 0..2 for source operand positions and :data:`DST_SLOT` for
-    the destination (the "Kind" field of the paper).
+    the destination (the "Kind" field of the paper).  A ``NamedTuple``
+    rather than a dataclass: one entry is built per renamed source
+    operand, so construction cost is on the rename hot path.
     """
 
     seq: int
@@ -67,8 +67,12 @@ class LastUsesTable:
         self._entries[logical] = None
 
     def reset(self) -> None:
-        """Forget everything (used on an exception flush: nothing is in flight)."""
-        self._entries = [None] * self.num_logical
+        """Forget everything (used on an exception flush: nothing is in flight).
+
+        In place: the early-release policies hold a direct reference to
+        the entry list on their rename fast path.
+        """
+        self._entries[:] = [None] * self.num_logical
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Tuple[Optional[LastUse], ...]:
@@ -76,10 +80,11 @@ class LastUsesTable:
         return tuple(self._entries)
 
     def restore(self, snapshot: Tuple[Optional[LastUse], ...]) -> None:
-        """Restore the copy belonging to a mispredicted branch."""
+        """Restore the copy belonging to a mispredicted branch (in place,
+        for the same list-identity reason as :meth:`reset`)."""
         if len(snapshot) != self.num_logical:
             raise ValueError("LUs table snapshot size mismatch")
-        self._entries = list(snapshot)
+        self._entries[:] = snapshot
 
     def entries(self) -> Dict[int, LastUse]:
         """Mapping of logical register → last use, for inspection/tests."""

@@ -140,22 +140,31 @@ class RegisterOccupancyTracker:
 
     # ------------------------------------------------------------------
     def _attribute(self, reg: int, end_cycle: int) -> None:
+        # Conditionals instead of min()/max() builtins: this runs once per
+        # register release, several of them per committed instruction.
         alloc = self._alloc_cycle[reg]
         if alloc is None:
             return
         write = self._write_cycle[reg]
-        last_use = self._last_use_commit[reg]
+        totals = self.totals
         if write is None:
             # Never written (e.g. squashed producer): the whole interval is Empty.
-            self.totals.empty += max(end_cycle - alloc, 0)
+            if end_cycle > alloc:
+                totals.empty += end_cycle - alloc
             return
-        write = max(write, alloc)
-        self.totals.empty += max(write - alloc, 0)
+        if write < alloc:
+            write = alloc
+        if write > alloc:
+            totals.empty += write - alloc
+        last_use = self._last_use_commit[reg]
         if last_use is None or last_use < write:
             last_use = write
-        last_use = min(last_use, end_cycle)
-        self.totals.ready += max(last_use - write, 0)
-        self.totals.idle += max(end_cycle - last_use, 0)
+        if last_use > end_cycle:
+            last_use = end_cycle
+        if last_use > write:
+            totals.ready += last_use - write
+        if end_cycle > last_use:
+            totals.idle += end_cycle - last_use
 
     def finalize(self, end_cycle: int, allocated_registers: List[int]) -> OccupancyTotals:
         """Attribute intervals of still-allocated registers and close the books."""

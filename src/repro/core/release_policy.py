@@ -46,6 +46,11 @@ from repro.rename.register_file import PhysicalRegisterFile
 class PipelineView(Protocol):
     """Read-only view of pipeline state needed by the release policies."""
 
+    #: sequence number of the youngest committed instruction (-1 before
+    #: the first commit).  Exposed as data because the policies test
+    #: "has this LU committed?" once per renamed destination.
+    committed_watermark: int
+
     def is_committed(self, seq: int) -> bool:
         """True when instruction ``seq`` has committed (in-order commit watermark)."""
         ...

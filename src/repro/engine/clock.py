@@ -117,8 +117,8 @@ class EventClock:
         cycle = state.cycle
 
         # Commit would act on a completed head (commit-width continuation).
-        head = state.ros.head()
-        if head is not None and head.completed:
+        ros = state.ros
+        if ros._count and ros._rows[ros._head].completed:
             return _NEVER
 
         # Writeback: the next *live* completion event bounds the jump

@@ -31,6 +31,8 @@ class SimulationEngine:
                  stages: Optional[List[Stage]] = None) -> None:
         self.state = MachineState(trace, config)
         self.stages = stages if stages is not None else default_stages()
+        #: bound tick methods, hoisted out of the per-cycle sweep.
+        self._ticks = [stage.tick for stage in self.stages]
         #: the event-driven clock is the default; pass :class:`CycleClock`
         #: to force classic per-cycle stepping (reference/debugging mode).
         self.clock = clock if clock is not None else EventClock()
@@ -54,8 +56,8 @@ class SimulationEngine:
         cycle.  The clock only jumps inside :meth:`run`.
         """
         state = self.state
-        for stage in self.stages:
-            stage.tick(state)
+        for tick in self._ticks:
+            tick(state)
         state.cycle += 1
 
     def run(self, max_instructions: Optional[int] = None,
@@ -64,15 +66,24 @@ class SimulationEngine:
         """Run the simulation until the trace drains (or a limit is hit)."""
         state = self.state
         clock = self.clock
+        advance = clock.advance
+        ticks = self._ticks
+        stats = state.stats
+        fetch_unit = state.fetch_unit
+        decode_queue = state.decode_queue
+        ros = state.ros
         limit = max_instructions if max_instructions is not None else len(state.trace)
         while True:
-            clock.advance(state, max_cycles=max_cycles)
+            advance(state, max_cycles=max_cycles)
             if max_cycles is not None and state.cycle >= max_cycles:
                 break
-            self.step()
-            if state.stats.committed_instructions >= limit:
+            for tick in ticks:          # one cycle: commit → … → fetch
+                tick(state)
+            state.cycle += 1
+            if stats.committed_instructions >= limit:
                 break
-            if state.finished:
+            # state.finished, with the property chain flattened.
+            if ros._count == 0 and not decode_queue and fetch_unit.trace_exhausted:
                 break
             if max_cycles is not None and state.cycle >= max_cycles:
                 break

@@ -17,20 +17,33 @@ incrementally maintained indexes over the in-flight window:
   min-heap over the scheduled cycles, so "when is the next writeback?"
   is O(1) for the event clock instead of ``min()`` over dict keys.
 
-All three use lazy deletion against an authoritative dict: squash simply
-removes the dict entry and lets stale heap keys be skipped on the next
-pop, which keeps misprediction recovery O(squashed) instead of
-O(heap).  Sequence numbers are never reused, so a stale key can never
-alias a live entry.
+Staleness discipline
+--------------------
+All three indexes use lazy deletion: squash removes the authoritative
+dict entry (or simply leaves the reference behind) and stale keys are
+skipped on the next pop, which keeps misprediction recovery O(squashed)
+instead of O(heap).  Because the columnar Reorder Structure *recycles*
+its row handles (:class:`repro.backend.ros.ROSEntry` objects are reused
+once their occupant leaves the window), a parked reference alone no
+longer proves identity: the wakeup lists and completion buckets
+therefore store the **sequence number alongside the handle** and treat a
+reference whose ``entry.seq`` no longer matches as dead.  Sequence
+numbers are never reused, so the check is exact — a stale key can never
+alias a live entry.  The :class:`ReadySet` needs no tag because its
+membership dict is keyed by seq and squash removes the key eagerly.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, ValuesView
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, ValuesView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backend.ros import ROSEntry
+
+#: A handle tagged with the sequence number it was stored under; the
+#: reference is dead when ``entry.seq != seq`` (the row was recycled).
+TaggedEntry = Tuple[int, "ROSEntry"]
 
 
 class ReadySet:
@@ -96,12 +109,18 @@ class ReadySet:
 
 
 class WakeupIndex:
-    """Producer seq → list of consumers still waiting on it."""
+    """Producer seq → list of consumers still waiting on it.
+
+    Consumers are stored seq-tagged (see the module docstring): a waiter
+    whose handle was recycled after a squash is recognised by its
+    mismatching sequence number and skipped without touching the new
+    occupant's state.
+    """
 
     __slots__ = ("_waiters",)
 
     def __init__(self) -> None:
-        self._waiters: Dict[int, List["ROSEntry"]] = {}
+        self._waiters: Dict[int, List[TaggedEntry]] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -109,20 +128,25 @@ class WakeupIndex:
 
     def register(self, producer_seq: int, consumer: "ROSEntry") -> None:
         """``consumer`` waits for the result of ``producer_seq``."""
-        self._waiters.setdefault(producer_seq, []).append(consumer)
+        record = (consumer.seq, consumer)
+        waiters = self._waiters.get(producer_seq)
+        if waiters is None:
+            self._waiters[producer_seq] = [record]
+        else:
+            waiters.append(record)
 
     def wake(self, producer_seq: int) -> List["ROSEntry"]:
-        """Producer completed: clear it from every waiter and return the
-        consumers for which it was the *last* outstanding producer.
+        """Producer completed: clear it from every live waiter and return
+        the consumers for which it was the *last* outstanding producer.
 
-        Squashed waiters are cleared but never returned — they can no
-        longer issue.
+        Squashed waiters (flagged or recycled) are never returned — they
+        can no longer issue — and recycled handles are left untouched.
         """
         woken: List["ROSEntry"] = []
-        for consumer in self._waiters.pop(producer_seq, ()):
-            consumer.wait_producers.discard(producer_seq)
-            if consumer.squashed:
+        for seq, consumer in self._waiters.pop(producer_seq, ()):
+            if consumer.seq != seq or consumer.squashed:
                 continue
+            consumer.wait_producers.discard(producer_seq)
             if not consumer.wait_producers:
                 woken.append(consumer)
         return woken
@@ -141,13 +165,15 @@ class CompletionQueue:
 
     The writeback stage drains the bucket of the current cycle; the event
     clock bounds its jumps by :meth:`next_cycle`.  Buckets are the
-    authority — heap keys of already-drained cycles are skipped lazily.
+    authority — heap keys of already-drained cycles are skipped lazily —
+    and bucket members are seq-tagged so events stranded by a squash
+    cannot alias the row's next occupant (module docstring).
     """
 
     __slots__ = ("_buckets", "_heap")
 
     def __init__(self) -> None:
-        self._buckets: Dict[int, List["ROSEntry"]] = {}
+        self._buckets: Dict[int, List[TaggedEntry]] = {}
         self._heap: List[int] = []
 
     # ------------------------------------------------------------------
@@ -160,14 +186,22 @@ class CompletionQueue:
     def schedule(self, cycle: int, entry: "ROSEntry") -> None:
         """``entry`` finishes execution at ``cycle``."""
         bucket = self._buckets.get(cycle)
+        record = (entry.seq, entry)
         if bucket is None:
-            self._buckets[cycle] = [entry]
+            self._buckets[cycle] = [record]
             heapq.heappush(self._heap, cycle)
         else:
-            bucket.append(entry)
+            bucket.append(record)
 
-    def pop_due(self, cycle: int) -> Optional[List["ROSEntry"]]:
-        """Remove and return the events of ``cycle`` (None when there are none)."""
+    def pop_due(self, cycle: int) -> Optional[List[TaggedEntry]]:
+        """Remove and return the (seq-tagged) events of ``cycle``.
+
+        Dead members are *not* filtered here: a branch resolving early in
+        the drained bucket can squash younger entries later in the same
+        bucket, so liveness (``entry.seq == seq and not entry.squashed``)
+        must be re-tested per entry at the moment it is processed, not at
+        drain time.  Returns None when the cycle holds no events at all.
+        """
         return self._buckets.pop(cycle, None)
 
     def next_cycle(self) -> Optional[int]:
@@ -181,14 +215,15 @@ class CompletionQueue:
         return None
 
     def next_live_cycle(self) -> Optional[int]:
-        """Earliest cycle whose bucket holds a non-squashed entry.
+        """Earliest cycle whose bucket holds a live (non-squashed,
+        non-recycled) entry.
 
-        Buckets containing only squashed entries are dropped on the way:
-        squash is permanent (sequence numbers are never reused), so such a
-        bucket can never produce observable work — waking the machine for
-        it would cost one spurious stage sweep.  The event clock bounds
-        its jumps with this; the writeback stage keeps draining via
-        :meth:`pop_due`, which is unaffected by the early drops.
+        Buckets containing only dead events are dropped on the way:
+        squash is permanent (sequence numbers are never reused), so such
+        a bucket can never produce observable work — waking the machine
+        for it would cost one spurious stage sweep.  The event clock
+        bounds its jumps with this; the writeback stage keeps draining
+        via :meth:`pop_due`, which is unaffected by the early drops.
         """
         heap = self._heap
         buckets = self._buckets
@@ -198,16 +233,19 @@ class CompletionQueue:
             if bucket is None:
                 heapq.heappop(heap)
                 continue
-            if any(not entry.squashed for entry in bucket):
+            if any(entry.seq == seq and not entry.squashed
+                   for seq, entry in bucket):
                 return cycle
             del buckets[cycle]
             heapq.heappop(heap)
         return None
 
     def pending(self) -> Iterable["ROSEntry"]:
-        """Every scheduled entry, in no particular order (tests/debugging)."""
+        """Every live scheduled entry, in no particular order (tests)."""
         for bucket in self._buckets.values():
-            yield from bucket
+            for seq, entry in bucket:
+                if entry.seq == seq:
+                    yield entry
 
     def clear(self) -> None:
         """Drop every event (tests/debugging; flushes keep squashed events)."""

@@ -67,19 +67,34 @@ class Stage(abc.ABC):
 # Rename hazard probes (shared by the rename stage and the event clock)
 # ======================================================================
 def may_avoid_allocation(state: MachineState, dest_class: RegClass,
-                         logical: int) -> bool:
+                         logical: int,
+                         inst: Optional[Instruction] = None) -> bool:
     """Side-effect-free probe: could rename proceed without a free register?
 
     True when the release policy would either reuse the previous
     version or release it immediately (committed LU, no pending
     branches), so a stalled free list does not have to stall rename.
+
+    When ``inst`` is given, an instruction that *reads its own
+    destination register* (e.g. ``LOAD r11 <- [r11]``) is never treated
+    as avoidable: recording its source uses at rename makes the
+    instruction itself the last use of the previous version, so the
+    policy cannot reuse or immediately release it and a fresh register
+    must be allocated.  Probing the LUs table without this test would
+    look at pre-rename state and wrongly wave the instruction through a
+    dry free list (the seed-era ``allocate() on an empty free list``
+    crash).
     """
     policy = state.policies[dest_class]
-    if not hasattr(policy, "lus_table"):
+    lus_table = getattr(policy, "lus_table", None)
+    if lus_table is None:
         return False
     if state.map_tables[dest_class].is_stale(logical):
         return False
-    lu = policy.lus_table.lookup(logical)
+    if inst is not None and any(reg_class is dest_class and source == logical
+                                for reg_class, source in inst.srcs):
+        return False
+    lu = lus_table.lookup(logical)
     if lu is None:
         # Unknown LU: basic falls back to conventional, extended treats it
         # as committed; only the extended policy can proceed.
@@ -100,16 +115,18 @@ def dispatch_hazard(state: MachineState, inst: Instruction) -> Optional[str]:
     them, with no counter updates, so the event-driven clock can account
     for skipped stall cycles exactly.
     """
-    if state.ros.is_full:
+    ros = state.ros
+    if ros._count >= ros.capacity:
         return STALL_ROS_FULL
     if inst.is_mem and state.lsq.is_full:
         return STALL_LSQ_FULL
     if inst.is_branch and state.checkpoints.is_full:
         return STALL_CHECKPOINTS_FULL
-    if inst.dest is not None:
-        dest_class = inst.dest[0]
-        if not state.register_files[dest_class].can_allocate() and \
-                not may_avoid_allocation(state, dest_class, inst.dest[1]):
+    dest = inst.dest
+    if dest is not None:
+        dest_class = dest[0]
+        if not state.free_deques[dest_class] and \
+                not may_avoid_allocation(state, dest_class, dest[1], inst):
             return (STALL_NO_FREE_INT if dest_class is RegClass.INT
                     else STALL_NO_FREE_FP)
     return None
@@ -119,35 +136,50 @@ def dispatch_hazard(state: MachineState, inst: Instruction) -> Optional[str]:
 # Stage 1: commit
 # ======================================================================
 class CommitStage(Stage):
-    """In-order retirement of completed ROS head entries."""
+    """In-order retirement of completed ROS head entries.
+
+    The retire set is computed *batched*: one vectorised slice over the
+    columnar ROS yields the contiguous completed prefix (capped at
+    ``commit_width``), a second finds the first excepting entry inside
+    it, and the width-wide bookkeeping — instruction count, commit
+    watermark, last-commit cycle — is accumulated in bulk.  Only the
+    per-entry effects that are inherently serial (release-policy hooks,
+    IOMT updates, occupancy accounting, LSQ removal) walk the retired
+    handles.
+    """
 
     name = "commit"
 
     def tick(self, state: MachineState) -> None:
         ros = state.ros
-        entry = ros.head()
-        if entry is None or not entry.completed:
+        retire = ros.completed_prefix(state.config.commit_width)
+        if not retire:
             return
+        # An exception truncates the batch: the excepting entry commits
+        # and then flushes the pipeline, so nothing younger retires.
+        excepting_at = ros.exception_in_prefix(retire)
+        if excepting_at >= 0:
+            retire = excepting_at + 1
         cycle = state.cycle
         stats = state.stats
         by_class = stats.committed_by_class
         policies = state.policy_list
-        register_files = state.register_files
-        committed = 0
-        while committed < state.config.commit_width:
-            if entry is None or not entry.completed:
-                break
-            ros.pop_head()
-            committed += 1
-            state.committed_watermark = entry.seq
-            stats.committed_instructions += 1
+        last_use_lists = state.last_use_lists
+        iomt_lists = state.iomt_lists
+        lsq = state.lsq
+        memory = state.memory
+        entry = None
+        for entry in ros.retire_prefix(retire):
             op_name = entry.inst.op_name
             by_class[op_name] = by_class.get(op_name, 0) + 1
 
-            # Architectural (in-order) map table update.
-            if entry.dest_class is not None:
-                state.iomts[entry.dest_class].commit_mapping(entry.dest_logical,
-                                                             entry.pd)
+            # Architectural (in-order) map table update.  The watermark
+            # must advance entry by entry: the release-policy hooks below
+            # consult it for *this* instruction's LU committed tests.
+            state.committed_watermark = entry.seq
+            dest_class = entry.dest_class
+            if dest_class is not None:
+                iomt_lists[dest_class][entry.dest_logical] = entry.pd
             # Release-policy commit hooks (both register classes see every entry).
             for policy in policies:
                 policy.on_commit(entry, cycle)
@@ -155,23 +187,22 @@ class CommitStage(Stage):
             # Occupancy accounting: this commit is (potentially) the last use
             # of each source register, and of the destination if never read.
             for reg_class, _logical, physical in entry.src_regs:
-                register_files[reg_class].note_use_commit(physical, cycle)
-            if entry.dest_class is not None:
-                register_files[entry.dest_class].note_use_commit(entry.pd, cycle)
+                last_use_lists[reg_class][physical] = cycle
+            if dest_class is not None:
+                last_use_lists[dest_class][entry.pd] = cycle
 
             # Memory operations leave the LSQ at commit; stores write the cache.
             inst = entry.inst
             if inst.is_mem:
                 if inst.is_store:
-                    state.memory.data_write(inst.mem_addr)
-                state.lsq.remove(entry.seq)
+                    memory.data_write(inst.mem_addr)
+                lsq.remove(entry.seq)
 
-            if entry.exception:
-                stats.exceptions_taken += 1
-                state.exception_flush(entry)
-                break
-            entry = ros.head()
+        stats.committed_instructions += retire
         state.last_commit_cycle = cycle
+        if excepting_at >= 0:
+            stats.exceptions_taken += 1
+            state.exception_flush(entry)
 
 
 # ======================================================================
@@ -187,13 +218,16 @@ class WritebackStage(Stage):
         if not entries:
             return
         cycle = state.cycle
+        ros = state.ros
         register_files = state.register_files
         consumers = state.consumers
-        for entry in entries:
-            if entry.squashed:
+        for seq, entry in entries:
+            # Liveness is re-tested per entry: a branch resolved earlier
+            # in this very bucket may have squashed (and recycled) this
+            # one in the meantime.
+            if entry.seq != seq or entry.squashed:
                 continue
-            entry.completed = True
-            entry.complete_cycle = cycle
+            ros.note_completed(entry, cycle)
             if entry.dest_class is not None:
                 register_files[entry.dest_class].mark_written(entry.pd, cycle)
             # Wake the consumers for which this was the last outstanding
@@ -256,7 +290,8 @@ class IssueStage(Stage):
         while issued < state.config.issue_width and ready:
             entry = ready.pop()
             inst = entry.inst
-            if not fus.can_issue(inst.op, cycle):
+            latency = fus.try_issue(inst.op, cycle)
+            if latency is None:
                 # Still ready next cycle; re-armed below so the pop order
                 # (and the stall accounting) matches the old full scan.
                 fus.note_structural_stall()
@@ -264,15 +299,13 @@ class IssueStage(Stage):
                     blocked = []
                 blocked.append(entry)
                 continue
-            latency = fus.issue(inst.op, cycle)
             entry.issued = True
             entry.issue_cycle = cycle
             issued += 1
 
             if inst.is_mem:
                 for load in state.lsq.mark_address_known(entry.seq):
-                    if not load.squashed:
-                        state.make_issue_ready(load)
+                    state.make_issue_ready(load)
             if inst.is_load:
                 if state.lsq.store_forwards_to(entry.seq, inst.mem_addr):
                     mem_latency = 1
@@ -297,28 +330,38 @@ class RenameStage(Stage):
     name = "rename"
 
     def tick(self, state: MachineState) -> None:
+        decode_queue = state.decode_queue
+        if not decode_queue:
+            return
         renamed = 0
-        while renamed < state.config.rename_width and state.decode_queue:
-            ready_cycle, op = state.decode_queue[0]
-            if ready_cycle > state.cycle:
+        width = state.config.rename_width
+        cycle = state.cycle
+        rename_one = self._rename_one
+        while renamed < width and decode_queue:
+            ready_cycle, op = decode_queue[0]
+            if ready_cycle > cycle:
                 break
-            if not self._rename_one(state, op):
+            # Hazard probe up front: while register- or capacity-stalled
+            # (every cycle, at tight configurations) the stage pays one
+            # probe and one counter bump, nothing more.
+            hazard = dispatch_hazard(state, op.inst)
+            if hazard is not None:
+                state.stats.dispatch_stalls[hazard] += 1
                 break
-            state.decode_queue.popleft()
+            rename_one(state, op)
+            decode_queue.popleft()
             renamed += 1
 
     # ------------------------------------------------------------------
-    def _rename_one(self, state: MachineState, op: FetchedOp) -> bool:
-        """Rename a single instruction; returns False (and stalls) on a resource hazard."""
+    def _rename_one(self, state: MachineState, op: FetchedOp) -> None:
+        """Rename a single instruction (the caller has cleared the hazards)."""
         inst = op.inst
-        cfg = state.config
 
-        hazard = dispatch_hazard(state, inst)
-        if hazard is not None:
-            state.stats.dispatch_stalls[hazard] += 1
-            return False
-
-        entry = ROSEntry(state.seq, inst)
+        # Obtain (and recycle) the next ROS row; the entry stays
+        # unpublished — invisible to `find` and the window probes — until
+        # the push below, so the policy hooks observe the same pre-insert
+        # window the per-entry implementation exposed.
+        entry = state.ros.begin_rename(state.seq, inst)
         state.seq += 1
         entry.rename_cycle = state.cycle
         entry.resume_cursor = op.resume_cursor
@@ -328,31 +371,40 @@ class RenameStage(Stage):
 
         # ------------------------------------------------------- sources
         map_tables = state.map_tables
-        register_files = state.register_files
         policies = state.policies
-        src_regs = entry.src_regs
-        is_store = inst.is_store
-        for slot, (reg_class, logical) in enumerate(inst.srcs):
-            physical = map_tables[reg_class].lookup(logical)
-            src_regs.append((reg_class, logical, physical))
-            # Stores wait only for their *address* operands before issuing
-            # (slot 0 is the value by trace convention): the paper's rule is
-            # that loads wait for prior store addresses, and the data is
-            # needed no earlier than commit, which in-order retirement of
-            # the older producer already guarantees.
-            if not (is_store and slot == 0):
-                producer = register_files[reg_class].producer_of(physical)
-                if producer is not None:
-                    entry.wait_producers.add(producer)
-                    state.consumers.register(producer, entry)
-            policies[reg_class].note_source_use(entry, slot, logical, physical)
+        srcs = inst.srcs
+        if srcs:
+            map_lists = state.map_lists
+            producer_lists = state.producer_lists
+            source_use_hooks = state.source_use_hooks
+            src_regs = entry.src_regs
+            is_store = inst.is_store
+            wait_producers = entry.wait_producers
+            consumers = state.consumers
+            for slot, (reg_class, logical) in enumerate(srcs):
+                physical = map_lists[reg_class][logical]
+                src_regs.append((reg_class, logical, physical))
+                # Stores wait only for their *address* operands before
+                # issuing (slot 0 is the value by trace convention): the
+                # paper's rule is that loads wait for prior store
+                # addresses, and the data is needed no earlier than
+                # commit, which in-order retirement of the older producer
+                # already guarantees.
+                if not is_store or slot != 0:
+                    producer = producer_lists[reg_class][physical]
+                    if producer is not None:
+                        wait_producers.add(producer)
+                        consumers.register(producer, entry)
+                hook = source_use_hooks[reg_class]
+                if hook is not None:
+                    hook(entry, slot, logical, physical)
 
         # ------------------------------------------------------- destination
         if inst.dest is not None:
             dest_class, dest_logical = inst.dest
             policy = policies[dest_class]
-            register_file = register_files[dest_class]
-            old_pd = map_tables[dest_class].lookup(dest_logical)
+            register_file = state.register_files[dest_class]
+            old_pd = state.map_lists[dest_class][dest_logical]
             outcome = policy.rename_destination(entry, dest_logical, old_pd)
             if outcome.reuse_previous:
                 pd = old_pd
@@ -368,7 +420,9 @@ class RenameStage(Stage):
             entry.pd = pd
             entry.old_pd = old_pd
             entry.rel_old = outcome.release_previous_at_commit
-            policy.note_dest_definition(entry, dest_logical)
+            hook = state.dest_def_hooks[dest_class]
+            if hook is not None:
+                hook(entry, dest_logical)
 
         # ------------------------------------------------------- branches
         if inst.is_branch:
@@ -388,11 +442,11 @@ class RenameStage(Stage):
             state.lsq.insert(entry.seq, inst.is_store, inst.mem_addr)
 
         # ------------------------------------------------------- exceptions
-        if (cfg.exception_rate > 0.0 and not entry.wrong_path
-                and state.exception_rng.random() < cfg.exception_rate):
+        if (state.exception_enabled and not entry.wrong_path
+                and state.exception_rng.random() < state.config.exception_rate):
             entry.exception = True
 
-        state.ros.append(entry)
+        state.ros.push(entry)
         state.stats.renamed_instructions += 1
 
         # Instructions with no execution dependencies and no FU requirement
@@ -404,7 +458,6 @@ class RenameStage(Stage):
             entry.issued = True
         elif not entry.wait_producers:
             state.make_issue_ready(entry)
-        return True
 
 
 # ======================================================================

@@ -127,6 +127,42 @@ class MachineState:
         self.ready = ReadySet()
         self.exception_rng = np.random.default_rng(cfg.seed + 0xE)
 
+        # ------------------------------------------------------------ rename fast-path hooks
+        #: True when the exception lottery must be drawn at all.
+        self.exception_enabled = cfg.exception_rate > 0.0
+        #: per class: the policy's source-use / dest-definition hooks, or
+        #: None when the policy inherits the base no-op (conventional
+        #: release) — the rename loop then skips the call entirely.
+        base = ReleasePolicy
+        self.source_use_hooks = {
+            rc: (p.note_source_use
+                 if type(p).note_source_use is not base.note_source_use else None)
+            for rc, p in self.policies.items()
+        }
+        self.dest_def_hooks = {
+            rc: (p.note_dest_definition
+                 if type(p).note_dest_definition is not base.note_dest_definition
+                 else None)
+            for rc, p in self.policies.items()
+        }
+        #: per class: direct views of the map-table mapping list and the
+        #: register file's producer list (identity-stable; see
+        #: :meth:`repro.rename.map_table.MapTable.restore`).
+        self.map_lists = {rc: mt._map for rc, mt in self.map_tables.items()}
+        self.producer_lists = {rc: rf._producer
+                               for rc, rf in self.register_files.items()}
+        #: per class: the occupancy tracker's last-use-commit array and the
+        #: IOMT mapping list, written directly by the (per-instruction)
+        #: commit loop.
+        self.last_use_lists = {rc: rf._occ_last_use
+                               for rc, rf in self.register_files.items()}
+        self.iomt_lists = {rc: iomt._map for rc, iomt in self.iomts.items()}
+        #: per class: the free list's deque (truthiness == can_allocate)
+        #: for the dispatch-hazard probe, which runs once per rename
+        #: attempt — every cycle while register-stalled.
+        self.free_deques = {rc: rf.free_list._free
+                           for rc, rf in self.register_files.items()}
+
         # ------------------------------------------------------------ statistics
         self.stats = SimStats(benchmark=trace.name, release_policy=cfg.release_policy)
         self.stats.dispatch_stalls = {
@@ -165,23 +201,27 @@ class MachineState:
         """
         warmup_trace = self._build_warmup_trace()
         memory = self.memory
-        predictor = self.predictor
-        btb = self.btb
+        instruction_access = memory.instruction_access
+        data_write = memory.data_write
+        data_read = memory.data_read
+        predict = self.predictor.predict
+        resolve = self.predictor.resolve
+        btb_update = self.btb.update
         for inst in warmup_trace:
-            memory.instruction_access(inst.pc)
+            instruction_access(inst.pc)
             if inst.is_mem:
                 if inst.is_store:
-                    memory.data_write(inst.mem_addr)
+                    data_write(inst.mem_addr)
                 else:
-                    memory.data_read(inst.mem_addr)
+                    data_read(inst.mem_addr)
             if inst.is_branch:
-                record = predictor.predict(inst.pc)
-                predictor.resolve(record, inst.taken)
+                record = predict(inst.pc)
+                resolve(record, inst.taken)
                 if inst.taken:
-                    btb.update(inst.pc, inst.target)
+                    btb_update(inst.pc, inst.target)
         memory.reset_statistics()
-        btb.reset_statistics()
-        predictor.reset_statistics()
+        self.btb.reset_statistics()
+        self.predictor.reset_statistics()
 
     def _build_warmup_trace(self) -> Trace:
         """Return the instruction sequence used for warm-up (see :meth:`_warm_state`)."""
@@ -252,6 +292,12 @@ class MachineState:
 
     def recover_from_misprediction(self, branch: ROSEntry) -> None:
         """Squash younger instructions and restore checkpointed state."""
+        # Early releases scheduled *on the branch itself* were scheduled by
+        # next-version instructions younger than the branch (a last use is
+        # always older than its redefinition) — all of them are squashed
+        # below, so every bit must be dropped with them.  Leaving a bit set
+        # would release a register the restored map table still names.
+        branch.early_release_mask = 0
         squashed = self.ros.squash_younger_than(branch.seq)
         self.undo_squashed(squashed)
         self.lsq.squash_younger_than(branch.seq)
@@ -272,19 +318,36 @@ class MachineState:
             self.fetch_unit.recover(branch.resume_cursor)
 
     def undo_squashed(self, squashed: List[ROSEntry]) -> None:
-        """Free resources of squashed entries (called youngest first)."""
+        """Free resources of squashed entries (called youngest first).
+
+        The entries arrive already flagged by the ROS squash kernels
+        (handle ``squashed`` attribute and column alike).  Destination
+        registers allocated by the squashed window are gathered per
+        register class and returned through the checked free list in one
+        bulk call, preserving the youngest-first release order within
+        each class.
+        """
+        cycle = self.cycle
+        self.stats.squashed_instructions += len(squashed)
+        freed: Dict[RegClass, List[int]] = {RegClass.INT: [], RegClass.FP: []}
+        register_files = self.register_files
+        policy_list = self.policy_list
+        consumers = self.consumers
+        ready = self.ready
         for entry in squashed:
-            entry.squashed = True
-            self.stats.squashed_instructions += 1
-            if entry.has_dest and entry.allocated_new:
-                self.register_files[entry.dest_class].release(entry.pd, self.cycle)
-            elif entry.has_dest and entry.reused:
-                # The reused register's value is still the committed one.
-                self.register_files[entry.dest_class].set_producer(entry.pd, None)
-            for policy in self.policies.values():
-                policy.on_squash(entry, self.cycle)
-            self.consumers.drop(entry.seq)
-            self.ready.discard(entry.seq)
+            if entry.dest_class is not None:
+                if entry.allocated_new:
+                    freed[entry.dest_class].append(entry.pd)
+                elif entry.reused:
+                    # The reused register's value is still the committed one.
+                    register_files[entry.dest_class].set_producer(entry.pd, None)
+            for policy in policy_list:
+                policy.on_squash(entry, cycle)
+            consumers.drop(entry.seq)
+            ready.discard(entry.seq)
+        for reg_class, regs in freed.items():
+            if regs:
+                register_files[reg_class].release_many(regs, cycle)
 
     # ==================================================================
     # Statistics collection

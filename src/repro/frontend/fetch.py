@@ -26,7 +26,7 @@ from repro.trace.records import Trace
 from repro.trace.wrongpath import WrongPathGenerator
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchedOp:
     """A fetched instruction plus the front-end metadata the back end needs.
 
@@ -127,7 +127,7 @@ class FetchUnit:
                 return None
             inst = self.wrongpath.next_instruction(self._wrong_path_pc)
             self._wrong_path_pc += 4
-            op = FetchedOp(inst=inst, wrong_path=True)
+            op = FetchedOp(inst, None, False, False, -1, True)
             self.fetched_wrong += 1
             if inst.is_branch:
                 record = self.predictor.predict(inst.pc)
@@ -148,7 +148,7 @@ class FetchUnit:
         inst = self._next_correct_path()
         if inst is None:
             return None
-        op = FetchedOp(inst=inst, resume_cursor=self.cursor)
+        op = FetchedOp(inst, None, False, False, self.cursor, False)
         self.fetched_correct += 1
         if inst.is_branch:
             record = self.predictor.predict(inst.pc)

@@ -11,12 +11,14 @@ the rename checkpoints hold for the map tables).
 from __future__ import annotations
 
 from array import array
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
-@dataclass(frozen=True)
-class PredictionRecord:
+class PredictionRecord(NamedTuple):
     """Everything needed to update/repair the predictor for one branch.
+
+    A ``NamedTuple``: one record is created per predicted branch (fetch
+    path and warm-up pass), so construction cost matters.
 
     Attributes
     ----------

@@ -26,6 +26,16 @@ from repro.isa.registers import NUM_LOGICAL, RegClass
 #: A register reference as carried by an instruction: (register class, index).
 RegRef = Tuple[RegClass, int]
 
+#: Per-op predicate/name table: op -> (is_branch, is_load, is_store, is_mem,
+#: op_name).  Instruction construction is on the wrong-path generator's hot
+#: path (a fresh record per injected instruction), so the five derived
+#: fields are filled from one dict lookup instead of five predicate calls.
+_OP_TRAITS = {
+    op: (is_branch_op(op), is_load_op(op), is_store_op(op), is_memory_op(op),
+         op.name)
+    for op in OpClass
+}
+
 
 @dataclass(frozen=True, slots=True)
 class Instruction:
@@ -86,15 +96,17 @@ class Instruction:
         # from hand-written tests are upgraded here, once).
         if self.dest is not None and type(self.dest[0]) is not RegClass:
             set_attr(self, "dest", (RegClass(self.dest[0]), self.dest[1]))
-        if any(type(reg_class) is not RegClass for reg_class, _ in self.srcs):
-            set_attr(self, "srcs", tuple((RegClass(reg_class), index)
-                                         for reg_class, index in self.srcs))
-        op = self.op
-        set_attr(self, "is_branch", is_branch_op(op))
-        set_attr(self, "is_load", is_load_op(op))
-        set_attr(self, "is_store", is_store_op(op))
-        set_attr(self, "is_mem", is_memory_op(op))
-        set_attr(self, "op_name", op.name)  # enum .name is a descriptor call
+        for reg_class, _index in self.srcs:
+            if type(reg_class) is not RegClass:
+                set_attr(self, "srcs", tuple((RegClass(cls), index)
+                                             for cls, index in self.srcs))
+                break
+        is_branch, is_load, is_store, is_mem, op_name = _OP_TRAITS[self.op]
+        set_attr(self, "is_branch", is_branch)
+        set_attr(self, "is_load", is_load)
+        set_attr(self, "is_store", is_store)
+        set_attr(self, "is_mem", is_mem)
+        set_attr(self, "op_name", op_name)
 
     @property
     def has_dest(self) -> bool:

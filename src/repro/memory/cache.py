@@ -55,7 +55,10 @@ class Cache:
         self._n_sets = config.n_sets
         self._line_shift = config.line_bytes.bit_length() - 1
         # Each set: list of [tag, dirty] in LRU order (index 0 = MRU).
-        self._sets: List[List[List[int]]] = [[] for _ in range(self._n_sets)]
+        # Sets are materialised lazily (dict keyed by set index): a large
+        # L2 touches a fraction of its sets in a scaled-down run, and
+        # every simulated machine builds three caches at construction.
+        self._sets: Dict[int, List[List[int]]] = {}
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
@@ -68,33 +71,51 @@ class Cache:
     def probe(self, address: int) -> bool:
         """Return True when ``address`` is resident, without updating LRU or stats."""
         index, tag = self._locate(address)
-        return any(entry[0] == tag for entry in self._sets[index])
+        ways = self._sets.get(index)
+        return ways is not None and any(entry[0] == tag for entry in ways)
+
+    def access_hit(self, address: int, is_write: bool = False) -> bool:
+        """Access ``address``; allocate the line on a miss (write-allocate).
+
+        Object-free hot path shared with :meth:`access`: returns only the
+        hit/miss outcome and updates LRU order, dirty bits and the
+        counters.  The per-level latency is a config constant the caller
+        composes itself (see :class:`repro.memory.hierarchy.MemoryHierarchy`).
+        """
+        line = address >> self._line_shift
+        tag = line
+        sets = self._sets
+        index = line % self._n_sets
+        ways = sets.get(index)
+        if ways is None:
+            ways = sets[index] = []
+        for pos, entry in enumerate(ways):
+            if entry[0] == tag:
+                if pos:
+                    ways.insert(0, ways.pop(pos))
+                if is_write:
+                    entry[1] = 1
+                self.hits += 1
+                return True
+        self.misses += 1
+        ways.insert(0, [tag, 1 if is_write else 0])
+        if len(ways) > self.config.associativity:
+            if ways.pop()[1]:
+                self.writebacks += 1
+        return False
 
     def access(self, address: int, is_write: bool = False) -> AccessResult:
         """Access ``address``; allocate the line on a miss (write-allocate).
 
         Returns the hit/miss outcome with the *local* latency of this level
-        (the hierarchy composes levels into full miss latencies).
+        (the hierarchy composes levels into full miss latencies).  Thin
+        wrapper over :meth:`access_hit` — the replacement policy lives in
+        one place.
         """
-        index, tag = self._locate(address)
-        ways = self._sets[index]
-        for pos, entry in enumerate(ways):
-            if entry[0] == tag:
-                ways.insert(0, ways.pop(pos))
-                if is_write:
-                    entry[1] = 1
-                self.hits += 1
-                return AccessResult(hit=True, latency=self.config.hit_latency)
-        self.misses += 1
-        evicted_dirty = False
-        ways.insert(0, [tag, 1 if is_write else 0])
-        if len(ways) > self.config.associativity:
-            victim = ways.pop()
-            if victim[1]:
-                evicted_dirty = True
-                self.writebacks += 1
-        return AccessResult(hit=False, latency=self.config.hit_latency,
-                            evicted_dirty=evicted_dirty)
+        writebacks_before = self.writebacks
+        hit = self.access_hit(address, is_write)
+        return AccessResult(hit=hit, latency=self.config.hit_latency,
+                            evicted_dirty=self.writebacks > writebacks_before)
 
     # ------------------------------------------------------------------
     @property
@@ -109,7 +130,7 @@ class Cache:
 
     def flush(self) -> None:
         """Invalidate all lines (statistics are preserved)."""
-        self._sets = [[] for _ in range(self._n_sets)]
+        self._sets.clear()
 
     def reset_statistics(self) -> None:
         """Zero the hit/miss/writeback counters (contents are preserved).

@@ -37,27 +37,30 @@ class MemoryHierarchy:
         self.l1d = Cache(self.config.l1d)
         self.l2 = Cache(self.config.l2)
         self.memory_accesses = 0
+        # Latency constants hoisted out of the per-access path.
+        self._l1i_latency = self.config.l1i.hit_latency
+        self._l1d_latency = self.config.l1d.hit_latency
+        self._l2_latency = self.config.l2.hit_latency
+        self._memory_latency = self.config.main_memory_latency
 
     # ------------------------------------------------------------------
-    def _access(self, l1: Cache, address: int, is_write: bool) -> int:
-        result = l1.access(address, is_write=is_write)
-        latency = result.latency
-        if result.hit:
-            return latency
-        l2_result = self.l2.access(address, is_write=False)
-        latency += l2_result.latency
-        if not l2_result.hit:
+    def _access(self, l1: Cache, l1_latency: int, address: int,
+                is_write: bool) -> int:
+        if l1.access_hit(address, is_write):
+            return l1_latency
+        latency = l1_latency + self._l2_latency
+        if not self.l2.access_hit(address, False):
             self.memory_accesses += 1
-            latency += self.config.main_memory_latency
+            latency += self._memory_latency
         return latency
 
     def instruction_access(self, pc: int) -> int:
         """Fetch access: total latency in cycles for the line holding ``pc``."""
-        return self._access(self.l1i, pc, is_write=False)
+        return self._access(self.l1i, self._l1i_latency, pc, is_write=False)
 
     def data_read(self, address: int) -> int:
         """Load access: total latency in cycles."""
-        return self._access(self.l1d, address, is_write=False)
+        return self._access(self.l1d, self._l1d_latency, address, is_write=False)
 
     def data_write(self, address: int) -> int:
         """Store access (performed at commit): total latency in cycles.
@@ -65,7 +68,7 @@ class MemoryHierarchy:
         The returned latency is informational; stores retire into the
         write buffer and do not stall commit.
         """
-        return self._access(self.l1d, address, is_write=True)
+        return self._access(self.l1d, self._l1d_latency, address, is_write=True)
 
     def reset_statistics(self) -> None:
         """Zero hit/miss counters of every level (contents are preserved)."""

@@ -54,23 +54,29 @@ class MapTable:
         return tuple(self._map), tuple(self._stale)
 
     def restore(self, snapshot: Tuple[Tuple[int, ...], Tuple[bool, ...]]) -> None:
-        """Restore the table from a branch checkpoint."""
+        """Restore the table from a branch checkpoint.
+
+        In-place (slice) assignment: the rename fast path holds direct
+        references to the mapping list, so restores must preserve list
+        identity.
+        """
         mappings, stale = snapshot
         if len(mappings) != self.num_logical or len(stale) != self.num_logical:
             raise ValueError("snapshot size mismatch")
-        self._map = list(mappings)
-        self._stale = list(stale)
+        self._map[:] = mappings
+        self._stale[:] = stale
 
     def restore_architectural(self, mappings: Sequence[int]) -> None:
         """Rebuild the table from the in-order map table (exception recovery).
 
         All stale flags are cleared; the caller re-marks the logical
         registers whose architectural version had been released early.
+        In-place for the same list-identity reason as :meth:`restore`.
         """
         if len(mappings) != self.num_logical:
             raise ValueError("snapshot size mismatch")
-        self._map = list(mappings)
-        self._stale = [False] * self.num_logical
+        self._map[:] = mappings
+        self._stale[:] = [False] * self.num_logical
 
     def mapped_registers(self) -> Tuple[int, ...]:
         """The set of physical registers currently referenced by the table."""

@@ -79,6 +79,10 @@ class Trace:
     focus_class: RegClass
     instructions: List[Instruction]
     seed: int = 0
+    #: memoised :meth:`summary` result.  Traces are cached and shared
+    #: across whole sweeps, and every simulation engine consults the
+    #: summary (via the wrong-path mix derivation) at construction.
+    _summary: object = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -91,7 +95,16 @@ class Trace:
 
     # ------------------------------------------------------------------
     def summary(self) -> TraceSummary:
-        """Compute aggregate statistics used by calibration tests and reports."""
+        """Aggregate statistics used by calibration tests and reports.
+
+        Computed once per trace and memoised: the instruction list is
+        treated as immutable after construction.
+        """
+        if self._summary is None:
+            self._summary = self._compute_summary()
+        return self._summary
+
+    def _compute_summary(self) -> TraceSummary:
         instructions = self.instructions
         n = len(instructions)
         if n == 0:

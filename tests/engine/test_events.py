@@ -98,12 +98,28 @@ class TestCompletionQueue:
         queue.schedule(10, entry(2))
         queue.schedule(10, entry(3))
         assert queue.next_cycle() == 10
-        assert [e.seq for e in queue.pop_due(10)] == [2, 3]
+        assert [e.seq for _seq, e in queue.pop_due(10)] == [2, 3]
         assert queue.next_cycle() == 30
         assert queue.pop_due(11) is None
-        assert queue.pop_due(30)[0].seq == 1
+        assert queue.pop_due(30)[0][1].seq == 1
         assert queue.next_cycle() is None
         assert not queue
+
+    def test_pop_due_keeps_dead_events_for_in_loop_liveness_checks(self):
+        # The writeback stage re-tests liveness per entry (a branch in the
+        # same bucket may squash younger members mid-drain), so pop_due
+        # must hand back the seq tags rather than filter eagerly.
+        queue = CompletionQueue()
+        live, squashed = entry(1), entry(2)
+        queue.schedule(10, live)
+        queue.schedule(10, squashed)
+        squashed.squashed = True
+        recycled = entry(3)
+        queue.schedule(10, recycled)
+        recycled.reset(9, recycled.inst)     # row reused by a new occupant
+        drained = queue.pop_due(10)
+        states = [(seq, e.seq == seq and not e.squashed) for seq, e in drained]
+        assert states == [(1, True), (2, False), (3, False)]
 
     def test_pending_enumerates_everything(self):
         queue = CompletionQueue()
