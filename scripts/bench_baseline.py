@@ -14,11 +14,23 @@ The script is a thin wrapper over::
 
     PYTHONPATH=src python -m pytest benchmarks --benchmark-json <out>
 
-plus a serial probe over representative Figure 11 grid points that
-records the event-driven scheduler's counters (cycles skipped,
-fast-forwards, ready-set peak size) alongside each point's wall-clock;
-the probe results are embedded in the snapshot under ``"scheduler"``.
-Exits with pytest's return code.
+plus two serial probes embedded into the snapshot:
+
+* ``"scheduler"`` — representative Figure 11 grid points with the
+  event-driven scheduler's counters (cycles skipped, fast-forwards,
+  ready-set peak size) alongside each point's wall-clock;
+* ``"generation"`` — trace-generation throughput (scalar oracle vs the
+  vectorised bulk-draw path) over the scenario library plus
+  representative SPEC-like workloads.
+
+``--probe-only`` (the CI mode) skips the pytest harness, runs both
+probes, and *gates*: it compares the probe against the newest committed
+``BENCH_*.json`` and exits non-zero when any tracked throughput
+regressed by more than the tolerance factor (default 1.4, generous
+enough for runner-to-runner variance; override with ``--tolerance`` or
+``$BENCH_PROBE_TOLERANCE``; ``--no-compare`` disables the gate).  Pass
+``--output`` to also write the probe JSON (uploaded as a CI artifact).
+Otherwise exits with pytest's return code.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ import os
 import subprocess
 import sys
 from pathlib import Path
+from typing import Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -204,6 +217,153 @@ def collect_scheduler_counters(trace_length: int = 4_000,
     return result
 
 
+#: SPEC-like workloads sampled by the generation probe (one per kernel
+#: family), on top of the whole scenario library.
+GENERATION_PROBE_BENCHMARKS = ("gcc", "li", "compress", "swim", "tomcatv")
+
+
+def collect_generation_throughput(trace_length: int = 30_000) -> dict:
+    """Time trace generation, scalar oracle vs vectorised, per workload.
+
+    Each workload is generated once per mode per repetition (cache
+    bypassed); the best of three repetitions is kept.  The aggregate
+    ``vector_inst_per_s`` over the scenario grid is the number the CI
+    bench gate tracks.
+    """
+    import time as time_module
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.trace.workloads import (SCENARIOS, generate_scenario_trace,
+                                       generate_trace, get_profile,
+                                       scenario_workloads)
+
+    def generate(name, vectorized):
+        if name in SCENARIOS:
+            return generate_scenario_trace(SCENARIOS[name], trace_length,
+                                           seed=1, vectorized=vectorized)
+        return generate_trace(get_profile(name), trace_length, seed=1,
+                              vectorized=vectorized)
+
+    points = []
+    for name in list(scenario_workloads()) + list(GENERATION_PROBE_BENCHMARKS):
+        best = {False: float("inf"), True: float("inf")}
+        length = 0
+        for _ in range(3):
+            for vectorized in (False, True):
+                start = time_module.perf_counter()
+                trace = generate(name, vectorized)
+                elapsed = time_module.perf_counter() - start
+                best[vectorized] = min(best[vectorized], elapsed)
+                length = len(trace)
+        points.append({
+            "workload": name,
+            "scenario": name in SCENARIOS,
+            "instructions": length,
+            "scalar_inst_per_s": round(length / best[False]),
+            "vector_inst_per_s": round(length / best[True]),
+            "speedup": round(best[False] / best[True], 3),
+        })
+    scenario_points = [p for p in points if p["scenario"]]
+    aggregate = {
+        "trace_length": trace_length,
+        "points": points,
+        "scenario_vector_inst_per_s": round(
+            sum(p["instructions"] for p in scenario_points)
+            / sum(p["instructions"] / p["vector_inst_per_s"]
+                  for p in scenario_points)),
+        "scenario_speedup": round(
+            sum(p["instructions"] / p["scalar_inst_per_s"]
+                for p in scenario_points)
+            / sum(p["instructions"] / p["vector_inst_per_s"]
+                  for p in scenario_points), 3),
+    }
+    return aggregate
+
+
+def format_generation_summary(generation: dict) -> str:
+    """Human/CI-readable recap of the generation probe."""
+    lines = [f"generation probe (trace length {generation['trace_length']}):"]
+    for point in generation["points"]:
+        tag = "scenario " if point["scenario"] else "benchmark"
+        lines.append(
+            f"  {tag} {point['workload']:<18} "
+            f"scalar {point['scalar_inst_per_s']:>9,} inst/s   "
+            f"vector {point['vector_inst_per_s']:>9,} inst/s   "
+            f"{point['speedup']:.2f}x")
+    lines.append(f"  scenario-grid vectorised throughput: "
+                 f"{generation['scenario_vector_inst_per_s']:,} inst/s "
+                 f"({generation['scenario_speedup']:.2f}x over the scalar "
+                 f"oracle)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The CI regression gate.
+# ----------------------------------------------------------------------
+def scheduler_throughput(scheduler: dict) -> float:
+    """Aggregate simulated cycles/s of a snapshot's scheduler probe."""
+    points = scheduler.get("points", [])
+    wall = sum(p["wall_clock_s"] for p in points)
+    return sum(p["cycles"] for p in points) / wall if wall else 0.0
+
+
+def find_latest_snapshot(root: Path) -> "Optional[Path]":
+    """Newest committed ``BENCH_*.json``.
+
+    Snapshots are ordered by the numeric runs in their names (date, then
+    PR number or timestamp), so ``BENCH_20260728T150000Z.json`` ranks
+    above ``BENCH_20260728_pr4.json`` from earlier the same day — a
+    plain lexicographic sort would rank them the other way around
+    (``_`` sorts after ``T``).
+    """
+    import re
+
+    snapshots = sorted(
+        root.glob("BENCH_*.json"),
+        key=lambda path: ([int(token) for token in
+                           re.findall(r"\d+", path.name)], path.name))
+    return snapshots[-1] if snapshots else None
+
+
+def compare_against_baseline(current: dict, baseline: dict,
+                             tolerance: float) -> list:
+    """Regression messages for every tracked metric slower than
+    ``baseline / tolerance``; empty when the gate passes.
+
+    Metrics the baseline snapshot does not carry (older snapshots lack
+    the generation probe) are skipped — the gate only tightens once a
+    snapshot recording the metric is committed.
+    """
+    if tolerance < 1.0:
+        raise ValueError("tolerance must be >= 1.0")
+    regressions = []
+
+    def check(label, now, then):
+        if then and now < then / tolerance:
+            regressions.append(
+                f"{label}: {now:,.0f} vs baseline {then:,.0f} "
+                f"(more than {tolerance:g}x slower)")
+
+    baseline_scheduler = baseline.get("scheduler") or {}
+    current_scheduler = current.get("scheduler") or {}
+    if baseline_scheduler.get("points") and current_scheduler.get("points"):
+        check("scheduler probe simulated cycles/s",
+              scheduler_throughput(current_scheduler),
+              scheduler_throughput(baseline_scheduler))
+    baseline_generation = baseline.get("generation") or {}
+    current_generation = current.get("generation") or {}
+    check("scenario-grid generation inst/s",
+          current_generation.get("scenario_vector_inst_per_s", 0.0),
+          baseline_generation.get("scenario_vector_inst_per_s", 0.0))
+    # The scalar-vs-vector speedup ratio is measured within one run, so
+    # it is machine-independent: a drop here is a genuine vectorisation
+    # regression even when the absolute numbers moved with the hardware.
+    check("scenario-grid generation speedup (vector/scalar ratio)",
+          current_generation.get("scenario_speedup", 0.0),
+          baseline_generation.get("scenario_speedup", 0.0))
+    return regressions
+
+
 def format_probe_summary(scheduler: dict) -> str:
     """Human/CI-readable recap of the scheduler probe (markdown-friendly)."""
     lines = [f"scheduler probe (trace length {scheduler['trace_length']}):"]
@@ -233,20 +393,63 @@ def main(argv=None) -> int:
                         help="pytest -k expression to run a subset of the harness")
     parser.add_argument("--probe-only", action="store_true",
                         help="skip the pytest harness and the Figure 11 grid "
-                             "comparison; run only the fast scheduler probe "
-                             "and print its summary (CI smoke signal). "
-                             "Appends to $GITHUB_STEP_SUMMARY when set.")
+                             "comparison; run the fast scheduler + generation "
+                             "probes, gate against the newest committed "
+                             "BENCH_*.json, and print the summary (CI "
+                             "signal). Appends to $GITHUB_STEP_SUMMARY when "
+                             "set.")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get("BENCH_PROBE_TOLERANCE",
+                                                     "1.4")),
+                        help="probe-only regression gate: fail when a probe "
+                             "throughput is more than this factor slower "
+                             "than the committed baseline (default 1.4, "
+                             "or $BENCH_PROBE_TOLERANCE)")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="probe-only: skip the baseline regression gate")
     args = parser.parse_args(argv)
 
     if args.probe_only:
         scheduler = collect_scheduler_counters(include_grid=False)
-        summary = format_probe_summary(scheduler)
+        generation = collect_generation_throughput(trace_length=20_000)
+        current = {"scheduler": scheduler, "generation": generation}
+        summary = (format_probe_summary(scheduler) + "\n"
+                   + format_generation_summary(generation))
+
+        gate_lines = []
+        returncode = 0
+        if not args.no_compare:
+            baseline_path = find_latest_snapshot(REPO_ROOT)
+            if baseline_path is None:
+                gate_lines.append("bench gate: no committed BENCH_*.json "
+                                  "baseline; gate skipped")
+            else:
+                with open(baseline_path) as handle:
+                    baseline = json.load(handle)
+                regressions = compare_against_baseline(current, baseline,
+                                                       args.tolerance)
+                if regressions:
+                    returncode = 1
+                    gate_lines.append(
+                        f"bench gate: REGRESSION vs {baseline_path.name} "
+                        f"(tolerance {args.tolerance:g}x):")
+                    gate_lines.extend("  " + line for line in regressions)
+                else:
+                    gate_lines.append(
+                        f"bench gate: ok vs {baseline_path.name} "
+                        f"(tolerance {args.tolerance:g}x)")
+        summary = summary + "\n" + "\n".join(gate_lines)
         print(summary)
+        if args.output:
+            probe_path = Path(args.output).resolve()
+            with open(probe_path, "w") as handle:
+                json.dump(current, handle, indent=2)
+            print(f"wrote probe JSON to {probe_path}")
         step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
         if step_summary:
             with open(step_summary, "a") as handle:
                 handle.write("### Bench probe\n\n```\n" + summary + "\n```\n")
-        return 0
+        return returncode
 
     if args.output is None:
         stamp = datetime.datetime.now(datetime.timezone.utc).strftime("%Y%m%dT%H%M%SZ")
@@ -267,11 +470,13 @@ def main(argv=None) -> int:
     if returncode != 0:
         return returncode
 
-    # Embed the scheduler telemetry probe into the snapshot.
+    # Embed the scheduler and generation probes into the snapshot.
     scheduler = collect_scheduler_counters()
+    generation = collect_generation_throughput()
     with open(output) as handle:
         payload = json.load(handle)
     payload["scheduler"] = scheduler
+    payload["generation"] = generation
     with open(output, "w") as handle:
         json.dump(payload, handle, indent=2)
 
@@ -282,6 +487,7 @@ def main(argv=None) -> int:
         print(f"  {bench['stats']['mean']:8.2f}s  {bench['name']}")
     print()
     print(format_probe_summary(scheduler))
+    print(format_generation_summary(generation))
     grid = scheduler["figure11_grid"]
     print(f"figure11 grid ({grid['points']} points, sizes {grid['sizes']}): "
           f"skip={grid['skip_fraction']:.2%} vs PR1 semantics "

@@ -14,7 +14,6 @@ import time
 
 from repro.experiments import (figure2, figure3, figure9, figure10, figure11,
                                section33, section44, table4)
-from repro.core.register_state import RegState
 
 
 def main() -> int:

@@ -152,6 +152,27 @@ class CacheStats:
         return "\n".join(lines)
 
 
+@dataclasses.dataclass
+class SizePruneReport:
+    """Result of a :meth:`SweepCache.prune_to_size` eviction pass."""
+
+    removed: int = 0
+    bytes_freed: int = 0
+    bytes_remaining: int = 0
+    #: workload name -> entries evicted (``<unreadable>`` for entries
+    #: that could not be attributed).
+    per_workload: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def format(self) -> str:
+        """Human-readable eviction summary (the CLI's output)."""
+        lines = [f"evicted {self.removed} entries "
+                 f"({self.bytes_freed / 1024:.1f} KiB freed, "
+                 f"{self.bytes_remaining / 1024:.1f} KiB remain)"]
+        for workload in sorted(self.per_workload):
+            lines.append(f"  {workload:<16} {self.per_workload[workload]:5d} evicted")
+        return "\n".join(lines)
+
+
 class SweepCache:
     """Directory-backed store of simulated sweep points."""
 
@@ -303,6 +324,50 @@ class SweepCache:
                 except OSError:  # pragma: no cover - concurrent cleanup
                     pass
         return removed
+
+    def prune_to_size(self, max_size_mb: float) -> "SizePruneReport":
+        """Evict oldest entries first until the cache fits ``max_size_mb``.
+
+        The auto-prune policy for long-lived developer caches: entries
+        are ranked by creation time (unreadable/outdated-schema entries
+        first — they can never be served again and carry no timestamp)
+        and deleted oldest-first until the remaining entries total at
+        most ``max_size_mb`` megabytes.  Returns a
+        :class:`SizePruneReport` with the per-workload eviction counts.
+        """
+        if max_size_mb < 0:
+            raise ValueError("max_size_mb must be non-negative")
+        budget = int(max_size_mb * 1024 * 1024)
+        entries = []
+        total = 0
+        for path, payload in self.iter_entries():
+            try:
+                size = path.stat().st_size
+            except OSError:  # pragma: no cover - concurrent cleanup
+                continue
+            if payload is None:
+                created, workload = float("-inf"), "<unreadable>"
+            else:
+                created = payload.get("created", 0.0)
+                workload = payload["point"][0]
+            entries.append((created, path, size, workload))
+            total += size
+        entries.sort(key=lambda entry: entry[0])
+        report = SizePruneReport(bytes_remaining=total)
+        for created, path, size, workload in entries:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                continue
+            total -= size
+            report.removed += 1
+            report.bytes_freed += size
+            report.bytes_remaining = total
+            report.per_workload[workload] = \
+                report.per_workload.get(workload, 0) + 1
+        return report
 
     # ------------------------------------------------------------------
     def __contains__(self, item) -> bool:

@@ -8,7 +8,7 @@ register-file size needed to reach a given IPC (Table 4).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 

@@ -11,7 +11,7 @@ programs.  The helpers here turn simulation statistics into those rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 from repro.core.register_state import OccupancyAverages
 from repro.pipeline.stats import SimStats

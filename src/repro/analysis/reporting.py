@@ -8,7 +8,7 @@ no plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def format_percent(value: float, digits: int = 1) -> str:

@@ -91,21 +91,36 @@ class ExtendedEarlyRelease(ReleasePolicy):
                 return DestRenameOutcome(released_immediately=True,
                                          release_previous_at_commit=False)
             # Step 2, first case: conditional release in decoded (RwNS) form.
-            self.release_queue.schedule_committed_lu(old_pd, logical)
+            self.release_queue.schedule_committed_lu(old_pd, logical, entry.seq)
             self.conditional_schedulings += 1
             return DestRenameOutcome(scheduled_early=True,
                                      release_previous_at_commit=False)
 
-        lu_entry = self.view.ros_entry(lu.seq)
+        if lu.seq == entry.seq:
+            # The renaming instruction reads its own destination register
+            # (e.g. the ``p = p->next`` load of a pointer chase), so *it*
+            # is the last use of the previous version.  Its ROS entry is
+            # not published to the seq index until rename finishes, so the
+            # generic lookup below would miss it — and the historical
+            # "treat an unknown LU as committed" fallback then scheduled
+            # an RwNS release of a register whose definer could still be
+            # in flight, double-releasing it when an exception flush later
+            # returned the squashed definer's allocation (the last
+            # remaining seed-era ``FreeListError`` family).
+            lu_entry = entry
+        else:
+            lu_entry = self.view.ros_entry(lu.seq)
         if lu_entry is None:
-            # Defensive: treat an unknown in-flight LU as committed.
+            # Defensive: treat an unknown in-flight LU as committed.  The
+            # scheduling carries the NV's seq, so a squash of the NV
+            # cancels it before it can fire.
             if pending == 0:
                 self._release_physical(old_pd, logical,
                                        self.view.current_cycle(), early=True)
                 self.immediate_releases += 1
                 return DestRenameOutcome(released_immediately=True,
                                          release_previous_at_commit=False)
-            self.release_queue.schedule_committed_lu(old_pd, logical)
+            self.release_queue.schedule_committed_lu(old_pd, logical, entry.seq)
             self.conditional_schedulings += 1
             return DestRenameOutcome(scheduled_early=True,
                                      release_previous_at_commit=False)
@@ -124,7 +139,7 @@ class ExtendedEarlyRelease(ReleasePolicy):
                                      release_previous_at_commit=False)
 
         # Step 2, second case: conditional release tied to the in-flight LU.
-        self.release_queue.schedule_inflight_lu(lu.seq, bit)
+        self.release_queue.schedule_inflight_lu(lu.seq, bit, entry.seq)
         self.conditional_schedulings += 1
         return DestRenameOutcome(scheduled_early=True,
                                  release_previous_at_commit=False)
@@ -149,8 +164,14 @@ class ExtendedEarlyRelease(ReleasePolicy):
         self.release_queue.on_branch_confirmed(branch_seq, release, promote_rwc0)
 
     def on_branch_mispredicted(self, branch_seq: int) -> None:
-        """Step 3: clear the level of the mispredicted branch and all younger ones."""
+        """Step 3: clear the level of the mispredicted branch and all younger ones.
+
+        Confirmation merges can move a squashed NV's scheduling into a
+        level *older* than the mispredicted branch, so the level clear is
+        followed by an NV-tag sweep over the surviving levels.
+        """
         self.release_queue.on_branch_mispredicted(branch_seq)
+        self.release_queue.cancel_younger_than(branch_seq)
 
     # ------------------------------------------------------------------
     # Commit / flush hooks

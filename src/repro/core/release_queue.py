@@ -6,13 +6,23 @@ while that branch was the youngest pending branch:
 
 * ``rwns`` ("Release when Non-Speculative") — releases whose last-use
   instruction has already committed; the paper stores these as a bit
-  vector over physical registers, here a set of ``(physical, logical)``
-  pairs (the logical register is carried only for the stale-architectural-
-  mapping bookkeeping, not because the hardware needs it).
+  vector over physical registers, here a mapping from ``(physical,
+  logical)`` pairs to the scheduling NV's sequence number (the logical
+  register is carried only for the stale-architectural-mapping
+  bookkeeping, not because the hardware needs it).
 * ``rwc`` ("Release when Commit") — releases whose last-use instruction is
-  still in flight, keyed by the LU's ROS identifier with a 3-bit slot
-  mask, to be merged with the LU entry's plain early-release bits
-  (``RwC0``) once the speculation in front of the NV is resolved.
+  still in flight, keyed by the LU's ROS identifier with a per-slot-bit
+  map to the scheduling NV, to be merged with the LU entry's plain
+  early-release bits (``RwC0``) once the speculation in front of the NV
+  is resolved.
+
+Every scheduling is tagged with the sequence number of the next-version
+instruction that made it.  Level clears cover the common squash case (the
+NV's scheduling lives at the level of a branch older than the NV, and a
+misprediction clears that level together with all younger ones), but a
+scheduling can outlive its level through confirmation *merges*; tagging
+lets :meth:`ReleaseQueue.cancel_younger_than` drop any scheduling whose
+NV falls inside a squashed window, wherever the scheduling ended up.
 
 Level movements follow the paper's steps: a branch confirmation merges its
 level into the next older one (or, for the oldest level, releases the
@@ -24,7 +34,7 @@ instruction moves its ``rwc`` bits into the same level's ``rwns``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -32,13 +42,15 @@ class ReleaseQueueLevel:
     """Conditional releases guarded by one pending branch."""
 
     branch_seq: int
-    rwns: Set[Tuple[int, Optional[int]]] = field(default_factory=set)
-    rwc: Dict[int, int] = field(default_factory=dict)
+    #: (physical, logical) -> sequence number of the scheduling NV.
+    rwns: Dict[Tuple[int, Optional[int]], int] = field(default_factory=dict)
+    #: LU seq -> {slot bit -> sequence number of the scheduling NV}.
+    rwc: Dict[int, Dict[int, int]] = field(default_factory=dict)
 
     @property
     def n_scheduled(self) -> int:
         """Number of conditional releases held at this level."""
-        return len(self.rwns) + sum(bin(mask).count("1") for mask in self.rwc.values())
+        return len(self.rwns) + sum(len(bits) for bits in self.rwc.values())
 
 
 class ReleaseQueue:
@@ -84,18 +96,22 @@ class ReleaseQueue:
     # ------------------------------------------------------------------
     # Step 2: speculative NV decode marks the TAIL level.
     # ------------------------------------------------------------------
-    def schedule_committed_lu(self, physical: int, logical: Optional[int]) -> None:
-        """Conditional release of ``physical`` whose LU has already committed (RwNS)."""
+    def schedule_committed_lu(self, physical: int, logical: Optional[int],
+                              nv_seq: int) -> None:
+        """Conditional release of ``physical`` whose LU has already committed (RwNS).
+
+        ``nv_seq`` is the sequence number of the scheduling next-version
+        instruction, kept so a squash of the NV cancels the scheduling.
+        """
         if not self._levels:
             raise RuntimeError("no pending branch: the release is not conditional")
-        self._levels[-1].rwns.add((physical, logical))
+        self._levels[-1].rwns[(physical, logical)] = nv_seq
 
-    def schedule_inflight_lu(self, lu_seq: int, slot_bit: int) -> None:
+    def schedule_inflight_lu(self, lu_seq: int, slot_bit: int, nv_seq: int) -> None:
         """Conditional release tied to the in-flight LU ``lu_seq`` (RwC)."""
         if not self._levels:
             raise RuntimeError("no pending branch: the release is not conditional")
-        level = self._levels[-1]
-        level.rwc[lu_seq] = level.rwc.get(lu_seq, 0) | slot_bit
+        self._levels[-1].rwc.setdefault(lu_seq, {})[slot_bit] = nv_seq
 
     # ------------------------------------------------------------------
     # Step 5: commit of an LU instruction moves its RwC bits to RwNS.
@@ -109,13 +125,10 @@ class ReleaseQueue:
         identifiers located at the ROS head" of the paper).
         """
         for level in self._levels:
-            mask = level.rwc.pop(lu_seq, 0)
-            bit = 1
-            while mask:
-                if mask & bit:
-                    level.rwns.add(slot_resolver(bit))
-                    mask &= ~bit
-                bit <<= 1
+            bits = level.rwc.pop(lu_seq, None)
+            if bits:
+                for slot_bit, nv_seq in bits.items():
+                    level.rwns[slot_resolver(slot_bit)] = nv_seq
 
     # ------------------------------------------------------------------
     # Steps 3/4/6: branch resolution.
@@ -139,24 +152,56 @@ class ReleaseQueue:
             for physical, logical in level.rwns:
                 release(physical, logical)
                 self.confirm_releases += 1
-            for lu_seq, mask in level.rwc.items():
+            for lu_seq, bits in level.rwc.items():
+                mask = 0
+                for slot_bit in bits:
+                    mask |= slot_bit
                 promote_rwc0(lu_seq, mask)
         else:
             older = self._levels[index - 1]
-            older.rwns |= level.rwns
-            for lu_seq, mask in level.rwc.items():
-                older.rwc[lu_seq] = older.rwc.get(lu_seq, 0) | mask
+            older.rwns.update(level.rwns)
+            for lu_seq, bits in level.rwc.items():
+                older.rwc.setdefault(lu_seq, {}).update(bits)
 
     def on_branch_mispredicted(self, branch_seq: int) -> int:
         """Branch ``branch_seq`` mispredicted: clear its level and all younger ones.
 
-        Returns the number of conditional releases squashed.
+        Returns the number of conditional releases squashed.  Callers must
+        follow up with :meth:`cancel_younger_than` so schedulings by NVs
+        inside the squashed window that were *merged* into surviving
+        levels are cancelled too.
         """
         index = self._find(branch_seq)
         if index is None:
             return 0
         dropped = sum(level.n_scheduled for level in self._levels[index:])
         del self._levels[index:]
+        self.squashed_schedulings += dropped
+        return dropped
+
+    def cancel_younger_than(self, squash_seq: int) -> int:
+        """Drop every scheduling made by an NV younger than ``squash_seq``.
+
+        A squashed next-version instruction never redefines its logical
+        register, so the previous version it conditionally released stays
+        live — its scheduling must not survive, no matter which level
+        confirmation merges moved it to.  Returns the number cancelled.
+        """
+        dropped = 0
+        for level in self._levels:
+            stale = [key for key, nv_seq in level.rwns.items() if nv_seq > squash_seq]
+            for key in stale:
+                del level.rwns[key]
+            dropped += len(stale)
+            for lu_seq in list(level.rwc):
+                bits = level.rwc[lu_seq]
+                stale_bits = [bit for bit, nv_seq in bits.items()
+                              if nv_seq > squash_seq]
+                for bit in stale_bits:
+                    del bits[bit]
+                dropped += len(stale_bits)
+                if not bits:
+                    del level.rwc[lu_seq]
         self.squashed_schedulings += dropped
         return dropped
 

@@ -225,10 +225,9 @@ class MachineState:
 
     def _build_warmup_trace(self) -> Trace:
         """Return the instruction sequence used for warm-up (see :meth:`_warm_state`)."""
-        from repro.trace.workloads import WORKLOADS, get_workload
+        from repro.trace.workloads import get_workload, has_workload
 
-        profile = WORKLOADS.get(self.trace.name)
-        if profile is None:
+        if not has_workload(self.trace.name):
             return self.trace
         length = min(len(self.trace), 20_000)
         # get_workload caches, so repeated simulations of the same benchmark

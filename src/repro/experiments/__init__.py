@@ -13,6 +13,8 @@ Module             Regenerates
 ``figure11``       Figure 11 — harmonic-mean IPC vs register file size
 ``table4``         Table 4 — register file sizes giving equal IPC
 ``section44``      Section 4.4 — energy neutrality and storage cost
+``scenarios``      Scenario grid — the workload scenario library under the
+                   three policies (not a paper artefact)
 =================  ===========================================================
 
 Every module exposes ``run(...)`` returning a result object with a
@@ -27,6 +29,7 @@ from repro.experiments import (  # noqa: F401  (re-exported for convenience)
     figure9,
     figure10,
     figure11,
+    scenarios,
     section33,
     section44,
     table1,
@@ -41,6 +44,7 @@ __all__ = [
     "figure9",
     "figure10",
     "figure11",
+    "scenarios",
     "section33",
     "section44",
     "table4",

@@ -9,7 +9,7 @@ over conventional, *extended* about +8 % (FP) and +5 % (integer).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.analysis.metrics import percentage_speedup
 from repro.analysis.reporting import format_table

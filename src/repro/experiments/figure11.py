@@ -16,7 +16,7 @@ headline observations, all of which the reproduction should show:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import percentage_speedup
 from repro.analysis.reporting import format_series

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.analysis.reporting import format_series
-from repro.power.rixner_model import LUS_TABLE_GEOMETRY, RixnerModel
+from repro.power.rixner_model import RixnerModel
 
 #: Anchor values printed in the paper.
 PAPER_LUS_ACCESS_TIME_NS = 0.98

@@ -28,14 +28,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments import (figure2, figure3, figure9, figure10, figure11,
-                               section33, section44, table1, table4)
+                               scenarios, section33, section44, table1, table4)
 
 #: Experiments that run cycle-level simulations (and therefore accept
 #: ``trace_length`` / ``parallel``).
-_SIMULATION_EXPERIMENTS = {"figure3", "figure10", "figure11", "table4", "section33"}
+_SIMULATION_EXPERIMENTS = {"figure3", "figure10", "figure11", "table4",
+                           "section33", "scenarios"}
 
 #: Registry: experiment name → module with a ``run()`` function.
 EXPERIMENTS: Dict[str, object] = {
@@ -48,6 +49,7 @@ EXPERIMENTS: Dict[str, object] = {
     "table4": table4,
     "section33": section33,
     "section44": section44,
+    "scenarios": scenarios,
 }
 
 #: Reduced parameters used by ``--quick`` runs.
@@ -77,6 +79,8 @@ def run_experiment(name: str, trace_length: Optional[int] = None,
         kwargs["trace_length"] = QUICK_TRACE_LENGTH
     if quick and name in ("figure11", "table4"):
         kwargs["sizes"] = QUICK_SIZES
+    if quick and name == "scenarios":
+        kwargs["sizes"] = (48,)
     return module.run(**kwargs)
 
 
@@ -98,18 +102,31 @@ def cache_main(argv: List[str]) -> int:
     parser.add_argument("--stale-code", action="store_true",
                         help="with --prune: drop entries produced by a "
                              "different version of the simulator source")
+    parser.add_argument("--max-size-mb", type=float, default=None,
+                        help="with --prune: evict oldest entries first "
+                             "until the cache fits this many megabytes "
+                             "(prints a per-workload eviction summary)")
     args = parser.parse_args(argv)
 
     cache = SweepCache(args.cache_dir)
     if args.prune:
-        if args.max_age_days is None and not args.stale_code:
-            parser.error("--prune needs --max-age-days and/or --stale-code")
-        removed = cache.prune(max_age_days=args.max_age_days,
-                              stale_code=args.stale_code)
-        print(f"pruned {removed} entries from {cache.cache_dir}")
-    else:
+        if (args.max_age_days is None and not args.stale_code
+                and args.max_size_mb is None):
+            parser.error("--prune needs --max-age-days, --stale-code "
+                         "and/or --max-size-mb")
         if args.max_age_days is not None or args.stale_code:
-            parser.error("--max-age-days/--stale-code require --prune")
+            removed = cache.prune(max_age_days=args.max_age_days,
+                                  stale_code=args.stale_code)
+            print(f"pruned {removed} entries from {cache.cache_dir}")
+        if args.max_size_mb is not None:
+            report = cache.prune_to_size(args.max_size_mb)
+            print(f"size cap {args.max_size_mb:g} MB on {cache.cache_dir}:")
+            print(report.format())
+    else:
+        if (args.max_age_days is not None or args.stale_code
+                or args.max_size_mb is not None):
+            parser.error("--max-age-days/--stale-code/--max-size-mb "
+                         "require --prune")
         print(f"cache: {cache.cache_dir}")
         print(cache.stats().format())
     return 0

@@ -1,0 +1,99 @@
+"""Scenario grid — the workload scenario library under all three policies.
+
+Not a paper artefact: the scenario families (``repro.trace.workloads
+.SCENARIOS``) push the synthetic workload generator into dynamic regimes
+the SPEC95-like profiles do not reach — phased compute/memory behaviour,
+deep pointer chasing, near-coin-flip branch entropy, store-bandwidth
+pressure and a register-pressure ramp — and this experiment sweeps them
+across the release policies and two register-file sizes, reporting IPC
+and the early-release activity of each point.  See ``docs/workloads.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.metrics import percentage_speedup
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import SweepConfig, SweepResult, run_sweep
+from repro.pipeline.config import ProcessorConfig
+from repro.trace.workloads import SCENARIOS, scenario_workloads
+
+POLICIES = ("conv", "basic", "extended")
+
+#: Tight and roomy register files (the scenario grid's two columns).
+DEFAULT_SIZES = (48, 96)
+
+
+@dataclass
+class ScenarioGridResult:
+    """IPC and release activity for every scenario grid point."""
+
+    sweep: SweepResult
+    scenarios: List[str] = field(default_factory=list)
+    sizes: Tuple[int, ...] = DEFAULT_SIZES
+
+    # ------------------------------------------------------------------
+    def ipc(self, scenario: str, policy: str, size: int) -> float:
+        """IPC of one scenario under one policy at one file size."""
+        return self.sweep.ipc(scenario, policy, size)
+
+    def speedup_percent(self, scenario: str, policy: str, size: int) -> float:
+        """IPC gain of ``policy`` over conventional release."""
+        return percentage_speedup(self.ipc(scenario, policy, size),
+                                  self.ipc(scenario, "conv", size))
+
+    def early_release_fraction(self, scenario: str, policy: str,
+                               size: int) -> float:
+        """Early releases as a fraction of all releases (focus file)."""
+        stats = self.sweep.stats(scenario, policy, size)
+        focus = (stats.int_registers
+                 if SCENARIOS[scenario].suite == "int" else stats.fp_registers)
+        total = focus.releases
+        return focus.early_releases / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Render one IPC panel per register-file size."""
+        sections: List[str] = []
+        for size in self.sizes:
+            rows = []
+            for scenario in self.scenarios:
+                row: List[object] = [scenario]
+                for policy in POLICIES:
+                    row.append(self.ipc(scenario, policy, size))
+                row.append(f"{self.speedup_percent(scenario, 'extended', size):+.1f}%")
+                row.append(f"{self.early_release_fraction(scenario, 'extended', size):.0%}")
+                rows.append(row)
+            sections.append(format_table(
+                ["scenario", "conv", "basic", "extended", "ext gain",
+                 "ext early"],
+                rows,
+                title=(f"Scenario grid: IPC with {size}int+{size}FP "
+                       f"registers")))
+            sections.append("")
+        return "\n".join(sections)
+
+
+def run(trace_length: int = 20_000, parallel: bool = True,
+        sizes: Tuple[int, ...] = DEFAULT_SIZES,
+        scenarios: Optional[List[str]] = None,
+        base_config: Optional[ProcessorConfig] = None,
+        cache=None) -> ScenarioGridResult:
+    """Sweep the scenario library (scenarios × policies × sizes).
+
+    Cached, sharded and parallelised exactly like the paper artefacts:
+    scenario names resolve through the same ``get_workload`` registry.
+    """
+    names = [name for name in scenario_workloads()
+             if scenarios is None or name in scenarios]
+    sweep = run_sweep(SweepConfig(
+        benchmarks=tuple(names),
+        policies=POLICIES,
+        register_sizes=tuple(sizes),
+        trace_length=trace_length,
+        base_config=base_config or ProcessorConfig()),
+        parallel=parallel, cache=cache)
+    return ScenarioGridResult(sweep=sweep, scenarios=names,
+                              sizes=tuple(sizes))

@@ -14,7 +14,7 @@ This experiment reruns that comparison at the same three sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import percentage_speedup
 from repro.analysis.reporting import format_table

@@ -15,7 +15,7 @@ Responsibilities (per Table 2 of the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from repro.isa import Instruction

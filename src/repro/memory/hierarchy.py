@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.memory.cache import AccessResult, Cache, CacheConfig
+from repro.memory.cache import Cache, CacheConfig
 
 
 @dataclass(frozen=True)

@@ -43,12 +43,19 @@ from repro.trace.kernels import (
 )
 from repro.trace.workloads import (
     BenchmarkProfile,
+    SCENARIOS,
+    ScenarioPhase,
+    ScenarioProfile,
     WORKLOADS,
     get_workload,
     get_profile,
+    get_scenario,
     generate_trace,
+    generate_scenario_trace,
+    has_workload,
     integer_workloads,
     fp_workloads,
+    scenario_workloads,
 )
 from repro.trace.wrongpath import WrongPathGenerator
 
@@ -67,11 +74,18 @@ __all__ = [
     "branchy_kernel",
     "pointer_chase_kernel",
     "BenchmarkProfile",
+    "SCENARIOS",
+    "ScenarioPhase",
+    "ScenarioProfile",
     "WORKLOADS",
     "get_workload",
     "get_profile",
+    "get_scenario",
     "generate_trace",
+    "generate_scenario_trace",
+    "has_workload",
     "integer_workloads",
     "fp_workloads",
+    "scenario_workloads",
     "WrongPathGenerator",
 ]

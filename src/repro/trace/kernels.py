@@ -22,11 +22,12 @@ All kernels share the same conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.isa import Instruction, OpClass, RegClass
+from repro.trace.draws import DOUBLE, RawCursor, replay_template
 from repro.trace.synthetic import (
     BranchSite,
     PointerChaseStream,
@@ -37,6 +38,21 @@ from repro.trace.synthetic import (
 
 INT = RegClass.INT
 FP = RegClass.FP
+
+#: One chunk's worth of instructions and its iteration boundaries
+#: (cumulative instruction counts, one per emitted iteration).
+Chunk = Tuple[List[Instruction], List[int]]
+
+
+def _random_stream_span(stream: RandomStream) -> int:
+    """The ``rng.integers`` span drawn per :meth:`RandomStream.next_address`."""
+    return max(stream.footprint // stream.align, 1)
+
+
+def _random_stream_addresses(stream: RandomStream, column) -> List[int]:
+    """Map a replayed bounded-integer column to effective addresses."""
+    return (stream.base
+            + column.astype(np.int64) * stream.align).tolist()
 
 
 @dataclass
@@ -87,6 +103,9 @@ class KernelParams:
     chase_nodes: int = 2048
     #: fraction of iterations that perform a store.
     store_fraction: float = 1.0
+    #: additional unconditional stores per iteration (integer compute
+    #: kernel only; the store-heavy scenario family's knob).
+    extra_stores: int = 0
     #: number of independent work chains per iteration (integer kernels);
     #: controls the instruction-level parallelism of the synthetic code.
     n_parallel_chains: int = 3
@@ -108,6 +127,12 @@ class _KernelBase:
         #: recent branch outcomes of the whole kernel (LSB = most recent);
         #: consumed by history-correlated branch sites.
         self.ghist = 0
+        #: memoised :class:`Instruction` records, keyed by the fields that
+        #: vary (pc plus registers/outcome).  A kernel's static code is
+        #: small and its register rotations cycle, so non-memory
+        #: instructions recur exactly and the chunked emitters reuse the
+        #: immutable records instead of re-constructing them.
+        self._memo: dict = {}
 
     def _branch_outcome(self, site: BranchSite, rng: np.random.Generator) -> bool:
         """Draw the site's next outcome and append it to the global history."""
@@ -119,6 +144,36 @@ class _KernelBase:
     def emit_iteration(self, rng: np.random.Generator) -> List[Instruction]:
         """Return the dynamic instructions of one loop iteration."""
         raise NotImplementedError
+
+    def max_iteration_length(self) -> int:
+        """A (generous) upper bound on one iteration's instruction count.
+
+        The chunked generation loop sizes its chunks by this bound so a
+        chunk can never overshoot the iteration boundary the scalar loop
+        would stop at — a requirement for chaining phase segments over
+        one shared ``Generator``.  Kernels overriding :meth:`emit_chunk`
+        must override this too.
+        """
+        raise NotImplementedError
+
+    def emit_chunk(self, rng: np.random.Generator, k: int) -> Chunk:
+        """Emit ``k`` iterations at once.
+
+        The base implementation is the scalar oracle — a plain loop over
+        :meth:`emit_iteration`.  Kernels override it with a vectorised
+        emitter that pre-draws its RNG columns through
+        :mod:`repro.trace.draws` and produces a bit-identical stream; an
+        override raises :exc:`~repro.trace.draws.ReplayUnsupported`
+        *before consuming any state* when its draw schedule cannot be
+        replayed (exotic spans, unsupported bit generator), and callers
+        then fall back to this oracle.
+        """
+        out: List[Instruction] = []
+        bounds: List[int] = []
+        for _ in range(k):
+            out.extend(self.emit_iteration(rng))
+            bounds.append(len(out))
+        return out, bounds
 
     def prologue(self, rng: np.random.Generator) -> List[Instruction]:
         """Return set-up instructions executed once before the loop."""
@@ -218,6 +273,141 @@ class StreamingFPKernel(_KernelBase):
                                target=self.loop_branch.target))
         self.iteration += 1
         return out
+
+    def max_iteration_length(self) -> int:
+        p = self.params
+        return 3 + len(self.streams) * (4 + p.chain_len) + 1 + 8
+
+    def emit_chunk(self, rng: np.random.Generator, k: int) -> Chunk:
+        """Vectorised emitter: this kernel draws nothing from ``rng``
+        (strided streams, loop-only branches), so the chunk path is pure
+        bulk materialisation — memoised records, inlined rotations and
+        stream walks."""
+        p = self.params
+        out: List[Instruction] = []
+        bounds: List[int] = []
+        append = out.append
+        memo = self._memo
+        Inst = Instruction
+        int_rot, fp_rot = self.int_rot, self.fp_rot
+        iwin, fwin = int_rot.window, fp_rot.window
+        iwn, fwn = len(iwin), len(fwin)
+        icur, fcur = int_rot._cursor, fp_rot._cursor
+        ihist = list(int_rot._history)
+        fhist = list(fp_rot._history)
+        streams = self.streams
+        n_streams = len(streams)
+        offsets = [s.offset for s in streams]
+        out_stream = self.out_stream
+        out_offset = out_stream.offset
+        loop = self.loop_branch
+        trip, loop_pc, loop_target = loop.trip, loop.pc, loop.target
+        loop_count = loop._count
+        ghist = self.ghist
+        chain_len, div_interval, ncoef = p.chain_len, p.div_interval, self.N_COEF
+        pc0 = p.pc_base
+        iteration = self.iteration
+        ALU, LOADF, STOREF = OpClass.INT_ALU, OpClass.FP_LOAD, OpClass.FP_STORE
+        ADD, MULT, DIV, BR = (OpClass.FP_ADD, OpClass.FP_MULT, OpClass.FP_DIV,
+                              OpClass.BRANCH)
+        for _ in range(k):
+            pc = pc0
+            addr_reg = iwin[icur % iwn]; icur += 1; ihist.append(addr_reg)
+            src = ihist[-2] if len(ihist) >= 2 else ihist[-1]
+            key = (pc, addr_reg, src)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=pc, op=ALU, dest=(INT, addr_reg),
+                            srcs=((INT, src),))
+                memo[key] = inst
+            append(inst); pc += 4
+            last0 = -1
+            for s in range(n_streams):
+                stream = streams[s]
+                stream_addr = iwin[icur % iwn]; icur += 1; ihist.append(stream_addr)
+                key = (pc, stream_addr, addr_reg)
+                inst = memo.get(key)
+                if inst is None:
+                    inst = Inst(pc=pc, op=ALU, dest=(INT, stream_addr),
+                                srcs=((INT, addr_reg),))
+                    memo[key] = inst
+                append(inst); pc += 4
+                load_dest = fwin[fcur % fwn]; fcur += 1; fhist.append(load_dest)
+                mem_addr = stream.base + (offsets[s] % stream.footprint)
+                offsets[s] += stream.stride
+                append(Inst(pc=pc, op=LOADF, dest=(FP, load_dest),
+                            srcs=((INT, stream_addr),), mem_addr=mem_addr))
+                pc += 4
+                prev = load_dest
+                for c in range(chain_len):
+                    dest = fwin[fcur % fwn]; fcur += 1; fhist.append(dest)
+                    key = (pc, dest, prev)
+                    inst = memo.get(key)
+                    if inst is None:
+                        coef = (s + c) % ncoef
+                        op = MULT if (c % 2 == 1) else ADD
+                        inst = Inst(pc=pc, op=op, dest=(FP, dest),
+                                    srcs=((FP, prev), (FP, coef)))
+                        memo[key] = inst
+                    append(inst); pc += 4
+                    prev = dest
+                if s == 0:
+                    last0 = prev
+                index_reg = iwin[icur % iwn]; icur += 1; ihist.append(index_reg)
+                key = (pc, index_reg, stream_addr)
+                inst = memo.get(key)
+                if inst is None:
+                    inst = Inst(pc=pc, op=ALU, dest=(INT, index_reg),
+                                srcs=((INT, stream_addr),))
+                    memo[key] = inst
+                append(inst); pc += 4
+                mem_addr = out_stream.base + (out_offset % out_stream.footprint)
+                out_offset += out_stream.stride
+                append(Inst(pc=pc, op=STOREF,
+                            srcs=((FP, prev), (INT, index_reg)),
+                            mem_addr=mem_addr))
+                pc += 4
+            if div_interval and iteration % div_interval == 0 and n_streams:
+                dest = fwin[fcur % fwn]; fcur += 1; fhist.append(dest)
+                key = (pc, dest, last0)
+                inst = memo.get(key)
+                if inst is None:
+                    inst = Inst(pc=pc, op=DIV, dest=(FP, dest),
+                                srcs=((FP, last0), (FP, 0)))
+                    memo[key] = inst
+                append(inst)
+            pc += 4
+            idx_reg = iwin[icur % iwn]; icur += 1; ihist.append(idx_reg)
+            key = (pc, idx_reg, addr_reg)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=pc, op=ALU, dest=(INT, idx_reg),
+                            srcs=((INT, addr_reg),))
+                memo[key] = inst
+            append(inst)
+            loop_count += 1
+            taken = (loop_count % trip) != 0
+            ghist = ((ghist << 1) | taken) & 0xFFFF
+            key = (loop_pc, idx_reg, taken)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=loop_pc, op=BR, srcs=((INT, idx_reg),),
+                            taken=taken, target=loop_target)
+                memo[key] = inst
+            append(inst)
+            iteration += 1
+            bounds.append(len(out))
+        # Write the walked state back (rotations, streams, branch, ghist).
+        int_rot._cursor, fp_rot._cursor = icur, fcur
+        int_rot._history = ihist[-2 * iwn:]
+        fp_rot._history = fhist[-2 * fwn:]
+        for s, stream in enumerate(streams):
+            stream.offset = offsets[s]
+        out_stream.offset = out_offset
+        loop._count = loop_count
+        self.ghist = ghist
+        self.iteration = iteration
+        return out, bounds
 
 
 class StencilFPKernel(_KernelBase):
@@ -320,6 +510,151 @@ class StencilFPKernel(_KernelBase):
         self.iteration += 1
         return out
 
+    def max_iteration_length(self) -> int:
+        p = self.params
+        n = len(self.streams)
+        return 2 + 2 * n + max(0, n - 1) + p.chain_len + 1 + 1 + 1 + 1 + 8
+
+    def emit_chunk(self, rng: np.random.Generator, k: int) -> Chunk:
+        """Vectorised emitter (no RNG draws; see
+        :meth:`StreamingFPKernel.emit_chunk`)."""
+        p = self.params
+        out: List[Instruction] = []
+        bounds: List[int] = []
+        append = out.append
+        memo = self._memo
+        Inst = Instruction
+        int_rot, fp_rot = self.int_rot, self.fp_rot
+        iwin, fwin = int_rot.window, fp_rot.window
+        iwn, fwn = len(iwin), len(fwin)
+        icur, fcur = int_rot._cursor, fp_rot._cursor
+        ihist = list(int_rot._history)
+        fhist = list(fp_rot._history)
+        streams = self.streams
+        n_streams = len(streams)
+        offsets = [s.offset for s in streams]
+        out_stream = self.out_stream
+        out_offset = out_stream.offset
+        loop = self.loop_branch
+        trip, loop_pc, loop_target = loop.trip, loop.pc, loop.target
+        loop_count = loop._count
+        ghist = self.ghist
+        chain_len, div_interval, ncoef = p.chain_len, p.div_interval, self.N_COEF
+        pc0 = p.pc_base
+        iteration = self.iteration
+        ALU, LOADF, STOREF = OpClass.INT_ALU, OpClass.FP_LOAD, OpClass.FP_STORE
+        ADD, MULT, DIV, BR = (OpClass.FP_ADD, OpClass.FP_MULT, OpClass.FP_DIV,
+                              OpClass.BRANCH)
+        loaded: List[int] = []
+        for _ in range(k):
+            pc = pc0
+            addr_reg = iwin[icur % iwn]; icur += 1; ihist.append(addr_reg)
+            src = ihist[-2] if len(ihist) >= 2 else ihist[-1]
+            key = (pc, addr_reg, src)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=pc, op=ALU, dest=(INT, addr_reg),
+                            srcs=((INT, src),))
+                memo[key] = inst
+            append(inst); pc += 4
+            addr2_reg = iwin[icur % iwn]; icur += 1; ihist.append(addr2_reg)
+            key = (pc, addr2_reg, addr_reg)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=pc, op=ALU, dest=(INT, addr2_reg),
+                            srcs=((INT, addr_reg),))
+                memo[key] = inst
+            append(inst); pc += 4
+            loaded.clear()
+            for s in range(n_streams):
+                stream = streams[s]
+                stream_addr = iwin[icur % iwn]; icur += 1; ihist.append(stream_addr)
+                base_reg = addr_reg if s % 2 == 0 else addr2_reg
+                key = (pc, stream_addr, base_reg)
+                inst = memo.get(key)
+                if inst is None:
+                    inst = Inst(pc=pc, op=ALU, dest=(INT, stream_addr),
+                                srcs=((INT, base_reg),))
+                    memo[key] = inst
+                append(inst); pc += 4
+                dest = fwin[fcur % fwn]; fcur += 1; fhist.append(dest)
+                mem_addr = stream.base + (offsets[s] % stream.footprint)
+                offsets[s] += stream.stride
+                append(Inst(pc=pc, op=LOADF, dest=(FP, dest),
+                            srcs=((INT, stream_addr),), mem_addr=mem_addr))
+                pc += 4
+                loaded.append(dest)
+            prev = loaded[0]
+            for i in range(1, n_streams):
+                other = loaded[i]
+                dest = fwin[fcur % fwn]; fcur += 1; fhist.append(dest)
+                key = (pc, dest, prev, other)
+                inst = memo.get(key)
+                if inst is None:
+                    op = ADD if (i - 1) % 2 == 0 else MULT
+                    inst = Inst(pc=pc, op=op, dest=(FP, dest),
+                                srcs=((FP, prev), (FP, other)))
+                    memo[key] = inst
+                append(inst); pc += 4
+                prev = dest
+            for c in range(chain_len):
+                dest = fwin[fcur % fwn]; fcur += 1; fhist.append(dest)
+                key = (pc, dest, prev)
+                inst = memo.get(key)
+                if inst is None:
+                    op = MULT if c % 2 == 0 else ADD
+                    inst = Inst(pc=pc, op=op, dest=(FP, dest),
+                                srcs=((FP, prev), (FP, c % ncoef)))
+                    memo[key] = inst
+                append(inst); pc += 4
+                prev = dest
+            if div_interval and iteration % div_interval == 0:
+                dest = fwin[fcur % fwn]; fcur += 1; fhist.append(dest)
+                key = (pc, dest, prev)
+                inst = memo.get(key)
+                if inst is None:
+                    inst = Inst(pc=pc, op=DIV, dest=(FP, dest),
+                                srcs=((FP, prev), (FP, 1)))
+                    memo[key] = inst
+                append(inst)
+                prev = dest
+            pc += 4
+            mem_addr = out_stream.base + (out_offset % out_stream.footprint)
+            out_offset += out_stream.stride
+            append(Inst(pc=pc, op=STOREF, srcs=((FP, prev), (INT, addr_reg)),
+                        mem_addr=mem_addr))
+            pc += 4
+            idx_reg = iwin[icur % iwn]; icur += 1; ihist.append(idx_reg)
+            key = (pc, idx_reg, addr_reg)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=pc, op=ALU, dest=(INT, idx_reg),
+                            srcs=((INT, addr_reg),))
+                memo[key] = inst
+            append(inst)
+            loop_count += 1
+            taken = (loop_count % trip) != 0
+            ghist = ((ghist << 1) | taken) & 0xFFFF
+            key = (loop_pc, idx_reg, taken)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=loop_pc, op=BR, srcs=((INT, idx_reg),),
+                            taken=taken, target=loop_target)
+                memo[key] = inst
+            append(inst)
+            iteration += 1
+            bounds.append(len(out))
+        int_rot._cursor, fp_rot._cursor = icur, fcur
+        int_rot._history = ihist[-2 * iwn:]
+        fp_rot._history = fhist[-2 * fwn:]
+        for s, stream in enumerate(streams):
+            stream.offset = offsets[s]
+        out_stream.offset = out_offset
+        loop._count = loop_count
+        self.ghist = ghist
+        self.iteration = iteration
+        return out, bounds
+
 
 class IntComputeKernel(_KernelBase):
     """Integer compute loop with a data-dependent hammock (compress style).
@@ -402,12 +737,178 @@ class IntComputeKernel(_KernelBase):
                                    srcs=((INT, combine), (INT, addr_reg)),
                                    mem_addr=self.out.next_address(rng)))
         pc += 4
+        for extra in range(p.extra_stores):
+            out.append(Instruction(
+                pc=pc, op=OpClass.STORE,
+                srcs=((INT, chain_heads[extra % len(chain_heads)]),
+                      (INT, addr_reg)),
+                mem_addr=self.out.next_address(rng)))
+            pc += 4
         out.append(Instruction(pc=self.loop_branch.pc, op=OpClass.BRANCH,
                                srcs=((INT, addr_reg),),
                                taken=self._branch_outcome(self.loop_branch, rng),
                                target=self.loop_branch.target))
         self.iteration += 1
         return out
+
+    def max_iteration_length(self) -> int:
+        p = self.params
+        return (1 + p.n_parallel_chains * (1 + p.chain_len) + 1 + 1
+                + p.hammock_len + 1 + 1 + p.extra_stores + 1 + 8)
+
+    def emit_chunk(self, rng: np.random.Generator, k: int) -> Chunk:
+        """Vectorised emitter: pre-draws the load-address, branch-noise
+        and store-lottery columns for ``k`` iterations in one bulk call
+        (draw order per iteration: one address per work chain, the
+        hammock's noise flip, the store lottery)."""
+        p = self.params
+        span = _random_stream_span(self.data)
+        n_chains = p.n_parallel_chains
+        hammock = self.hammock_branch
+        noise = hammock.noise > 0.0
+        template = [span] * n_chains + ([DOUBLE] if noise else []) + [DOUBLE]
+        columns = replay_template(rng, template, k)
+        addr_columns = [_random_stream_addresses(self.data, columns[c])
+                        for c in range(n_chains)]
+        noise_column = columns[n_chains].tolist() if noise else None
+        store_column = columns[-1].tolist()
+
+        out: List[Instruction] = []
+        bounds: List[int] = []
+        append = out.append
+        memo = self._memo
+        Inst = Instruction
+        int_rot = self.int_rot
+        iwin = int_rot.window
+        iwn = len(iwin)
+        icur = int_rot._cursor
+        ihist = list(int_rot._history)
+        out_stream = self.out
+        out_offset = out_stream.offset
+        loop = self.loop_branch
+        trip, loop_pc, loop_target = loop.trip, loop.pc, loop.target
+        loop_count = loop._count
+        hammock_pc, hammock_target = hammock.pc, hammock.target
+        hammock_noise = hammock.noise
+        ghist = self.ghist
+        chain_len, hammock_len = p.chain_len, p.hammock_len
+        mult_interval, store_fraction = p.mult_interval, p.store_fraction
+        extra_stores = p.extra_stores
+        pc0 = p.pc_base
+        iteration = self.iteration
+        ALU, LOAD, STORE = OpClass.INT_ALU, OpClass.LOAD, OpClass.STORE
+        MULT, BR = OpClass.INT_MULT, OpClass.BRANCH
+        chain_heads: List[int] = []
+        for j in range(k):
+            pc = pc0
+            addr_reg = iwin[icur % iwn]; icur += 1; ihist.append(addr_reg)
+            src = ihist[-2] if len(ihist) >= 2 else ihist[-1]
+            key = (pc, addr_reg, src)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=pc, op=ALU, dest=(INT, addr_reg),
+                            srcs=((INT, src),))
+                memo[key] = inst
+            append(inst); pc += 4
+            chain_heads.clear()
+            for chain in range(n_chains):
+                load_dest = iwin[icur % iwn]; icur += 1; ihist.append(load_dest)
+                append(Inst(pc=pc, op=LOAD, dest=(INT, load_dest),
+                            srcs=((INT, addr_reg),),
+                            mem_addr=addr_columns[chain][j]))
+                pc += 4
+                prev = load_dest
+                for _ in range(chain_len):
+                    dest = iwin[icur % iwn]; icur += 1; ihist.append(dest)
+                    key = (pc, dest, prev)
+                    inst = memo.get(key)
+                    if inst is None:
+                        inst = Inst(pc=pc, op=ALU, dest=(INT, dest),
+                                    srcs=((INT, prev),))
+                        memo[key] = inst
+                    append(inst); pc += 4
+                    prev = dest
+                chain_heads.append(prev)
+            head0, head_last = chain_heads[0], chain_heads[-1]
+            combine = iwin[icur % iwn]; icur += 1; ihist.append(combine)
+            key = (pc, combine, head0, head_last)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=pc, op=ALU, dest=(INT, combine),
+                            srcs=((INT, head0), (INT, head_last)))
+                memo[key] = inst
+            append(inst); pc += 4
+            taken = hammock.correlated_outcome(ghist)
+            if noise and noise_column[j] < hammock_noise:
+                taken = not taken
+            ghist = ((ghist << 1) | taken) & 0xFFFF
+            key = (hammock_pc, head0, taken)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=hammock_pc, op=BR, srcs=((INT, head0),),
+                            taken=taken, target=hammock_target)
+                memo[key] = inst
+            append(inst)
+            pc = hammock_pc + 4
+            if not taken:
+                prev = combine
+                for _ in range(hammock_len):
+                    dest = iwin[icur % iwn]; icur += 1; ihist.append(dest)
+                    key = (pc, dest, prev)
+                    inst = memo.get(key)
+                    if inst is None:
+                        inst = Inst(pc=pc, op=ALU, dest=(INT, dest),
+                                    srcs=((INT, prev),))
+                        memo[key] = inst
+                    append(inst); pc += 4
+                    prev = dest
+            else:
+                pc = hammock_target
+            if mult_interval and iteration % mult_interval == 0:
+                dest = iwin[icur % iwn]; icur += 1; ihist.append(dest)
+                key = (pc, dest, head_last)
+                inst = memo.get(key)
+                if inst is None:
+                    inst = Inst(pc=pc, op=MULT, dest=(INT, dest),
+                                srcs=((INT, head_last),))
+                    memo[key] = inst
+                append(inst)
+            pc += 4
+            if store_column[j] < store_fraction:
+                mem_addr = out_stream.base + (out_offset % out_stream.footprint)
+                out_offset += out_stream.stride
+                append(Inst(pc=pc, op=STORE,
+                            srcs=((INT, combine), (INT, addr_reg)),
+                            mem_addr=mem_addr))
+            pc += 4
+            for extra in range(extra_stores):
+                mem_addr = out_stream.base + (out_offset % out_stream.footprint)
+                out_offset += out_stream.stride
+                append(Inst(pc=pc, op=STORE,
+                            srcs=((INT, chain_heads[extra % n_chains]),
+                                  (INT, addr_reg)),
+                            mem_addr=mem_addr))
+                pc += 4
+            loop_count += 1
+            taken = (loop_count % trip) != 0
+            ghist = ((ghist << 1) | taken) & 0xFFFF
+            key = (loop_pc, addr_reg, taken)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=loop_pc, op=BR, srcs=((INT, addr_reg),),
+                            taken=taken, target=loop_target)
+                memo[key] = inst
+            append(inst)
+            iteration += 1
+            bounds.append(len(out))
+        int_rot._cursor = icur
+        int_rot._history = ihist[-2 * iwn:]
+        out_stream.offset = out_offset
+        loop._count = loop_count
+        hammock._count += k
+        self.ghist = ghist
+        self.iteration = iteration
+        return out, bounds
 
 
 class BranchyKernel(_KernelBase):
@@ -501,6 +1002,166 @@ class BranchyKernel(_KernelBase):
                                target=self.loop_branch.target))
         self.iteration += 1
         return out
+
+    def max_iteration_length(self) -> int:
+        p = self.params
+        return (len(self.sites) * (p.block_len + 1 + p.hammock_len)
+                + 1 + 8)
+
+    def _chunk_schedule(self):
+        """The per-iteration draw template and per-site column indices.
+
+        Walking the static site list yields, in draw order: the block's
+        load address (sites ``s % 3 == 0``), the block's store address
+        (sites ``s % 4 == 3``, unless the single-block load consumed the
+        slot), then the site's noise flip (correlated sites only).
+        """
+        if not hasattr(self, "_schedule"):
+            p = self.params
+            span = _random_stream_span(self.data)
+            template: List[int] = []
+            plan = []
+            for s, site in enumerate(self.sites):
+                load_index = store_index = noise_index = None
+                if p.block_len > 0 and s % 3 == 0:
+                    load_index = len(template)
+                    template.append(span)
+                if (p.block_len > 0 and s % 4 == 3
+                        and not (p.block_len == 1 and s % 3 == 0)):
+                    store_index = len(template)
+                    template.append(span)
+                if site.kind == "correlated" and site.noise > 0.0:
+                    noise_index = len(template)
+                    template.append(DOUBLE)
+                plan.append((site, load_index, store_index, noise_index))
+            self._schedule = (template, plan)
+        return self._schedule
+
+    def emit_chunk(self, rng: np.random.Generator, k: int) -> Chunk:
+        """Vectorised emitter: one bulk draw covers every site's load and
+        store addresses and every correlated site's noise flip for ``k``
+        iterations."""
+        p = self.params
+        template, plan = self._chunk_schedule()
+        columns = replay_template(rng, template, k)
+        data = self.data
+        value_lists = [
+            (_random_stream_addresses(data, column) if template[i] != DOUBLE
+             else column.tolist())
+            for i, column in enumerate(columns)
+        ]
+
+        out: List[Instruction] = []
+        bounds: List[int] = []
+        append = out.append
+        memo = self._memo
+        Inst = Instruction
+        int_rot = self.int_rot
+        iwin = int_rot.window
+        iwn = len(iwin)
+        icur = int_rot._cursor
+        ihist = list(int_rot._history)
+        loop = self.loop_branch
+        trip, loop_pc, loop_target = loop.trip, loop.pc, loop.target
+        loop_count = loop._count
+        ghist = self.ghist
+        block_len, hammock_len = p.block_len, p.hammock_len
+        iteration = self.iteration
+        ALU, LOAD, STORE, BR = (OpClass.INT_ALU, OpClass.LOAD, OpClass.STORE,
+                                OpClass.BRANCH)
+        #: per-site dynamic-instance counters, advanced in bulk afterwards.
+        pattern_counts = {id(site): site._count for site, *_ in plan
+                          if site.kind == "pattern"}
+        for j in range(k):
+            for s, (site, load_index, store_index, noise_index) in enumerate(plan):
+                site_pc = site.pc
+                pc = site_pc - 4 * block_len
+                nh = len(ihist)
+                local = (ihist[-3] if nh >= 3 else
+                         (ihist[-nh] if nh else iwin[0]))
+                for i in range(block_len):
+                    if i == 0 and s % 3 == 0:
+                        dest = iwin[icur % iwn]; icur += 1; ihist.append(dest)
+                        append(Inst(pc=pc, op=LOAD, dest=(INT, dest),
+                                    srcs=((INT, local),),
+                                    mem_addr=value_lists[load_index][j]))
+                    elif i == block_len - 1 and s % 4 == 3:
+                        nh = len(ihist)
+                        store_src = (ihist[-4] if nh >= 4 else
+                                     (ihist[-nh] if nh else iwin[0]))
+                        append(Inst(pc=pc, op=STORE,
+                                    srcs=((INT, local), (INT, store_src)),
+                                    mem_addr=value_lists[store_index][j]))
+                        pc += 4
+                        continue
+                    else:
+                        dest = iwin[icur % iwn]; icur += 1; ihist.append(dest)
+                        nh = len(ihist)
+                        alu_src = ihist[-5] if nh >= 5 else ihist[-nh]
+                        key = (pc, dest, local, alu_src)
+                        inst = memo.get(key)
+                        if inst is None:
+                            inst = Inst(pc=pc, op=ALU, dest=(INT, dest),
+                                        srcs=((INT, local), (INT, alu_src)))
+                            memo[key] = inst
+                        append(inst)
+                    local = dest
+                    pc += 4
+                if site.kind == "pattern":
+                    pattern = site.pattern
+                    count = pattern_counts[id(site)]
+                    taken = bool(pattern[count % len(pattern)]) if pattern else False
+                    pattern_counts[id(site)] = count + 1
+                else:
+                    taken = site.correlated_outcome(ghist)
+                    if noise_index is not None and \
+                            value_lists[noise_index][j] < site.noise:
+                        taken = not taken
+                ghist = ((ghist << 1) | taken) & 0xFFFF
+                key = (site_pc, local, taken)
+                inst = memo.get(key)
+                if inst is None:
+                    inst = Inst(pc=site_pc, op=BR, srcs=((INT, local),),
+                                taken=taken, target=site.target)
+                    memo[key] = inst
+                append(inst)
+                if not taken:
+                    pc = site_pc + 4
+                    for _ in range(hammock_len):
+                        dest = iwin[icur % iwn]; icur += 1; ihist.append(dest)
+                        key = (pc, dest, local)
+                        inst = memo.get(key)
+                        if inst is None:
+                            inst = Inst(pc=pc, op=ALU, dest=(INT, dest),
+                                        srcs=((INT, local),))
+                            memo[key] = inst
+                        append(inst)
+                        local = dest
+                        pc += 4
+            loop_count += 1
+            taken = (loop_count % trip) != 0
+            ghist = ((ghist << 1) | taken) & 0xFFFF
+            last = ihist[-1] if ihist else iwin[0]
+            key = (loop_pc, last, taken)
+            inst = memo.get(key)
+            if inst is None:
+                inst = Inst(pc=loop_pc, op=BR, srcs=((INT, last),),
+                            taken=taken, target=loop_target)
+                memo[key] = inst
+            append(inst)
+            iteration += 1
+            bounds.append(len(out))
+        int_rot._cursor = icur
+        int_rot._history = ihist[-2 * iwn:]
+        loop._count = loop_count
+        for site, *_ in plan:
+            if site.kind == "pattern":
+                site._count = pattern_counts[id(site)]
+            else:
+                site._count += k
+        self.ghist = ghist
+        self.iteration = iteration
+        return out, bounds
 
 
 class PointerChaseKernel(_KernelBase):
@@ -602,6 +1263,178 @@ class PointerChaseKernel(_KernelBase):
                                target=self.loop_branch.target))
         self.iteration += 1
         return out
+
+    def max_iteration_length(self) -> int:
+        p = self.params
+        return (2 * p.load_chain_len * len(self.chases) + 1 + 2 + 1
+                + p.hammock_len + 1 + 1 + 8)
+
+    def emit_chunk(self, rng: np.random.Generator, k: int) -> Chunk:
+        """Vectorised emitter.
+
+        The store-address draw is conditional on the store lottery, so
+        the per-iteration raw consumption is data-dependent — this kernel
+        replays through a :class:`~repro.trace.draws.RawCursor` scan
+        (draw order per iteration: the conditional branch's noise flip,
+        the store lottery, then the store address when the lottery hits)
+        instead of a fixed column template.
+        """
+        from repro.trace.draws import bounded_threshold
+
+        p = self.params
+        span = _random_stream_span(self.data)
+        threshold = bounded_threshold(span)
+        cond = self.cond_branch
+        noise = cond.noise > 0.0
+        # Worst case per iteration: noise flip + store lottery (one raw
+        # each) + store address (at most one raw).
+        cursor = RawCursor(rng, 3 * k + 2)
+        try:
+            out: List[Instruction] = []
+            bounds: List[int] = []
+            append = out.append
+            memo = self._memo
+            Inst = Instruction
+            int_rot = self.int_rot
+            iwin = int_rot.window
+            iwn = len(iwin)
+            icur = int_rot._cursor
+            ihist = list(int_rot._history)
+            chases = self.chases
+            chase_addrs: List[List[int]] = []
+            for chase in chases:
+                chase._ensure_order()
+                order = chase._order
+                count = k * p.load_chain_len
+                idx = (chase._pos + np.arange(count)) % chase.n_nodes
+                chase_addrs.append(
+                    (chase.base + order[idx] * chase.node_size).tolist())
+                chase._pos += count
+            chase_cursors = [0] * len(chases)
+            ptr_regs = self._ptr_regs
+            pattern_branch = self.pattern_branch
+            pattern = pattern_branch.pattern
+            pattern_len = len(pattern)
+            pattern_count = pattern_branch._count
+            pattern_pc, pattern_target = pattern_branch.pc, pattern_branch.target
+            cond_pc, cond_target, cond_noise = cond.pc, cond.target, cond.noise
+            loop = self.loop_branch
+            trip, loop_pc, loop_target = loop.trip, loop.pc, loop.target
+            loop_count = loop._count
+            data = self.data
+            data_base, data_align = data.base, data.align
+            ghist = self.ghist
+            load_chain_len, hammock_len = p.load_chain_len, p.hammock_len
+            store_fraction = p.store_fraction
+            pc0 = p.pc_base
+            iteration = self.iteration
+            ALU, LOAD, STORE, BR = (OpClass.INT_ALU, OpClass.LOAD,
+                                    OpClass.STORE, OpClass.BRANCH)
+            next_double = cursor.next_double
+            next_bounded = cursor.next_bounded
+            for _ in range(k):
+                pc = pc0
+                first_work = last_work = -1
+                for step in range(load_chain_len):
+                    for chase_id in range(len(chases)):
+                        ptr_reg = ptr_regs[chase_id]
+                        addr = chase_addrs[chase_id][chase_cursors[chase_id]]
+                        chase_cursors[chase_id] += 1
+                        key = (pc, addr)
+                        inst = memo.get(key)
+                        if inst is None:
+                            inst = Inst(pc=pc, op=LOAD, dest=(INT, ptr_reg),
+                                        srcs=((INT, ptr_reg),), mem_addr=addr)
+                            memo[key] = inst
+                        append(inst); pc += 4
+                        work = iwin[icur % iwn]; icur += 1; ihist.append(work)
+                        key = (pc, work)
+                        inst = memo.get(key)
+                        if inst is None:
+                            inst = Inst(pc=pc, op=ALU, dest=(INT, work),
+                                        srcs=((INT, ptr_reg),))
+                            memo[key] = inst
+                        append(inst); pc += 4
+                        if first_work < 0:
+                            first_work = work
+                        last_work = work
+                pattern_count += 1
+                taken = (bool(pattern[(pattern_count - 1) % pattern_len])
+                         if pattern_len else False)
+                ghist = ((ghist << 1) | taken) & 0xFFFF
+                key = (pattern_pc, first_work, taken)
+                inst = memo.get(key)
+                if inst is None:
+                    inst = Inst(pc=pattern_pc, op=BR, srcs=((INT, first_work),),
+                                taken=taken, target=pattern_target)
+                    memo[key] = inst
+                append(inst)
+                pc = pattern_target if taken else pattern_pc + 4
+                if not taken:
+                    for _ in range(2):
+                        dest = iwin[icur % iwn]; icur += 1; ihist.append(dest)
+                        key = (pc, dest, last_work)
+                        inst = memo.get(key)
+                        if inst is None:
+                            inst = Inst(pc=pc, op=ALU, dest=(INT, dest),
+                                        srcs=((INT, last_work),))
+                            memo[key] = inst
+                        append(inst); pc += 4
+                taken = cond.correlated_outcome(ghist)
+                if noise and next_double() < cond_noise:
+                    taken = not taken
+                ghist = ((ghist << 1) | taken) & 0xFFFF
+                key = (cond_pc, last_work, taken)
+                inst = memo.get(key)
+                if inst is None:
+                    inst = Inst(pc=cond_pc, op=BR, srcs=((INT, last_work),),
+                                taken=taken, target=cond_target)
+                    memo[key] = inst
+                append(inst)
+                pc = cond_target if taken else cond_pc + 4
+                if not taken:
+                    for _ in range(hammock_len):
+                        dest = iwin[icur % iwn]; icur += 1; ihist.append(dest)
+                        src = ihist[-2] if len(ihist) >= 2 else ihist[-1]
+                        key = (pc, dest, src)
+                        inst = memo.get(key)
+                        if inst is None:
+                            inst = Inst(pc=pc, op=ALU, dest=(INT, dest),
+                                        srcs=((INT, src),))
+                            memo[key] = inst
+                        append(inst); pc += 4
+                if next_double() < store_fraction:
+                    addr = data_base + next_bounded(span, threshold) * data_align
+                    key = (pc, last_work, addr)
+                    inst = memo.get(key)
+                    if inst is None:
+                        inst = Inst(pc=pc, op=STORE,
+                                    srcs=((INT, last_work), (INT, ptr_regs[0])),
+                                    mem_addr=addr)
+                        memo[key] = inst
+                    append(inst)
+                loop_count += 1
+                taken = (loop_count % trip) != 0
+                ghist = ((ghist << 1) | taken) & 0xFFFF
+                key = (loop_pc, first_work, taken)
+                inst = memo.get(key)
+                if inst is None:
+                    inst = Inst(pc=loop_pc, op=BR, srcs=((INT, first_work),),
+                                taken=taken, target=loop_target)
+                    memo[key] = inst
+                append(inst)
+                iteration += 1
+                bounds.append(len(out))
+        finally:
+            cursor.finalize()
+        int_rot._cursor = icur
+        int_rot._history = ihist[-2 * iwn:]
+        pattern_branch._count = pattern_count
+        cond._count += k
+        loop._count = loop_count
+        self.ghist = ghist
+        self.iteration = iteration
+        return out, bounds
 
 
 # ----------------------------------------------------------------------

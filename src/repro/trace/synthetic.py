@@ -213,19 +213,30 @@ class BranchSite:
                 return False
             return bool(self.pattern[(self._count - 1) % len(self.pattern)])
         if self.kind == "correlated":
-            context = global_history & ((1 << self.context_bits) - 1)
-            outcome = self._context_table.get(context)
-            if outcome is None:
-                # The per-context outcome is a fixed property of the site,
-                # drawn once with a deterministic per-site generator so the
-                # warm-up and measured segments see the same function.
-                site_rng = np.random.default_rng((self.pc << 10) ^ context)
-                outcome = bool(site_rng.random() < self.bias)
-                self._context_table[context] = outcome
+            outcome = self.correlated_outcome(global_history)
             if self.noise > 0.0 and rng.random() < self.noise:
                 outcome = not outcome
             return outcome
         raise ValueError(f"unknown branch site kind: {self.kind!r}")
+
+    def correlated_outcome(self, global_history: int) -> bool:
+        """The history-determined outcome of a ``"correlated"`` site,
+        *before* the noise flip.
+
+        Shared by :meth:`next_outcome` and the vectorised chunk emitters
+        (which draw their noise flips from pre-drawn columns), so the
+        correlated model lives in exactly one place.
+        """
+        context = global_history & ((1 << self.context_bits) - 1)
+        outcome = self._context_table.get(context)
+        if outcome is None:
+            # The per-context outcome is a fixed property of the site,
+            # drawn once with a deterministic per-site generator so the
+            # warm-up and measured segments see the same function.
+            site_rng = np.random.default_rng((self.pc << 10) ^ context)
+            outcome = bool(site_rng.random() < self.bias)
+            self._context_table[context] = outcome
+        return outcome
 
     def reset(self) -> None:
         """Reset the dynamic instance counter (used between trace segments)."""

@@ -22,13 +22,15 @@ rationale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.isa import Instruction, RegClass
+from repro.trace.draws import (ReplayUnsupported, replay_supported,
+                               vectorized_enabled)
 from repro.trace.kernels import (
     BranchyKernel,
     IntComputeKernel,
@@ -229,14 +231,59 @@ def make_kernel(profile: BenchmarkProfile) -> _KernelBase:
     return factory(profile.params)
 
 
+def _emit_until(kernel, rng, out: List[Instruction], target: int,
+                vectorized: bool,
+                chunk_iterations: Optional[int] = None) -> None:
+    """Append iterations of ``kernel`` to ``out`` until the first
+    iteration boundary at or after ``target`` instructions.
+
+    The vectorised path sizes its chunks by the kernel's *maximum*
+    iteration length so it can never overshoot the boundary the scalar
+    loop would stop at, and finishes the tail with scalar iterations —
+    the emitted stream, the kernel state and the ``Generator`` state all
+    end up identical to the scalar path's, so callers may chain further
+    segments (the phased scenario families do).  ``chunk_iterations``
+    caps the chunk size (testing hook).
+    """
+    if vectorized and replay_supported():
+        try:
+            max_length = kernel.max_iteration_length()
+        except NotImplementedError:
+            max_length = None
+        while max_length is not None:
+            remaining = target - len(out)
+            k = min(4096, remaining // max_length)
+            if chunk_iterations is not None:
+                k = min(k, chunk_iterations)
+            if k < 1:
+                break
+            try:
+                chunk, _bounds = kernel.emit_chunk(rng, k)
+            except ReplayUnsupported:
+                # Unsupported schedule (exotic span / bit generator); the
+                # emitters raise before consuming any state, so the
+                # scalar oracle continues seamlessly.
+                break
+            out.extend(chunk)
+    while len(out) < target:
+        out.extend(kernel.emit_iteration(rng))
+
+
 def generate_trace(profile: BenchmarkProfile,
                    n_instructions: int = DEFAULT_TRACE_LENGTH,
-                   seed: int = 0) -> Trace:
+                   seed: int = 0,
+                   vectorized: Optional[bool] = None,
+                   chunk_iterations: Optional[int] = None) -> Trace:
     """Generate a dynamic trace of roughly ``n_instructions`` for ``profile``.
 
     Generation is iteration-granular: the trace ends at the first loop
     iteration boundary at or after ``n_instructions``, so traces are a few
     instructions longer than requested rather than cut mid-iteration.
+
+    ``vectorized`` selects between the chunked bulk-draw emitters (the
+    default) and the scalar oracle path; both produce bit-identical
+    traces (enforced by ``tests/trace/test_vector_equivalence.py``).
+    ``chunk_iterations`` pins the chunk size (testing hook).
     """
     if n_instructions <= 0:
         raise ValueError("n_instructions must be positive")
@@ -248,23 +295,207 @@ def generate_trace(profile: BenchmarkProfile,
     rng = np.random.default_rng(seed + name_digest % (1 << 16))
     kernel = make_kernel(profile)
     instructions: List[Instruction] = list(kernel.prologue(rng))
+    _emit_until(kernel, rng, instructions, n_instructions,
+                vectorized_enabled(vectorized), chunk_iterations)
+    return Trace(name=profile.name, focus_class=profile.focus_class,
+                 instructions=instructions, seed=seed)
+
+
+# ======================================================================
+# Workload scenario library (beyond the paper's SPEC-like mixes).
+# ======================================================================
+@dataclass(frozen=True)
+class ScenarioPhase:
+    """One phase of a scenario: a kernel family plus its parameters."""
+
+    kernel: str
+    params: KernelParams
+
+
+@dataclass(frozen=True)
+class ScenarioProfile:
+    """A workload scenario: one or more phases cycled over the trace.
+
+    Single-phase scenarios are plain kernels pushed into regimes the
+    SPEC-like profiles do not reach; multi-phase scenarios alternate
+    kernels every ``phase_length`` instructions, each phase's kernel
+    *resuming* where it left off (its streams, rotations and branch
+    sites persist across returns, like a real program's phases).
+    """
+
+    name: str
+    suite: str
+    phases: Tuple[ScenarioPhase, ...]
+    phase_length: int = 2_500
+    description: str = ""
+
+    @property
+    def focus_class(self) -> RegClass:
+        """Register class reported for this scenario (suite convention)."""
+        return RegClass.INT if self.suite == "int" else RegClass.FP
+
+
+def _phase(kernel: str, **param_overrides) -> ScenarioPhase:
+    return ScenarioPhase(kernel=kernel, params=KernelParams(**param_overrides))
+
+
+#: The scenario families, keyed by scenario name.  Each opens a dynamic
+#: regime the Table 3 profiles do not cover; all are sweep-able through
+#: the same ``get_workload`` / ``run_sweep`` stack as the SPEC-like
+#: benchmarks (see ``docs/workloads.md``).
+SCENARIOS: Dict[str, ScenarioProfile] = {
+    "phased": ScenarioProfile(
+        name="phased", suite="fp",
+        description="alternating compute/memory phases: an integer "
+                    "hash/shift phase and a cache-line-stride FP "
+                    "streaming phase, switching every phase_length "
+                    "instructions",
+        phase_length=2_500,
+        phases=(
+            _phase("int_compute",
+                   pc_base=0x100000, data_base=0x10_00000,
+                   chain_len=3, int_window=8, n_parallel_chains=3,
+                   branch_bias=0.85, branch_noise=0.05, hammock_len=3,
+                   trip_count=64, mem_footprint=1 << 13, store_fraction=0.5),
+            _phase("streaming",
+                   pc_base=0x110000, data_base=0x11_00000,
+                   n_streams=4, chain_len=2, fp_window=20, int_window=8,
+                   trip_count=256, mem_footprint=1 << 17, stream_stride=64),
+        )),
+    "pointer_hop": ScenarioProfile(
+        name="pointer_hop", suite="int",
+        description="deep dependent-load pointer chasing: six-hop "
+                    "chases over a large node pool with sparse stores "
+                    "(worst-case load-to-use serialisation)",
+        phases=(
+            _phase("pointer_chase",
+                   pc_base=0x120000, data_base=0x12_00000,
+                   load_chain_len=6, int_window=10, branch_bias=0.90,
+                   branch_noise=0.05, hammock_len=2, trip_count=48,
+                   chase_nodes=4096, mem_footprint=1 << 14,
+                   store_fraction=0.3),
+        )),
+    "branch_storm": ScenarioProfile(
+        name="branch_storm", suite="int",
+        description="high-branch-entropy control flow: 48 short blocks "
+                    "with near-coin-flip noisy branches and no "
+                    "learnable patterns (misprediction-recovery "
+                    "stress; wrong-path generator hot)",
+        phases=(
+            _phase("branchy",
+                   pc_base=0x130000, data_base=0x13_00000,
+                   n_branch_sites=48, block_len=3, hammock_len=2,
+                   int_window=10, branch_bias=0.62, pattern_fraction=0.0,
+                   branch_noise=0.30, trip_count=32,
+                   mem_footprint=1 << 13),
+        )),
+    "store_wave": ScenarioProfile(
+        name="store_wave", suite="int",
+        description="store-heavy streaming writes: short work chains "
+                    "with one lottery store plus three unconditional "
+                    "stores per iteration (LSQ/commit-bandwidth "
+                    "pressure)",
+        phases=(
+            _phase("int_compute",
+                   pc_base=0x140000, data_base=0x14_00000,
+                   chain_len=1, int_window=8, n_parallel_chains=2,
+                   branch_bias=0.90, branch_noise=0.04, hammock_len=1,
+                   trip_count=96, mem_footprint=1 << 14,
+                   store_fraction=1.0, extra_stores=3),
+        )),
+    "regpressure_ramp": ScenarioProfile(
+        name="regpressure_ramp", suite="fp",
+        description="register-pressure ramp: stencil phases whose FP "
+                    "rotation window widens 8 -> 14 -> 20 -> 26, "
+                    "sweeping the register lifetime structure within "
+                    "one trace",
+        phase_length=2_500,
+        phases=tuple(
+            _phase("stencil",
+                   pc_base=0x150000 + i * 0x4000,
+                   data_base=0x15_00000 + i * 0x8_0000,
+                   n_streams=4, chain_len=3, fp_window=window,
+                   int_window=8, trip_count=128, mem_footprint=1 << 15,
+                   stream_stride=8, div_interval=6)
+            for i, window in enumerate((8, 14, 20, 26))),
+        ),
+}
+
+
+def scenario_workloads() -> List[str]:
+    """Names of the scenario-library workloads (sweep-able grid order)."""
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioProfile:
+    """Return the scenario profile for ``name`` (``KeyError`` if unknown)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+
+
+def has_workload(name: str) -> bool:
+    """True when ``name`` is a known benchmark or scenario."""
+    return name in WORKLOADS or name in SCENARIOS
+
+
+def generate_scenario_trace(profile: ScenarioProfile,
+                            n_instructions: int = DEFAULT_TRACE_LENGTH,
+                            seed: int = 0,
+                            vectorized: Optional[bool] = None,
+                            chunk_iterations: Optional[int] = None) -> Trace:
+    """Generate the (possibly phased) trace of a scenario.
+
+    All phases share one ``Generator``; each phase's kernel is
+    instantiated once and resumes where it left off when its phase comes
+    around again.  A phase segment ends at the first kernel iteration
+    boundary at or after ``phase_length`` appended instructions (the
+    final segment at ``n_instructions``), so segment boundaries — like
+    trace ends — never cut an iteration.  The scalar/vectorised contract
+    of :func:`generate_trace` holds here too.
+    """
+    if n_instructions <= 0:
+        raise ValueError("n_instructions must be positive")
+    name_digest = sum((index + 1) * ord(char)
+                      for index, char in enumerate(profile.name))
+    rng = np.random.default_rng(seed + name_digest % (1 << 16))
+    vectorized = vectorized_enabled(vectorized)
+    kernels = [_KERNEL_FACTORIES[phase.kernel](phase.params)
+               for phase in profile.phases]
+    started = [False] * len(kernels)
+    instructions: List[Instruction] = []
+    index = 0
     while len(instructions) < n_instructions:
-        instructions.extend(kernel.emit_iteration(rng))
+        kernel = kernels[index % len(kernels)]
+        if not started[index % len(kernels)]:
+            instructions.extend(kernel.prologue(rng))
+            started[index % len(kernels)] = True
+        target = min(len(instructions) + profile.phase_length, n_instructions)
+        _emit_until(kernel, rng, instructions, target,
+                    vectorized, chunk_iterations)
+        index += 1
     return Trace(name=profile.name, focus_class=profile.focus_class,
                  instructions=instructions, seed=seed)
 
 
 @lru_cache(maxsize=64)
 def _cached_workload(name: str, n_instructions: int, seed: int) -> Trace:
+    if name in SCENARIOS:
+        return generate_scenario_trace(SCENARIOS[name], n_instructions, seed)
     return generate_trace(get_profile(name), n_instructions, seed)
 
 
 def get_workload(name: str, n_instructions: int = DEFAULT_TRACE_LENGTH,
                  seed: int = 0) -> Trace:
-    """Return (and cache) the synthetic trace for benchmark ``name``.
+    """Return (and cache) the synthetic trace for benchmark or scenario
+    ``name``.
 
     Traces are deterministic functions of ``(name, n_instructions, seed)``,
     so repeated calls — e.g. the same benchmark simulated under the three
-    release policies — reuse the cached object.
+    release policies — reuse the cached object.  Scenario names (see
+    :data:`SCENARIOS`) resolve exactly like the paper's benchmarks, so
+    the whole sweep/cache stack works on them unchanged.
     """
     return _cached_workload(name, n_instructions, seed)

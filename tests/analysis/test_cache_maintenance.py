@@ -93,6 +93,64 @@ class TestPrune:
         assert cache.stats().total_entries == 0
 
 
+class TestPruneToSize:
+    def _set_created(self, cache, config, point, created):
+        path = cache.path_for(config, point)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["created"] = created
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+    def test_no_eviction_when_under_cap(self, tmp_path):
+        cache = populated_cache(tmp_path)
+        report = cache.prune_to_size(1024)
+        assert report.removed == 0
+        assert report.per_workload == {}
+        assert cache.stats().total_entries == 2
+
+    def test_evicts_oldest_first_until_under_cap(self, tmp_path):
+        cache = populated_cache(tmp_path, benchmarks=("swim", "gcc", "li"))
+        config = tiny_config(benchmarks=("swim", "gcc", "li"))
+        now = time.time()
+        # li oldest, gcc next, swim newest.
+        self._set_created(cache, config, SweepPoint("li", "conv", 48), now - 300)
+        self._set_created(cache, config, SweepPoint("gcc", "conv", 48), now - 200)
+        self._set_created(cache, config, SweepPoint("swim", "conv", 48), now - 100)
+        total = cache.stats().total_bytes
+        one_entry = total / 3
+        # Cap that fits roughly one entry: the two oldest must go.
+        report = cache.prune_to_size(one_entry * 1.5 / (1024 * 1024))
+        assert report.removed == 2
+        assert set(report.per_workload) == {"li", "gcc"}
+        assert report.bytes_freed > 0
+        remaining = cache.stats()
+        assert set(remaining.workloads) == {"swim"}
+        assert report.bytes_remaining == remaining.total_bytes
+
+    def test_zero_cap_empties_the_cache_with_summary(self, tmp_path):
+        cache = populated_cache(tmp_path)
+        report = cache.prune_to_size(0)
+        assert report.removed == 2
+        assert sum(report.per_workload.values()) == 2
+        assert report.bytes_remaining == 0
+        assert "evicted 2 entries" in report.format()
+
+    def test_unreadable_entries_are_evicted_first(self, tmp_path):
+        cache = populated_cache(tmp_path, benchmarks=("swim",))
+        bad = cache.cache_dir / "zz" / ("0" * 64 + ".pkl")
+        bad.parent.mkdir(parents=True)
+        bad.write_bytes(b"junk" * 10)
+        total = cache.stats().total_bytes
+        report = cache.prune_to_size((total - 1) / (1024 * 1024))
+        assert report.per_workload.get("<unreadable>") == 1
+        assert cache.stats().workloads.get("swim") is not None
+
+    def test_rejects_negative_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepCache(tmp_path).prune_to_size(-1)
+
+
 class TestCacheSubcommand:
     def test_stats_output(self, tmp_path, capsys, monkeypatch):
         cache = populated_cache(tmp_path)
@@ -110,6 +168,19 @@ class TestCacheSubcommand:
     def test_prune_without_criterion_errors(self, tmp_path):
         with pytest.raises(SystemExit):
             runner.main(["cache", "--cache-dir", str(tmp_path), "--prune"])
+
+    def test_prune_size_cap_flow(self, tmp_path, capsys):
+        cache = populated_cache(tmp_path)
+        assert runner.main(["cache", "--cache-dir", str(cache.cache_dir),
+                            "--prune", "--max-size-mb", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "size cap 0 MB" in out and "evicted 2 entries" in out
+        assert cache.stats().total_entries == 0
+
+    def test_size_cap_without_prune_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            runner.main(["cache", "--cache-dir", str(tmp_path),
+                         "--max-size-mb", "5"])
 
     def test_criteria_without_prune_error(self, tmp_path):
         with pytest.raises(SystemExit):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.parallel import ParallelSweepRunner, available_workers
-from repro.analysis.sweep import SweepConfig, SweepPoint, run_sweep
+from repro.analysis.sweep import SweepConfig, run_sweep
 from repro.pipeline.config import ProcessorConfig
 
 FAST = ProcessorConfig(warmup=False, enable_wrong_path=False)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.sweep import (SweepConfig, SweepPoint, SweepResult,
+from repro.analysis.sweep import (SweepConfig, SweepPoint,
                                   run_simulation_point, run_sweep)
 from repro.pipeline.config import ProcessorConfig
 

@@ -15,7 +15,6 @@ from repro.backend.ros import ROSEntry, ReorderStructure
 from repro.engine import CycleClock, EventClock, SimulationEngine
 from repro.isa import Instruction, OpClass, RegClass
 from repro.pipeline.config import ProcessorConfig
-from repro.trace.records import Trace
 from repro.trace.workloads import get_workload
 
 
@@ -152,8 +151,6 @@ class TestCheckpointRestoreWithBulkRelease:
         # The bulk release must hand registers back youngest-first within
         # each class — the order later allocations pop them in.  Compare
         # against a per-entry release reference on the same squash batch.
-        from repro.engine.state import MachineState
-
         config = ProcessorConfig(release_policy="conv", warmup=False,
                                  num_physical_int=48, num_physical_fp=48)
         trace = get_workload("gcc", 1_200, seed=0)

@@ -9,7 +9,7 @@ precise scenarios (like the paper's Figure 4 examples) in a few lines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.backend.ros import ROSEntry

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.backend.ros import DEST_SLOT_BIT, src_slot_bit
+from repro.backend.ros import src_slot_bit
 
 from tests.core.helpers import PolicyHarness
 

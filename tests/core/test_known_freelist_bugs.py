@@ -17,17 +17,23 @@ non-default configurations:
    (``LOAD r11 <- [r11]``) was waved past a dry free list and crashed in
    ``allocate()`` instead of stalling.
 
+The *extended* policy carried a fourth hole (strict-xfail pinned until
+PR 4): a next-version instruction reading its own destination register is
+its own last use, but its ROS entry is unpublished while it renames, so
+the Release Queue's "unknown LU" fallback scheduled an RwNS release of a
+register whose in-flight definer an exception flush would release again.
+Such self-LU schedulings are now RwC entries tied to the NV's own entry,
+and every scheduling carries the NV's sequence number so squashes cancel
+it wherever confirmation merges moved it.
+
 These tests pin the fixed behaviour on the exact configurations that used
-to crash (they were strict-xfail pins until PR 3).  One crash family
-remains in the *extended* policy under exception flushes (stale Release
-Queue schedulings; see ROADMAP) and stays pinned as strict xfail below.
+to crash.
 """
 
 import pytest
 
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.processor import simulate
-from repro.rename.free_list import FreeListError
 from repro.trace.workloads import get_workload
 
 TRACE_LENGTH = 2_000  # shortest length reproducing the seed-era crashes (seed 0)
@@ -63,12 +69,25 @@ def test_basic_policy_exceptions_and_tight_file_combined(workload):
     assert stats.committed_instructions > 0
 
 
-@pytest.mark.xfail(raises=FreeListError, strict=True,
-                   reason="remaining seed-era bug: the extended policy's "
-                          "Release Queue keeps conditional schedulings that "
-                          "went stale across misprediction/exception "
-                          "recovery (ROADMAP known pre-existing bug)")
-def test_extended_policy_exception_stale_release_queue():
-    trace = get_workload("li", 1_500, seed=0)
+@pytest.mark.parametrize("workload", ["li", "perl"])
+def test_extended_policy_exception_stale_release_queue_fixed(workload):
+    """Seed-era crash 4: extended policy + exceptions on the pointer chasers.
+
+    The self-LU ``p = p->next`` redefinitions used to schedule premature
+    RwNS releases (see module docstring); the run now completes with the
+    crashing path exercised.
+    """
+    trace = get_workload(workload, 1_500, seed=0)
     config = ProcessorConfig(release_policy="extended", exception_rate=0.003)
-    simulate(trace, config)
+    stats = simulate(trace, config)
+    assert stats.committed_instructions > 0
+    assert stats.exceptions_taken > 0
+
+
+def test_extended_policy_exceptions_and_tight_file_combined():
+    """The fix composes with a tight register file (stall, not crash)."""
+    trace = get_workload("li", 2_000, seed=0)
+    config = ProcessorConfig(release_policy="extended", exception_rate=0.003,
+                             num_physical_int=40, num_physical_fp=40)
+    stats = simulate(trace, config)
+    assert stats.committed_instructions > 0

@@ -38,19 +38,19 @@ class TestLevels:
     def test_schedule_requires_pending_branch(self):
         queue = ReleaseQueue()
         with pytest.raises(RuntimeError):
-            queue.schedule_committed_lu(5, 1)
+            queue.schedule_committed_lu(5, 1, 100)
         with pytest.raises(RuntimeError):
-            queue.schedule_inflight_lu(7, 1)
+            queue.schedule_inflight_lu(7, 1, 100)
 
     def test_schedules_land_at_tail(self):
         queue = ReleaseQueue()
         queue.push_level(1)
         queue.push_level(2)
-        queue.schedule_committed_lu(40, 3)
-        queue.schedule_inflight_lu(17, 0b100)
+        queue.schedule_committed_lu(40, 3, 10)
+        queue.schedule_inflight_lu(17, 0b100, 11)
         levels = queue.levels()
-        assert levels[1].rwns == {(40, 3)}
-        assert levels[1].rwc == {17: 0b100}
+        assert levels[1].rwns == {(40, 3): 10}
+        assert levels[1].rwc == {17: {0b100: 11}}
         assert levels[0].n_scheduled == 0
         assert queue.total_scheduled() == 2
 
@@ -60,7 +60,7 @@ class TestBranchConfirmation:
         queue = ReleaseQueue()
         recorder = Recorder()
         queue.push_level(1)
-        queue.schedule_committed_lu(33, 4)
+        queue.schedule_committed_lu(33, 4, 10)
         queue.on_branch_confirmed(1, recorder.release, recorder.promote)
         assert recorder.released == [(33, 4)]
         assert queue.depth == 0
@@ -70,7 +70,7 @@ class TestBranchConfirmation:
         queue = ReleaseQueue()
         recorder = Recorder()
         queue.push_level(1)
-        queue.schedule_inflight_lu(9, 0b010)
+        queue.schedule_inflight_lu(9, 0b010, 10)
         queue.on_branch_confirmed(1, recorder.release, recorder.promote)
         assert recorder.promoted == [(9, 0b010)]
         assert recorder.released == []
@@ -80,11 +80,11 @@ class TestBranchConfirmation:
         recorder = Recorder()
         queue.push_level(1)
         queue.push_level(2)
-        queue.schedule_committed_lu(50, 7)       # at level of branch 2
+        queue.schedule_committed_lu(50, 7, 10)   # at level of branch 2
         queue.on_branch_confirmed(2, recorder.release, recorder.promote)
         assert recorder.released == []           # still conditional on branch 1
         assert queue.depth == 1
-        assert queue.levels()[0].rwns == {(50, 7)}
+        assert queue.levels()[0].rwns == {(50, 7): 10}
 
     def test_out_of_order_confirmation_chain(self):
         queue = ReleaseQueue()
@@ -92,7 +92,7 @@ class TestBranchConfirmation:
         queue.push_level(1)
         queue.push_level(2)
         queue.push_level(3)
-        queue.schedule_committed_lu(60, 2)       # guarded by branches 1..3
+        queue.schedule_committed_lu(60, 2, 10)   # guarded by branches 1..3
         queue.on_branch_confirmed(2, recorder.release, recorder.promote)
         queue.on_branch_confirmed(3, recorder.release, recorder.promote)
         assert recorder.released == []
@@ -110,22 +110,22 @@ class TestBranchConfirmation:
         queue = ReleaseQueue()
         recorder = Recorder()
         queue.push_level(1)
-        queue.schedule_inflight_lu(5, 0b001)
+        queue.schedule_inflight_lu(5, 0b001, 10)
         queue.push_level(2)
-        queue.schedule_inflight_lu(5, 0b100)
+        queue.schedule_inflight_lu(5, 0b100, 12)
         queue.on_branch_confirmed(2, recorder.release, recorder.promote)
-        assert queue.levels()[0].rwc == {5: 0b101}
+        assert queue.levels()[0].rwc == {5: {0b001: 10, 0b100: 12}}
 
 
 class TestMispredictionAndCommit:
     def test_mispredict_clears_level_and_younger(self):
         queue = ReleaseQueue()
         queue.push_level(1)
-        queue.schedule_committed_lu(40, 0)
+        queue.schedule_committed_lu(40, 0, 10)
         queue.push_level(2)
-        queue.schedule_committed_lu(41, 1)
+        queue.schedule_committed_lu(41, 1, 20)
         queue.push_level(3)
-        queue.schedule_committed_lu(42, 2)
+        queue.schedule_committed_lu(42, 2, 30)
         dropped = queue.on_branch_mispredicted(2)
         assert dropped == 2
         assert queue.depth == 1
@@ -141,7 +141,7 @@ class TestMispredictionAndCommit:
     def test_lu_commit_moves_rwc_to_rwns(self):
         queue = ReleaseQueue()
         queue.push_level(1)
-        queue.schedule_inflight_lu(7, 0b001)
+        queue.schedule_inflight_lu(7, 0b001, 10)
 
         def resolver(bit):
             assert bit == 0b001
@@ -149,7 +149,7 @@ class TestMispredictionAndCommit:
 
         queue.on_lu_commit(7, resolver)
         assert queue.levels()[0].rwc == {}
-        assert queue.levels()[0].rwns == {(22, 6)}
+        assert queue.levels()[0].rwns == {(22, 6): 10}
 
     def test_lu_commit_without_schedulings_is_noop(self):
         queue = ReleaseQueue()
@@ -160,7 +160,7 @@ class TestMispredictionAndCommit:
     def test_clear(self):
         queue = ReleaseQueue()
         queue.push_level(1)
-        queue.schedule_committed_lu(40, 0)
+        queue.schedule_committed_lu(40, 0, 10)
         assert queue.clear() == 1
         assert queue.depth == 0
 

@@ -8,7 +8,8 @@ from repro.experiments.runner import EXPERIMENTS, main, run_experiment
 class TestRegistry:
     def test_every_paper_artifact_registered(self):
         expected = {"table1", "figure2", "figure3", "figure9", "figure10",
-                    "figure11", "table4", "section33", "section44"}
+                    "figure11", "table4", "section33", "section44",
+                    "scenarios"}
         assert set(EXPERIMENTS) == expected
 
     def test_run_experiment_unknown_name(self):

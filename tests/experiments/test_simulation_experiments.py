@@ -8,7 +8,6 @@ regenerated artefact and the headline orderings the paper reports.
 import pytest
 
 from repro.experiments import figure3, figure10, figure11, section33, table4
-from repro.pipeline.config import ProcessorConfig
 
 TRACE_LENGTH = 2_500
 SUBSET = ["compress", "gcc", "swim", "tomcatv"]

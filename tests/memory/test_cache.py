@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.memory.cache import AccessResult, Cache, CacheConfig
+from repro.memory.cache import Cache, CacheConfig
 
 
 def small_cache(size=1024, assoc=2, line=64, latency=1, name="test"):

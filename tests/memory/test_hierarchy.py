@@ -1,7 +1,5 @@
 """Tests for the two-level memory hierarchy (Table 2 latencies)."""
 
-import pytest
-
 from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
 
 

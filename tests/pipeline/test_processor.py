@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isa import InstructionBuilder, OpClass, RegClass
+from repro.isa import InstructionBuilder, RegClass
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.processor import DeadlockError, Processor, simulate
 from repro.trace.records import Trace

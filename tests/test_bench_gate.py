@@ -1,0 +1,125 @@
+"""Tests for the bench-probe regression gate (`scripts/bench_baseline.py`)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_baseline", REPO_ROOT / "scripts" / "bench_baseline.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_baseline", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench = load_bench_module()
+
+
+def snapshot(cycles_per_s=100_000.0, generation_inst_per_s=500_000):
+    """A minimal snapshot with one scheduler point and a generation probe."""
+    return {
+        "scheduler": {
+            "trace_length": 4000,
+            "points": [{"wall_clock_s": 1.0, "cycles": cycles_per_s}],
+        },
+        "generation": {
+            "trace_length": 20_000,
+            "points": [],
+            "scenario_vector_inst_per_s": generation_inst_per_s,
+            "scenario_speedup": 2.0,
+        },
+    }
+
+
+class TestCompareAgainstBaseline:
+    def test_equal_snapshots_pass(self):
+        assert bench.compare_against_baseline(snapshot(), snapshot(), 1.4) == []
+
+    def test_within_tolerance_passes(self):
+        current = snapshot(cycles_per_s=80_000, generation_inst_per_s=400_000)
+        assert bench.compare_against_baseline(current, snapshot(), 1.4) == []
+
+    def test_scheduler_regression_fails(self):
+        current = snapshot(cycles_per_s=50_000)   # 2x slower than 100k
+        messages = bench.compare_against_baseline(current, snapshot(), 1.4)
+        assert len(messages) == 1
+        assert "scheduler probe" in messages[0]
+
+    def test_generation_regression_fails(self):
+        current = snapshot(generation_inst_per_s=100_000)   # 5x slower
+        messages = bench.compare_against_baseline(current, snapshot(), 1.4)
+        assert len(messages) == 1
+        assert "generation" in messages[0]
+
+    def test_speedup_ratio_regression_is_machine_independent(self):
+        """Absolute inst/s may legitimately differ across machines, but a
+        collapsed scalar-vs-vector ratio is a vectorisation regression."""
+        current = snapshot()
+        current["generation"]["scenario_speedup"] = 1.0   # was 2.0
+        messages = bench.compare_against_baseline(current, snapshot(), 1.4)
+        assert len(messages) == 1
+        assert "ratio" in messages[0]
+
+    def test_faster_is_never_a_regression(self):
+        current = snapshot(cycles_per_s=1e9, generation_inst_per_s=10**9)
+        assert bench.compare_against_baseline(current, snapshot(), 1.4) == []
+
+    def test_missing_baseline_metric_is_skipped(self):
+        baseline = snapshot()
+        del baseline["generation"]                  # pre-PR-4 snapshot
+        current = snapshot(generation_inst_per_s=1)
+        assert bench.compare_against_baseline(current, baseline, 1.4) == []
+
+    def test_tolerance_widens_the_gate(self):
+        current = snapshot(cycles_per_s=50_000)
+        assert bench.compare_against_baseline(current, snapshot(), 1.4)
+        assert bench.compare_against_baseline(current, snapshot(), 2.5) == []
+
+    def test_rejects_sub_unity_tolerance(self):
+        with pytest.raises(ValueError):
+            bench.compare_against_baseline(snapshot(), snapshot(), 0.9)
+
+
+class TestSnapshotDiscovery:
+    def test_picks_newest_by_date(self, tmp_path):
+        (tmp_path / "BENCH_20260101_pr1.json").write_text("{}")
+        (tmp_path / "BENCH_20260728_pr3.json").write_text("{}")
+        (tmp_path / "BENCH_20260301_pr2.json").write_text("{}")
+        assert bench.find_latest_snapshot(tmp_path).name == \
+            "BENCH_20260728_pr3.json"
+
+    def test_same_day_timestamped_snapshot_beats_pr_tag(self, tmp_path):
+        """'_' > 'T' lexicographically, but numeric ordering must win:
+        a timestamped snapshot from later the same day is the baseline."""
+        (tmp_path / "BENCH_20260728_pr4.json").write_text("{}")
+        (tmp_path / "BENCH_20260728T150000Z.json").write_text("{}")
+        assert bench.find_latest_snapshot(tmp_path).name == \
+            "BENCH_20260728T150000Z.json"
+
+    def test_no_snapshot_returns_none(self, tmp_path):
+        assert bench.find_latest_snapshot(tmp_path) is None
+
+    def test_repo_has_a_baseline_with_both_probes(self):
+        """The committed snapshots must keep the gate armed."""
+        import json
+        newest = bench.find_latest_snapshot(REPO_ROOT)
+        assert newest is not None
+        payload = json.loads(newest.read_text())
+        assert payload.get("scheduler", {}).get("points")
+        assert payload.get("generation", {}).get("scenario_vector_inst_per_s")
+
+
+class TestSchedulerThroughput:
+    def test_aggregates_cycles_over_wall_clock(self):
+        sched = {"points": [{"wall_clock_s": 1.0, "cycles": 100},
+                            {"wall_clock_s": 1.0, "cycles": 300}]}
+        assert bench.scheduler_throughput(sched) == 200.0
+
+    def test_empty_probe_is_zero(self):
+        assert bench.scheduler_throughput({"points": []}) == 0.0

@@ -1,0 +1,167 @@
+"""Tests for the stream-preserving bulk draw replay (`repro.trace.draws`).
+
+Every test compares the replay against a *real* scalar ``Generator`` on
+the same seed: the contract is bit-identical values **and** bit-identical
+final bit-generator state (including the buffered 32-bit half), so a
+consumer can switch between the scalar and replayed paths mid-stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace.draws import (
+    DOUBLE,
+    RawCursor,
+    ReplayUnsupported,
+    bounded_threshold,
+    replay_supported,
+    replay_template,
+)
+
+
+def scalar_columns(seed, template, k):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    columns = [[] for _ in template]
+    for _ in range(k):
+        for j, slot in enumerate(template):
+            if slot == DOUBLE:
+                columns[j].append(rng.random())
+            else:
+                columns[j].append(int(rng.integers(0, slot)))
+    return columns, rng
+
+
+def test_replay_supported_on_this_numpy():
+    assert replay_supported()
+
+
+@pytest.mark.parametrize("template", [
+    [DOUBLE],                                   # doubles only
+    [1024],                                     # single int: parity flips
+    [1024, 1024],                               # even ints: parity stable
+    [DOUBLE, DOUBLE],                           # int_compute noise+store
+    [4096, 4096, 4096, DOUBLE, DOUBLE],         # int_compute full schedule
+    [2048, DOUBLE, 2048, DOUBLE, DOUBLE, 64],   # branchy-style mix, odd ints
+])
+@pytest.mark.parametrize("k", [1, 2, 3, 7, 64])
+def test_template_matches_scalar_stream(template, k):
+    expected, oracle = scalar_columns(123, template, k)
+    rng = np.random.Generator(np.random.PCG64(123))
+    columns = replay_template(rng, template, k)
+    for got, want in zip(columns, expected):
+        assert list(got) == want
+    assert rng.bit_generator.state == oracle.bit_generator.state
+
+
+def test_template_resumes_mid_stream():
+    """Chunks compose: scalar draws, a replay, then scalar draws again."""
+    template = [4096, DOUBLE, 64]
+    oracle = np.random.Generator(np.random.PCG64(7))
+    rng = np.random.Generator(np.random.PCG64(7))
+    # A leading scalar int leaves a buffered half pending on both.
+    assert int(rng.integers(0, 1024)) == int(oracle.integers(0, 1024))
+    expected = [[] for _ in template]
+    for _ in range(5):
+        for j, slot in enumerate(template):
+            if slot == DOUBLE:
+                expected[j].append(oracle.random())
+            else:
+                expected[j].append(int(oracle.integers(0, slot)))
+    columns = replay_template(rng, template, 5)
+    for got, want in zip(columns, expected):
+        assert list(got) == want
+    # The streams stay aligned afterwards.
+    assert rng.random() == oracle.random()
+    assert int(rng.integers(0, 2048)) == int(oracle.integers(0, 2048))
+    assert rng.bit_generator.state == oracle.bit_generator.state
+
+
+def test_template_zero_fresh_raws_served_from_entry_buffer():
+    """k=1 with a single bounded slot and a pending entry buffer consumes
+    zero fresh raws: the value comes entirely from the buffered half
+    (regression: this used to IndexError into an empty raw block)."""
+    oracle = np.random.Generator(np.random.PCG64(77))
+    rng = np.random.Generator(np.random.PCG64(77))
+    int(oracle.integers(0, 8)), int(rng.integers(0, 8))   # buffer a half
+    columns = replay_template(rng, [16], 1)
+    assert [int(columns[0][0])] == [int(oracle.integers(0, 16))]
+    assert rng.bit_generator.state == oracle.bit_generator.state
+
+
+def test_template_rejects_non_power_of_two_span():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ReplayUnsupported):
+        replay_template(rng, [100], 4)
+
+
+def test_template_empty_chunk_is_noop():
+    rng = np.random.Generator(np.random.PCG64(3))
+    before = rng.bit_generator.state
+    assert all(len(c) == 0 for c in replay_template(rng, [DOUBLE, 64], 0))
+    assert rng.bit_generator.state == before
+
+
+def test_template_double_only_preserves_entry_buffer():
+    oracle = np.random.Generator(np.random.PCG64(11))
+    rng = np.random.Generator(np.random.PCG64(11))
+    int(oracle.integers(0, 256)), int(rng.integers(0, 256))
+    for _ in range(4):
+        oracle.random()
+    replay_template(rng, [DOUBLE, DOUBLE], 2)
+    # Both still hold the buffered half from the leading integers call.
+    assert int(rng.integers(0, 256)) == int(oracle.integers(0, 256))
+    assert rng.bit_generator.state == oracle.bit_generator.state
+
+
+class TestRawCursor:
+    def test_mixed_draws_match_scalar(self):
+        oracle = np.random.Generator(np.random.PCG64(42))
+        expected = []
+        for _ in range(10):
+            expected.append(oracle.random())
+            expected.append(int(oracle.integers(0, 2048)))
+            expected.append(int(oracle.integers(8, 256)))
+        rng = np.random.Generator(np.random.PCG64(42))
+        cursor = RawCursor(rng, 40)
+        got = []
+        t248 = bounded_threshold(248)
+        for _ in range(10):
+            got.append(cursor.next_double())
+            got.append(cursor.next_bounded(2048, 0))
+            got.append(8 + cursor.next_bounded(248, t248))
+        cursor.finalize()
+        assert got == expected
+        assert rng.bit_generator.state == oracle.bit_generator.state
+
+    def test_finalize_rewinds_overdraw(self):
+        oracle = np.random.Generator(np.random.PCG64(9))
+        rng = np.random.Generator(np.random.PCG64(9))
+        cursor = RawCursor(rng, 100)
+        assert cursor.next_double() == oracle.random()
+        assert cursor.next_bounded(1024, 0) == int(oracle.integers(0, 1024))
+        cursor.finalize()
+        # 97 overdrawn raws rewound; the buffered half restored.
+        assert rng.bit_generator.state == oracle.bit_generator.state
+        assert int(rng.integers(0, 1024)) == int(oracle.integers(0, 1024))
+
+    def test_entry_buffer_consumed_first(self):
+        oracle = np.random.Generator(np.random.PCG64(21))
+        rng = np.random.Generator(np.random.PCG64(21))
+        int(oracle.integers(0, 64)), int(rng.integers(0, 64))
+        cursor = RawCursor(rng, 8)
+        assert cursor.next_bounded(64, 0) == int(oracle.integers(0, 64))
+        cursor.finalize()
+        assert rng.bit_generator.state == oracle.bit_generator.state
+
+    def test_rejection_threshold_values(self):
+        assert bounded_threshold(248) == (1 << 32) % 248
+        assert bounded_threshold(1024) == 0
+
+    def test_double_finalize_is_idempotent(self):
+        rng = np.random.Generator(np.random.PCG64(5))
+        oracle = np.random.Generator(np.random.PCG64(5))
+        cursor = RawCursor(rng, 10)
+        cursor.next_double(), oracle.random()
+        cursor.finalize()
+        cursor.finalize()
+        assert rng.bit_generator.state == oracle.bit_generator.state

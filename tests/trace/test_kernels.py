@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 
 from repro.isa import OpClass, RegClass
-from repro.trace.kernels import (BranchyKernel, IntComputeKernel, KernelParams,
-                                 PointerChaseKernel, StencilFPKernel,
-                                 StreamingFPKernel, branchy_kernel,
+from repro.trace.kernels import (KernelParams, branchy_kernel,
                                  int_compute_kernel, pointer_chase_kernel,
                                  stencil_fp_kernel, streaming_fp_kernel)
 

@@ -1,0 +1,152 @@
+"""Property suite: the vectorised generators reproduce the scalar oracle.
+
+The draw-order contract (``docs/workloads.md``) promises that the chunked
+bulk-draw emitters and the wrong-path generator's bulk refill produce
+**field-for-field identical** instruction streams to the scalar oracle
+path, for every kernel family, seed and chunk size.  Hypothesis drives
+those axes; a deterministic end-to-end check pins the resulting
+``SimStats`` equality.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.workloads import (SCENARIOS, WORKLOADS,
+                                   generate_scenario_trace, generate_trace,
+                                   get_profile)
+from repro.trace.wrongpath import WrongPathGenerator, WrongPathMix
+
+ALL_BENCHMARKS = sorted(WORKLOADS)
+ALL_SCENARIOS = sorted(SCENARIOS)
+
+
+def assert_streams_equal(reference, candidate, label):
+    __tracebackhide__ = True
+    assert len(reference) == len(candidate), (
+        f"{label}: stream lengths differ "
+        f"({len(reference)} scalar vs {len(candidate)} vectorised)")
+    for position, (want, got) in enumerate(
+            zip(reference.instructions, candidate.instructions)):
+        assert want == got, (
+            f"{label}: first divergence at instruction {position}:\n"
+            f"  scalar:     {want}\n  vectorised: {got}")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=st.sampled_from(ALL_BENCHMARKS),
+    seed=st.integers(min_value=0, max_value=2**16),
+    length=st.integers(min_value=200, max_value=2_500),
+    chunk=st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+)
+def test_benchmark_generators_match_scalar_oracle(name, seed, length, chunk):
+    profile = get_profile(name)
+    scalar = generate_trace(profile, length, seed=seed, vectorized=False)
+    vectorised = generate_trace(profile, length, seed=seed, vectorized=True,
+                                chunk_iterations=chunk)
+    assert_streams_equal(scalar, vectorised,
+                         f"{name} seed={seed} n={length} chunk={chunk}")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    name=st.sampled_from(ALL_SCENARIOS),
+    seed=st.integers(min_value=0, max_value=2**16),
+    length=st.integers(min_value=500, max_value=4_000),
+    chunk=st.one_of(st.none(), st.integers(min_value=1, max_value=32)),
+)
+def test_scenario_generators_match_scalar_oracle(name, seed, length, chunk):
+    profile = SCENARIOS[name]
+    scalar = generate_scenario_trace(profile, length, seed=seed,
+                                     vectorized=False)
+    vectorised = generate_scenario_trace(profile, length, seed=seed,
+                                         vectorized=True,
+                                         chunk_iterations=chunk)
+    assert_streams_equal(scalar, vectorised,
+                         f"scenario {name} seed={seed} n={length} chunk={chunk}")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    load=st.floats(min_value=0.0, max_value=0.4),
+    store=st.floats(min_value=0.0, max_value=0.3),
+    branch=st.floats(min_value=0.0, max_value=0.3),
+    fp=st.floats(min_value=0.0, max_value=0.4),
+    episodes=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1 << 20),   # episode pc
+                  st.integers(min_value=1, max_value=150)),      # episode length
+        min_size=1, max_size=12),
+)
+def test_wrongpath_generator_matches_scalar_oracle(seed, load, store, branch,
+                                                   fp, episodes):
+    """Bulk refills reproduce the scalar stream across misprediction
+    episodes of arbitrary lengths and fetch pcs — including episodes
+    that straddle refill block boundaries."""
+    mix = WrongPathMix(load=load, store=store, branch=branch, fp=fp)
+    scalar = WrongPathGenerator(mix, seed=seed, vectorized=False)
+    vectorised = WrongPathGenerator(mix, seed=seed, vectorized=True)
+    for episode_pc, episode_len in episodes:
+        for i in range(episode_len):
+            pc = episode_pc + 4 * i
+            want = scalar.next_instruction(pc)
+            got = vectorised.next_instruction(pc)
+            assert want == got, (
+                f"wrong-path divergence at pc={pc:#x} "
+                f"(episode at {episode_pc:#x}, instruction {i}):\n"
+                f"  scalar:     {want}\n  vectorised: {got}")
+
+
+def test_wrongpath_next_instructions_bulk_helper():
+    mix = WrongPathMix()
+    scalar = WrongPathGenerator(mix, seed=3, vectorized=False)
+    vectorised = WrongPathGenerator(mix, seed=3, vectorized=True)
+    assert (vectorised.next_instructions(0x4000, 100)
+            == scalar.next_instructions(0x4000, 100))
+
+
+@pytest.mark.parametrize("name,policy", [
+    ("gcc", "extended"),     # branch-dense: wrong-path generator hot
+    ("li", "basic"),         # pointer chase: cursor-replayed kernel
+    ("swim", "conv"),        # FP streaming: draw-free chunk path
+    ("branch_storm", "extended"),   # scenario: noisy branches
+])
+def test_simulation_stats_identical_across_generation_modes(name, policy,
+                                                            monkeypatch):
+    """End to end: every SimStats field the sweeps record is identical
+    whether the trace and wrong-path fillers come from the scalar or the
+    vectorised generators."""
+    from repro.pipeline.config import ProcessorConfig
+    from repro.pipeline.processor import simulate
+    from repro.trace.workloads import SCENARIOS, generate_scenario_trace
+
+    def build(vectorized):
+        if name in SCENARIOS:
+            return generate_scenario_trace(SCENARIOS[name], 3_000, seed=0,
+                                           vectorized=vectorized)
+        return generate_trace(get_profile(name), 3_000, seed=0,
+                              vectorized=vectorized)
+
+    def run(trace, vectorized):
+        config = ProcessorConfig(release_policy=policy,
+                                 num_physical_int=56, num_physical_fp=56)
+        if not vectorized:
+            monkeypatch.setenv("REPRO_TRACE_SCALAR", "1")
+        else:
+            monkeypatch.delenv("REPRO_TRACE_SCALAR", raising=False)
+        return simulate(trace, config)
+
+    scalar_stats = run(build(False), vectorized=False)
+    vector_stats = run(build(True), vectorized=True)
+    assert scalar_stats.cycles == vector_stats.cycles
+    assert (scalar_stats.committed_instructions
+            == vector_stats.committed_instructions)
+    assert (scalar_stats.squashed_instructions
+            == vector_stats.squashed_instructions)
+    assert scalar_stats.ipc == vector_stats.ipc
+    for label in ("int_registers", "fp_registers"):
+        want, got = getattr(scalar_stats, label), getattr(vector_stats, label)
+        assert want.releases == got.releases
+        assert want.early_releases == got.early_releases
+        assert want.allocations == got.allocations
