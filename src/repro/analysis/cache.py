@@ -46,7 +46,11 @@ CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 #: v2: payloads additionally record the producing code digest and a
 #: creation timestamp, so ``repro-experiments cache`` can report and prune
 #: entries by age and by stale source code.
-CACHE_SCHEMA_VERSION = 2
+#: v3: keys additionally fold in the *workload content digest*
+#: (``repro.trace.workloads.workload_digest``), so a user-defined scenario
+#: re-registered with different content under the same name can never be
+#: served a stale entry.
+CACHE_SCHEMA_VERSION = 3
 
 
 def default_cache_dir() -> Path:
@@ -111,11 +115,19 @@ def code_digest() -> str:
 
 def point_key(sweep_config: "SweepConfig", point: "SweepPoint") -> str:
     """Cache key of one sweep point:
-    (workload, config hash, trace length, seed, simulator code)."""
+    (workload name + content, config hash, trace length, seed, simulator
+    code).  The workload *content* digest means a registered scenario and
+    its later re-registration with different parameters occupy different
+    keys even though they share a name."""
+    from repro.trace.workloads import workload_digest
+
     config = sweep_config.config_for(point)
     payload = repr((
         "repro-sweep-point", CACHE_SCHEMA_VERSION, code_digest(),
-        point.benchmark, sweep_config.trace_length, sweep_config.seed,
+        point.benchmark,
+        workload_digest(point.benchmark,
+                        getattr(sweep_config, "scenario_profiles", ())),
+        sweep_config.trace_length, sweep_config.seed,
         config_digest(config),
     )).encode()
     return hashlib.sha256(payload).hexdigest()

@@ -11,7 +11,7 @@ programs.  The helpers here turn simulation statistics into those rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.core.register_state import OccupancyAverages
 from repro.pipeline.stats import SimStats
@@ -43,16 +43,20 @@ class OccupancyRow:
         return 0.0 if self.used == 0 else 100.0 * self.idle / self.used
 
 
-def occupancy_breakdown(stats: SimStats, focus: str) -> OccupancyRow:
+def occupancy_breakdown(stats: SimStats, focus: str,
+                        label: Optional[str] = None) -> OccupancyRow:
     """Extract the Figure 3 row of one simulation.
 
     ``focus`` selects the register file the paper reports for the
     benchmark: ``"int"`` for the integer programs, ``"fp"`` for the FP
-    programs.
+    programs.  ``label`` overrides the row's benchmark label — the
+    scenario-level per-phase figure uses it to report phases ("phase 0
+    (int_compute)") instead of the internal derived workload names.
     """
     register_stats = stats.register_stats(focus)
     averages: OccupancyAverages = register_stats.occupancy or OccupancyAverages(0, 0, 0)
-    return OccupancyRow(benchmark=stats.benchmark, register_class=focus,
+    return OccupancyRow(benchmark=label if label is not None else stats.benchmark,
+                        register_class=focus,
                         empty=averages.empty, ready=averages.ready,
                         idle=averages.idle)
 

@@ -25,7 +25,8 @@ from repro.analysis.metrics import harmonic_mean, iso_ipc_register_requirement
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.processor import simulate
 from repro.pipeline.stats import SimStats
-from repro.trace.workloads import get_workload
+from repro.trace.workloads import (SCENARIOS, ScenarioProfile, get_workload,
+                                   install_ephemeral_profiles)
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,13 @@ class SweepConfig:
 
     ``num_registers`` of a point is applied to *both* the integer and the
     FP file, exactly as the paper's "48int + 48FP" configurations.
+
+    ``scenario_profiles`` carries the scenario profiles behind any
+    non-built-in workload names in ``benchmarks``.  Pool worker processes
+    import a fresh registry that only contains the built-in scenarios, so
+    user-registered (or derived, e.g. per-phase) profiles must travel
+    with the sweep config; :func:`run_sweep` attaches registered ones
+    automatically.
     """
 
     benchmarks: Tuple[str, ...]
@@ -54,6 +62,7 @@ class SweepConfig:
     trace_length: int = 20_000
     seed: int = 0
     base_config: ProcessorConfig = field(default_factory=ProcessorConfig)
+    scenario_profiles: Tuple[ScenarioProfile, ...] = ()
 
     def points(self) -> List[SweepPoint]:
         """Enumerate every simulation point of the sweep."""
@@ -74,9 +83,34 @@ def run_simulation_point(sweep_config: SweepConfig, point: SweepPoint) -> SimSta
     """Run the single simulation of ``point`` (used by both serial and
     parallel execution paths; must stay a module-level function so the
     multiprocessing runner can pickle it)."""
+    # Make the shipped profiles resolvable *by name* in this process too:
+    # the simulator's warm-up pass re-resolves ``trace.name`` (different
+    # seed) through the plain registry lookup, which in a pool worker
+    # would otherwise miss user-registered scenarios and silently warm up
+    # with a different trace than a serial run — same cache key, different
+    # stats.
+    install_ephemeral_profiles(sweep_config.scenario_profiles)
     trace = get_workload(point.benchmark, sweep_config.trace_length,
-                         seed=sweep_config.seed)
+                         seed=sweep_config.seed,
+                         scenario_profiles=sweep_config.scenario_profiles)
     return simulate(trace, sweep_config.config_for(point))
+
+
+def _attach_scenario_profiles(sweep_config: SweepConfig) -> SweepConfig:
+    """Attach the registry profile of every scenario named in the sweep.
+
+    Run before sharding so worker processes (whose registry only holds
+    the built-ins) and the cache key derivation both see the exact
+    profile content being swept.  Explicitly supplied profiles win over
+    registry entries of the same name.
+    """
+    supplied = {profile.name for profile in sweep_config.scenario_profiles}
+    from_registry = tuple(SCENARIOS[name] for name in sweep_config.benchmarks
+                          if name in SCENARIOS and name not in supplied)
+    if not from_registry:
+        return sweep_config
+    return replace(sweep_config,
+                   scenario_profiles=sweep_config.scenario_profiles + from_registry)
 
 
 class SweepResult:
@@ -172,8 +206,12 @@ class SweepResult:
         benchmarks = tuple(dict.fromkeys(self.config.benchmarks
                                          + other.config.benchmarks))
         policies = tuple(dict.fromkeys(self.config.policies + other.config.policies))
+        profiles = {profile.name: profile
+                    for profile in (self.config.scenario_profiles
+                                    + other.config.scenario_profiles)}
         config = replace(self.config, register_sizes=sizes, benchmarks=benchmarks,
-                         policies=policies)
+                         policies=policies,
+                         scenario_profiles=tuple(profiles.values()))
         return SweepResult(config, merged,
                            simulated=self.simulated + other.simulated,
                            cached=self.cached + other.cached)
@@ -196,6 +234,7 @@ def run_sweep(sweep_config: SweepConfig, parallel: bool = True,
     already-computed sweep performs zero simulations — and freshly
     simulated points are written back for the next run.
     """
+    sweep_config = _attach_scenario_profiles(sweep_config)
     store = resolve_cache(cache)
     points = sweep_config.points()
 

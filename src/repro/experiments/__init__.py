@@ -15,6 +15,8 @@ Module             Regenerates
 ``section44``      Section 4.4 — energy neutrality and storage cost
 ``scenarios``      Scenario grid — the workload scenario library under the
                    three policies (not a paper artefact)
+``scenario_occupancy``  Per-phase Empty/Ready/Idle occupancy splits of the
+                   scenario library (Figure 3 style; not a paper artefact)
 =================  ===========================================================
 
 Every module exposes ``run(...)`` returning a result object with a
@@ -29,6 +31,7 @@ from repro.experiments import (  # noqa: F401  (re-exported for convenience)
     figure9,
     figure10,
     figure11,
+    scenario_occupancy,
     scenarios,
     section33,
     section44,
@@ -44,6 +47,7 @@ __all__ = [
     "figure9",
     "figure10",
     "figure11",
+    "scenario_occupancy",
     "scenarios",
     "section33",
     "section44",

@@ -10,6 +10,14 @@ Simulation-based experiments accept ``--trace-length`` and ``--serial``;
 ``--quick`` selects a configuration small enough for a laptop-scale smoke
 run (shorter traces, fewer register sizes).
 
+The scenario-library experiments (``scenarios``, ``scenario_occupancy``)
+additionally honour ``--scenario-file`` (register user-defined scenarios
+from a TOML/JSON config; repeatable) and ``--scenarios a,b`` (restrict
+the grid to the named scenarios; unknown names are an error)::
+
+    repro-experiments scenarios scenario_occupancy \
+        --scenario-file my_scenarios.toml --scenarios my_burst --quick
+
 Simulation results are cached on disk by default (keyed by workload,
 configuration hash, trace length and seed), so re-generating a figure — or
 generating Table 4 after Figure 11 — only simulates points never simulated
@@ -31,12 +39,16 @@ import time
 from typing import Dict, List, Optional
 
 from repro.experiments import (figure2, figure3, figure9, figure10, figure11,
-                               scenarios, section33, section44, table1, table4)
+                               scenario_occupancy, scenarios, section33,
+                               section44, table1, table4)
 
 #: Experiments that run cycle-level simulations (and therefore accept
 #: ``trace_length`` / ``parallel``).
 _SIMULATION_EXPERIMENTS = {"figure3", "figure10", "figure11", "table4",
-                           "section33", "scenarios"}
+                           "section33", "scenarios", "scenario_occupancy"}
+
+#: Experiments that accept a ``scenarios=[...]`` name filter.
+_SCENARIO_EXPERIMENTS = {"scenarios", "scenario_occupancy"}
 
 #: Registry: experiment name → module with a ``run()`` function.
 EXPERIMENTS: Dict[str, object] = {
@@ -50,6 +62,7 @@ EXPERIMENTS: Dict[str, object] = {
     "section33": section33,
     "section44": section44,
     "scenarios": scenarios,
+    "scenario_occupancy": scenario_occupancy,
 }
 
 #: Reduced parameters used by ``--quick`` runs.
@@ -59,12 +72,14 @@ QUICK_SIZES = (40, 48, 64, 96, 160)
 
 def run_experiment(name: str, trace_length: Optional[int] = None,
                    parallel: bool = True, quick: bool = False,
-                   cache=None):
+                   cache=None, scenarios: Optional[List[str]] = None):
     """Run one experiment by name and return its result object.
 
     ``cache`` is forwarded to the simulation experiments (see
     :func:`repro.analysis.sweep.run_sweep`); analytical experiments
-    ignore it.
+    ignore it.  ``scenarios`` filters the scenario-library experiments to
+    the named scenarios (unknown names raise :class:`ValueError`); other
+    experiments ignore it.
     """
     if name not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
@@ -81,6 +96,8 @@ def run_experiment(name: str, trace_length: Optional[int] = None,
         kwargs["sizes"] = QUICK_SIZES
     if quick and name == "scenarios":
         kwargs["sizes"] = (48,)
+    if name in _SCENARIO_EXPERIMENTS and scenarios is not None:
+        kwargs["scenarios"] = scenarios
     return module.run(**kwargs)
 
 
@@ -156,7 +173,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="root of the sweep result cache (default: "
                              "$REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)")
+    parser.add_argument("--scenario-file", action="append", default=[],
+                        metavar="PATH",
+                        help="register the user-defined scenarios in this "
+                             "TOML/JSON config before running (repeatable); "
+                             "they join the scenario-library experiments")
+    parser.add_argument("--scenarios", default=None, metavar="NAMES",
+                        help="comma-separated scenario names to restrict the "
+                             "scenario-library experiments to (unknown names "
+                             "are an error)")
     args = parser.parse_args(raw_argv)
+
+    for path in args.scenario_file:
+        try:
+            from repro.trace.workloads import register_scenario_file
+
+            registered = register_scenario_file(path, replace=True)
+        except (OSError, ValueError) as exc:
+            parser.error(f"--scenario-file {path}: {exc}")
+        print(f"registered scenarios from {path}: {', '.join(registered)}")
+    scenario_filter = ([name.strip() for name in args.scenarios.split(",")
+                        if name.strip()]
+                       if args.scenarios is not None else None)
 
     if args.no_cache:
         cache = None
@@ -176,7 +214,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         start = time.time()
         result = run_experiment(name, trace_length=args.trace_length,
                                 parallel=not args.serial, quick=args.quick,
-                                cache=cache)
+                                cache=cache, scenarios=scenario_filter)
         elapsed = time.time() - start
         print("=" * 72)
         print(f"{name}  ({elapsed:.1f}s)")

@@ -12,18 +12,44 @@ and the early-release activity of each point.  See ``docs/workloads.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import percentage_speedup
 from repro.analysis.reporting import format_table
 from repro.analysis.sweep import SweepConfig, SweepResult, run_sweep
 from repro.pipeline.config import ProcessorConfig
-from repro.trace.workloads import SCENARIOS, scenario_workloads
+from repro.trace.workloads import get_scenario, scenario_workloads
 
 POLICIES = ("conv", "basic", "extended")
 
 #: Tight and roomy register files (the scenario grid's two columns).
 DEFAULT_SIZES = (48, 96)
+
+
+def resolve_scenario_names(scenarios: Optional[List[str]]) -> List[str]:
+    """Resolve a scenario filter against the registry, in grid order.
+
+    ``None`` selects every scenario.  An unknown name raises
+    :class:`ValueError` listing the known scenarios — silently dropping
+    it (the pre-PR-5 behaviour) turned a typo into a sweep that was
+    quietly missing points, or an empty grid.
+    """
+    known = scenario_workloads()
+    if scenarios is None:
+        return known
+    if not scenarios:
+        raise ValueError(
+            f"empty scenario selection (an empty or all-separator "
+            f"--scenarios value selects nothing); known scenarios: "
+            f"{', '.join(known)}")
+    unknown = [name for name in scenarios if name not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown scenarios: {', '.join(sorted(unknown))}; known "
+            f"scenarios: {', '.join(known)} (user-defined scenarios must "
+            f"be registered first — see register_scenario / --scenario-file)")
+    requested = set(scenarios)
+    return [name for name in known if name in requested]
 
 
 @dataclass
@@ -33,6 +59,11 @@ class ScenarioGridResult:
     sweep: SweepResult
     scenarios: List[str] = field(default_factory=list)
     sizes: Tuple[int, ...] = DEFAULT_SIZES
+    #: scenario name -> suite ("int"/"fp"), captured at sweep time so the
+    #: result stays self-contained: reporting must not re-derive the focus
+    #: file from the registry (a user-defined scenario may have been
+    #: re-registered or unregistered since the sweep ran).
+    suites: Dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def ipc(self, scenario: str, policy: str, size: int) -> float:
@@ -44,12 +75,21 @@ class ScenarioGridResult:
         return percentage_speedup(self.ipc(scenario, policy, size),
                                   self.ipc(scenario, "conv", size))
 
+    def _suite(self, scenario: str) -> str:
+        suite = self.suites.get(scenario)
+        if suite is None:
+            # Results built by hand (tests, pre-PR-5 pickles): fall back
+            # to the registry, which raises a helpful KeyError if the
+            # scenario is genuinely unknown.
+            suite = get_scenario(scenario).suite
+        return suite
+
     def early_release_fraction(self, scenario: str, policy: str,
                                size: int) -> float:
         """Early releases as a fraction of all releases (focus file)."""
         stats = self.sweep.stats(scenario, policy, size)
         focus = (stats.int_registers
-                 if SCENARIOS[scenario].suite == "int" else stats.fp_registers)
+                 if self._suite(scenario) == "int" else stats.fp_registers)
         total = focus.releases
         return focus.early_releases / total if total else 0.0
 
@@ -84,10 +124,12 @@ def run(trace_length: int = 20_000, parallel: bool = True,
     """Sweep the scenario library (scenarios × policies × sizes).
 
     Cached, sharded and parallelised exactly like the paper artefacts:
-    scenario names resolve through the same ``get_workload`` registry.
+    scenario names (built-in and registered) resolve through the same
+    ``get_workload`` registry.  Unknown names in ``scenarios`` raise
+    :class:`ValueError` instead of being silently dropped.
     """
-    names = [name for name in scenario_workloads()
-             if scenarios is None or name in scenarios]
+    names = resolve_scenario_names(scenarios)
+    suites = {name: get_scenario(name).suite for name in names}
     sweep = run_sweep(SweepConfig(
         benchmarks=tuple(names),
         policies=POLICIES,
@@ -96,4 +138,4 @@ def run(trace_length: int = 20_000, parallel: bool = True,
         base_config=base_config or ProcessorConfig()),
         parallel=parallel, cache=cache)
     return ScenarioGridResult(sweep=sweep, scenarios=names,
-                              sizes=tuple(sizes))
+                              sizes=tuple(sizes), suites=suites)

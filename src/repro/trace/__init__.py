@@ -55,7 +55,13 @@ from repro.trace.workloads import (
     has_workload,
     integer_workloads,
     fp_workloads,
+    load_scenario_file,
+    profile_digest,
+    register_scenario,
+    register_scenario_file,
     scenario_workloads,
+    unregister_scenario,
+    workload_digest,
 )
 from repro.trace.wrongpath import WrongPathGenerator
 
@@ -86,6 +92,12 @@ __all__ = [
     "has_workload",
     "integer_workloads",
     "fp_workloads",
+    "load_scenario_file",
+    "profile_digest",
+    "register_scenario",
+    "register_scenario_file",
     "scenario_workloads",
+    "unregister_scenario",
+    "workload_digest",
     "WrongPathGenerator",
 ]

@@ -21,7 +21,8 @@ All kernels share the same conventions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from types import SimpleNamespace
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -55,13 +56,14 @@ def _random_stream_addresses(stream: RandomStream, column) -> List[int]:
             + column.astype(np.int64) * stream.align).tolist()
 
 
-@dataclass
+@dataclass(frozen=True)
 class KernelParams:
     """Tunable knobs shared by the kernel generators.
 
     Only a subset is meaningful to any given kernel; unspecified knobs keep
     their defaults.  See the individual kernel classes for which knobs they
-    honour.
+    honour.  Frozen (and therefore hashable) so profiles built from it can
+    key the workload trace cache by *content*, not by name.
     """
 
     #: base address of the kernel's code (each kernel gets a disjoint range).
@@ -118,8 +120,161 @@ class KernelParams:
     branch_noise: float = 0.05
 
 
+# ----------------------------------------------------------------------
+# Declarative kernel-state descriptors.
+#
+# Every vectorised ``emit_chunk`` walks the same categories of mutable
+# kernel state in local variables — register-rotation cursors and
+# histories, stream offsets, pointer-chase positions, branch-site
+# counters, the global branch history and the iteration counter — and
+# writes the walked values back when the chunk is done.  The descriptors
+# make that scaffolding declarative: a kernel lists *which* state its
+# emitter touches (class attribute ``STATE``) and :class:`_KernelBase`
+# provides uniform bind / snapshot / write-back over the list, so the
+# bookkeeping exists in exactly one audited place instead of five
+# hand-kept copies.
+# ----------------------------------------------------------------------
+class StateDescriptor:
+    """One piece of mutable kernel state a chunk emitter binds.
+
+    ``bind`` copies the current value(s) onto the view (plain attributes;
+    lists are fresh copies, so binding never aliases state the scalar
+    path would mutate), ``write_back`` stores the view's values back into
+    the kernel.  The attribute naming is uniform: a descriptor for kernel
+    attribute ``x`` exposes ``x_<suffix>`` on the view.
+    """
+
+    __slots__ = ("attr",)
+
+    def __init__(self, attr: str) -> None:
+        self.attr = attr
+
+    def bind(self, kernel, view: SimpleNamespace) -> None:
+        raise NotImplementedError
+
+    def write_back(self, kernel, view: SimpleNamespace) -> None:
+        raise NotImplementedError
+
+
+class RotationState(StateDescriptor):
+    """A :class:`RegisterRotation`: cursor plus a private history copy.
+
+    Both bind and write-back truncate the history to the last
+    ``2 * window`` entries — more than every ``recent(k)`` / tail read
+    the kernels perform (k ≤ 5, window ≥ 8), and what the chunk emitters
+    have always written back — so snapshots are canonical regardless of
+    whether the scalar path's laxer pruning (up to ``4 * window``) ran
+    last.
+    """
+
+    def bind(self, kernel, view) -> None:
+        rotation = getattr(kernel, self.attr)
+        setattr(view, self.attr + "_cursor", rotation._cursor)
+        setattr(view, self.attr + "_history",
+                list(rotation._history[-2 * len(rotation.window):]))
+
+    def write_back(self, kernel, view) -> None:
+        rotation = getattr(kernel, self.attr)
+        rotation._cursor = getattr(view, self.attr + "_cursor")
+        history = getattr(view, self.attr + "_history")
+        rotation._history = history[-2 * len(rotation.window):]
+
+
+class StreamOffsetState(StateDescriptor):
+    """The ``offset`` of one :class:`StridedStream` attribute."""
+
+    def bind(self, kernel, view) -> None:
+        setattr(view, self.attr + "_offset", getattr(kernel, self.attr).offset)
+
+    def write_back(self, kernel, view) -> None:
+        getattr(kernel, self.attr).offset = getattr(view, self.attr + "_offset")
+
+
+class StreamOffsetsState(StateDescriptor):
+    """The ``offset`` of every stream in a list-of-streams attribute."""
+
+    def bind(self, kernel, view) -> None:
+        setattr(view, self.attr + "_offsets",
+                [stream.offset for stream in getattr(kernel, self.attr)])
+
+    def write_back(self, kernel, view) -> None:
+        offsets = getattr(view, self.attr + "_offsets")
+        for stream, offset in zip(getattr(kernel, self.attr), offsets):
+            stream.offset = offset
+
+
+class ChasePositionsState(StateDescriptor):
+    """The walk position of every :class:`PointerChaseStream` in a list."""
+
+    def bind(self, kernel, view) -> None:
+        setattr(view, self.attr + "_positions",
+                [chase._pos for chase in getattr(kernel, self.attr)])
+
+    def write_back(self, kernel, view) -> None:
+        positions = getattr(view, self.attr + "_positions")
+        for chase, position in zip(getattr(kernel, self.attr), positions):
+            chase._pos = position
+
+
+class SiteCountState(StateDescriptor):
+    """The dynamic-instance counter of one :class:`BranchSite` attribute."""
+
+    def bind(self, kernel, view) -> None:
+        setattr(view, self.attr + "_count", getattr(kernel, self.attr)._count)
+
+    def write_back(self, kernel, view) -> None:
+        getattr(kernel, self.attr)._count = getattr(view, self.attr + "_count")
+
+
+class SiteCountsState(StateDescriptor):
+    """The counters of every :class:`BranchSite` in a list attribute."""
+
+    def bind(self, kernel, view) -> None:
+        setattr(view, self.attr + "_counts",
+                [site._count for site in getattr(kernel, self.attr)])
+
+    def write_back(self, kernel, view) -> None:
+        counts = getattr(view, self.attr + "_counts")
+        for site, count in zip(getattr(kernel, self.attr), counts):
+            site._count = count
+
+
+class GhistState(StateDescriptor):
+    """The kernel's global branch-outcome history register."""
+
+    def __init__(self) -> None:
+        super().__init__("ghist")
+
+    def bind(self, kernel, view) -> None:
+        view.ghist = kernel.ghist
+
+    def write_back(self, kernel, view) -> None:
+        kernel.ghist = view.ghist
+
+
+class IterationState(StateDescriptor):
+    """The kernel's loop-iteration counter."""
+
+    def __init__(self) -> None:
+        super().__init__("iteration")
+
+    def bind(self, kernel, view) -> None:
+        view.iteration = kernel.iteration
+
+    def write_back(self, kernel, view) -> None:
+        kernel.iteration = view.iteration
+
+
 class _KernelBase:
     """Shared plumbing: pc bookkeeping, iteration counting, branch history."""
+
+    #: State the vectorised ``emit_chunk`` binds and writes back, beyond
+    #: the ghist/iteration pair every kernel shares (contributed by the
+    #: base).  Subclasses overriding :meth:`emit_chunk` declare theirs.
+    STATE: Tuple[StateDescriptor, ...] = ()
+
+    #: Descriptors common to every kernel (bound first, written back first).
+    _BASE_STATE: Tuple[StateDescriptor, ...] = (GhistState(), IterationState())
 
     def __init__(self, params: KernelParams) -> None:
         self.params = params
@@ -139,6 +294,36 @@ class _KernelBase:
         taken = site.next_outcome(rng, self.ghist)
         self.ghist = ((self.ghist << 1) | int(taken)) & 0xFFFF
         return taken
+
+    # -- declarative chunk-state plumbing (see the descriptor classes) --
+    def bind_chunk_state(self) -> SimpleNamespace:
+        """Copy the declared mutable state into a fresh view.
+
+        The view holds plain values and private list copies, so a chunk
+        emitter that raises (:exc:`~repro.trace.draws.ReplayUnsupported`,
+        before consuming RNG state) leaves the kernel untouched; only
+        :meth:`write_back_chunk_state` publishes the walked values.
+        """
+        view = SimpleNamespace()
+        for descriptor in self._BASE_STATE + self.STATE:
+            descriptor.bind(self, view)
+        return view
+
+    def write_back_chunk_state(self, view: SimpleNamespace) -> None:
+        """Store a view's (walked) values back into the kernel."""
+        for descriptor in self._BASE_STATE + self.STATE:
+            descriptor.write_back(self, view)
+
+    def state_snapshot(self) -> dict:
+        """Plain-dict snapshot of the declared state (tests, diagnostics).
+
+        Two kernels that emitted the same stream — one through
+        :meth:`emit_iteration`, one through :meth:`emit_chunk` — must
+        produce equal snapshots; the equivalence suite relies on this.
+        """
+        snapshot = vars(self.bind_chunk_state())
+        return {key: (list(value) if isinstance(value, list) else value)
+                for key, value in snapshot.items()}
 
     # Subclasses implement this.
     def emit_iteration(self, rng: np.random.Generator) -> List[Instruction]:
@@ -191,6 +376,10 @@ class StreamingFPKernel(_KernelBase):
 
     #: FP registers reserved for loop-invariant coefficients.
     N_COEF = 4
+
+    STATE = (RotationState("int_rot"), RotationState("fp_rot"),
+             StreamOffsetsState("streams"), StreamOffsetState("out_stream"),
+             SiteCountState("loop_branch"))
 
     def __init__(self, params: KernelParams) -> None:
         super().__init__(params)
@@ -289,24 +478,25 @@ class StreamingFPKernel(_KernelBase):
         append = out.append
         memo = self._memo
         Inst = Instruction
+        st = self.bind_chunk_state()
         int_rot, fp_rot = self.int_rot, self.fp_rot
         iwin, fwin = int_rot.window, fp_rot.window
         iwn, fwn = len(iwin), len(fwin)
-        icur, fcur = int_rot._cursor, fp_rot._cursor
-        ihist = list(int_rot._history)
-        fhist = list(fp_rot._history)
+        icur, fcur = st.int_rot_cursor, st.fp_rot_cursor
+        ihist = st.int_rot_history
+        fhist = st.fp_rot_history
         streams = self.streams
         n_streams = len(streams)
-        offsets = [s.offset for s in streams]
+        offsets = st.streams_offsets
         out_stream = self.out_stream
-        out_offset = out_stream.offset
+        out_offset = st.out_stream_offset
         loop = self.loop_branch
         trip, loop_pc, loop_target = loop.trip, loop.pc, loop.target
-        loop_count = loop._count
-        ghist = self.ghist
+        loop_count = st.loop_branch_count
+        ghist = st.ghist
         chain_len, div_interval, ncoef = p.chain_len, p.div_interval, self.N_COEF
         pc0 = p.pc_base
-        iteration = self.iteration
+        iteration = st.iteration
         ALU, LOADF, STOREF = OpClass.INT_ALU, OpClass.FP_LOAD, OpClass.FP_STORE
         ADD, MULT, DIV, BR = (OpClass.FP_ADD, OpClass.FP_MULT, OpClass.FP_DIV,
                               OpClass.BRANCH)
@@ -397,16 +587,13 @@ class StreamingFPKernel(_KernelBase):
             append(inst)
             iteration += 1
             bounds.append(len(out))
-        # Write the walked state back (rotations, streams, branch, ghist).
-        int_rot._cursor, fp_rot._cursor = icur, fcur
-        int_rot._history = ihist[-2 * iwn:]
-        fp_rot._history = fhist[-2 * fwn:]
-        for s, stream in enumerate(streams):
-            stream.offset = offsets[s]
-        out_stream.offset = out_offset
-        loop._count = loop_count
-        self.ghist = ghist
-        self.iteration = iteration
+        # Publish the walked state (histories/offsets mutate in place).
+        st.int_rot_cursor, st.fp_rot_cursor = icur, fcur
+        st.out_stream_offset = out_offset
+        st.loop_branch_count = loop_count
+        st.ghist = ghist
+        st.iteration = iteration
+        self.write_back_chunk_state(st)
         return out, bounds
 
 
@@ -420,6 +607,10 @@ class StencilFPKernel(_KernelBase):
     """
 
     N_COEF = 6
+
+    STATE = (RotationState("int_rot"), RotationState("fp_rot"),
+             StreamOffsetsState("streams"), StreamOffsetState("out_stream"),
+             SiteCountState("loop_branch"))
 
     def __init__(self, params: KernelParams) -> None:
         super().__init__(params)
@@ -524,24 +715,25 @@ class StencilFPKernel(_KernelBase):
         append = out.append
         memo = self._memo
         Inst = Instruction
+        st = self.bind_chunk_state()
         int_rot, fp_rot = self.int_rot, self.fp_rot
         iwin, fwin = int_rot.window, fp_rot.window
         iwn, fwn = len(iwin), len(fwin)
-        icur, fcur = int_rot._cursor, fp_rot._cursor
-        ihist = list(int_rot._history)
-        fhist = list(fp_rot._history)
+        icur, fcur = st.int_rot_cursor, st.fp_rot_cursor
+        ihist = st.int_rot_history
+        fhist = st.fp_rot_history
         streams = self.streams
         n_streams = len(streams)
-        offsets = [s.offset for s in streams]
+        offsets = st.streams_offsets
         out_stream = self.out_stream
-        out_offset = out_stream.offset
+        out_offset = st.out_stream_offset
         loop = self.loop_branch
         trip, loop_pc, loop_target = loop.trip, loop.pc, loop.target
-        loop_count = loop._count
-        ghist = self.ghist
+        loop_count = st.loop_branch_count
+        ghist = st.ghist
         chain_len, div_interval, ncoef = p.chain_len, p.div_interval, self.N_COEF
         pc0 = p.pc_base
-        iteration = self.iteration
+        iteration = st.iteration
         ALU, LOADF, STOREF = OpClass.INT_ALU, OpClass.FP_LOAD, OpClass.FP_STORE
         ADD, MULT, DIV, BR = (OpClass.FP_ADD, OpClass.FP_MULT, OpClass.FP_DIV,
                               OpClass.BRANCH)
@@ -644,15 +836,12 @@ class StencilFPKernel(_KernelBase):
             append(inst)
             iteration += 1
             bounds.append(len(out))
-        int_rot._cursor, fp_rot._cursor = icur, fcur
-        int_rot._history = ihist[-2 * iwn:]
-        fp_rot._history = fhist[-2 * fwn:]
-        for s, stream in enumerate(streams):
-            stream.offset = offsets[s]
-        out_stream.offset = out_offset
-        loop._count = loop_count
-        self.ghist = ghist
-        self.iteration = iteration
+        st.int_rot_cursor, st.fp_rot_cursor = icur, fcur
+        st.out_stream_offset = out_offset
+        st.loop_branch_count = loop_count
+        st.ghist = ghist
+        st.iteration = iteration
+        self.write_back_chunk_state(st)
         return out, bounds
 
 
@@ -666,6 +855,9 @@ class IntComputeKernel(_KernelBase):
     the out-of-order core realistic integer ILP; the serial part of the
     iteration is only the induction variable and the combine step.
     """
+
+    STATE = (RotationState("int_rot"), StreamOffsetState("out"),
+             SiteCountState("loop_branch"), SiteCountState("hammock_branch"))
 
     def __init__(self, params: KernelParams) -> None:
         super().__init__(params)
@@ -778,24 +970,25 @@ class IntComputeKernel(_KernelBase):
         append = out.append
         memo = self._memo
         Inst = Instruction
+        st = self.bind_chunk_state()
         int_rot = self.int_rot
         iwin = int_rot.window
         iwn = len(iwin)
-        icur = int_rot._cursor
-        ihist = list(int_rot._history)
+        icur = st.int_rot_cursor
+        ihist = st.int_rot_history
         out_stream = self.out
-        out_offset = out_stream.offset
+        out_offset = st.out_offset
         loop = self.loop_branch
         trip, loop_pc, loop_target = loop.trip, loop.pc, loop.target
-        loop_count = loop._count
+        loop_count = st.loop_branch_count
         hammock_pc, hammock_target = hammock.pc, hammock.target
         hammock_noise = hammock.noise
-        ghist = self.ghist
+        ghist = st.ghist
         chain_len, hammock_len = p.chain_len, p.hammock_len
         mult_interval, store_fraction = p.mult_interval, p.store_fraction
         extra_stores = p.extra_stores
         pc0 = p.pc_base
-        iteration = self.iteration
+        iteration = st.iteration
         ALU, LOAD, STORE = OpClass.INT_ALU, OpClass.LOAD, OpClass.STORE
         MULT, BR = OpClass.INT_MULT, OpClass.BRANCH
         chain_heads: List[int] = []
@@ -901,13 +1094,13 @@ class IntComputeKernel(_KernelBase):
             append(inst)
             iteration += 1
             bounds.append(len(out))
-        int_rot._cursor = icur
-        int_rot._history = ihist[-2 * iwn:]
-        out_stream.offset = out_offset
-        loop._count = loop_count
-        hammock._count += k
-        self.ghist = ghist
-        self.iteration = iteration
+        st.int_rot_cursor = icur
+        st.out_offset = out_offset
+        st.loop_branch_count = loop_count
+        st.hammock_branch_count += k
+        st.ghist = ghist
+        st.iteration = iteration
+        self.write_back_chunk_state(st)
         return out, bounds
 
 
@@ -928,6 +1121,9 @@ class BranchyKernel(_KernelBase):
         (False, True, True),
         (True, True, True, True, False, True),
     )
+
+    STATE = (RotationState("int_rot"), SiteCountState("loop_branch"),
+             SiteCountsState("sites"))
 
     def __init__(self, params: KernelParams) -> None:
         super().__init__(params)
@@ -1056,22 +1252,24 @@ class BranchyKernel(_KernelBase):
         append = out.append
         memo = self._memo
         Inst = Instruction
+        st = self.bind_chunk_state()
         int_rot = self.int_rot
         iwin = int_rot.window
         iwn = len(iwin)
-        icur = int_rot._cursor
-        ihist = list(int_rot._history)
+        icur = st.int_rot_cursor
+        ihist = st.int_rot_history
         loop = self.loop_branch
         trip, loop_pc, loop_target = loop.trip, loop.pc, loop.target
-        loop_count = loop._count
-        ghist = self.ghist
+        loop_count = st.loop_branch_count
+        ghist = st.ghist
         block_len, hammock_len = p.block_len, p.hammock_len
-        iteration = self.iteration
+        iteration = st.iteration
         ALU, LOAD, STORE, BR = (OpClass.INT_ALU, OpClass.LOAD, OpClass.STORE,
                                 OpClass.BRANCH)
-        #: per-site dynamic-instance counters, advanced in bulk afterwards.
-        pattern_counts = {id(site): site._count for site, *_ in plan
-                          if site.kind == "pattern"}
+        #: per-site dynamic-instance counters (plan order == sites order);
+        #: pattern sites walk theirs per iteration, correlated sites
+        #: advance by ``k`` in bulk below.
+        site_counts = st.sites_counts
         for j in range(k):
             for s, (site, load_index, store_index, noise_index) in enumerate(plan):
                 site_pc = site.pc
@@ -1109,9 +1307,9 @@ class BranchyKernel(_KernelBase):
                     pc += 4
                 if site.kind == "pattern":
                     pattern = site.pattern
-                    count = pattern_counts[id(site)]
+                    count = site_counts[s]
                     taken = bool(pattern[count % len(pattern)]) if pattern else False
-                    pattern_counts[id(site)] = count + 1
+                    site_counts[s] = count + 1
                 else:
                     taken = site.correlated_outcome(ghist)
                     if noise_index is not None and \
@@ -1151,16 +1349,14 @@ class BranchyKernel(_KernelBase):
             append(inst)
             iteration += 1
             bounds.append(len(out))
-        int_rot._cursor = icur
-        int_rot._history = ihist[-2 * iwn:]
-        loop._count = loop_count
-        for site, *_ in plan:
-            if site.kind == "pattern":
-                site._count = pattern_counts[id(site)]
-            else:
-                site._count += k
-        self.ghist = ghist
-        self.iteration = iteration
+        st.int_rot_cursor = icur
+        st.loop_branch_count = loop_count
+        for s, (site, *_rest) in enumerate(plan):
+            if site.kind != "pattern":
+                site_counts[s] += k
+        st.ghist = ghist
+        st.iteration = iteration
+        self.write_back_chunk_state(st)
         return out, bounds
 
 
@@ -1174,6 +1370,10 @@ class PointerChaseKernel(_KernelBase):
     highly regular dispatch branch (pattern) plus one data-dependent
     branch, and an occasional store.
     """
+
+    STATE = (RotationState("int_rot"), ChasePositionsState("chases"),
+             SiteCountState("pattern_branch"), SiteCountState("cond_branch"),
+             SiteCountState("loop_branch"))
 
     def __init__(self, params: KernelParams) -> None:
         super().__init__(params)
@@ -1289,6 +1489,7 @@ class PointerChaseKernel(_KernelBase):
         # Worst case per iteration: noise flip + store lottery (one raw
         # each) + store address (at most one raw).
         cursor = RawCursor(rng, 3 * k + 2)
+        st = self.bind_chunk_state()
         try:
             out: List[Instruction] = []
             bounds: List[int] = []
@@ -1298,36 +1499,37 @@ class PointerChaseKernel(_KernelBase):
             int_rot = self.int_rot
             iwin = int_rot.window
             iwn = len(iwin)
-            icur = int_rot._cursor
-            ihist = list(int_rot._history)
+            icur = st.int_rot_cursor
+            ihist = st.int_rot_history
             chases = self.chases
+            chase_positions = st.chases_positions
             chase_addrs: List[List[int]] = []
-            for chase in chases:
+            for chase_id, chase in enumerate(chases):
                 chase._ensure_order()
                 order = chase._order
                 count = k * p.load_chain_len
-                idx = (chase._pos + np.arange(count)) % chase.n_nodes
+                idx = (chase_positions[chase_id] + np.arange(count)) % chase.n_nodes
                 chase_addrs.append(
                     (chase.base + order[idx] * chase.node_size).tolist())
-                chase._pos += count
+                chase_positions[chase_id] += count
             chase_cursors = [0] * len(chases)
             ptr_regs = self._ptr_regs
             pattern_branch = self.pattern_branch
             pattern = pattern_branch.pattern
             pattern_len = len(pattern)
-            pattern_count = pattern_branch._count
+            pattern_count = st.pattern_branch_count
             pattern_pc, pattern_target = pattern_branch.pc, pattern_branch.target
             cond_pc, cond_target, cond_noise = cond.pc, cond.target, cond.noise
             loop = self.loop_branch
             trip, loop_pc, loop_target = loop.trip, loop.pc, loop.target
-            loop_count = loop._count
+            loop_count = st.loop_branch_count
             data = self.data
             data_base, data_align = data.base, data.align
-            ghist = self.ghist
+            ghist = st.ghist
             load_chain_len, hammock_len = p.load_chain_len, p.hammock_len
             store_fraction = p.store_fraction
             pc0 = p.pc_base
-            iteration = self.iteration
+            iteration = st.iteration
             ALU, LOAD, STORE, BR = (OpClass.INT_ALU, OpClass.LOAD,
                                     OpClass.STORE, OpClass.BRANCH)
             next_double = cursor.next_double
@@ -1427,13 +1629,13 @@ class PointerChaseKernel(_KernelBase):
                 bounds.append(len(out))
         finally:
             cursor.finalize()
-        int_rot._cursor = icur
-        int_rot._history = ihist[-2 * iwn:]
-        pattern_branch._count = pattern_count
-        cond._count += k
-        loop._count = loop_count
-        self.ghist = ghist
-        self.iteration = iteration
+        st.int_rot_cursor = icur
+        st.pattern_branch_count = pattern_count
+        st.cond_branch_count += k
+        st.loop_branch_count = loop_count
+        st.ghist = ghist
+        st.iteration = iteration
+        self.write_back_chunk_state(st)
         return out, bounds
 
 

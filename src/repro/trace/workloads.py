@@ -22,9 +22,14 @@ rationale.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import re
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -289,7 +294,11 @@ def generate_trace(profile: BenchmarkProfile,
         raise ValueError("n_instructions must be positive")
     # Derive a per-benchmark stream from a *stable* digest of the name (the
     # built-in str hash is salted per interpreter run, which would make
-    # traces irreproducible across sessions).
+    # traces irreproducible across sessions).  The ten benchmark names are
+    # a fixed, collision-free set, so this legacy digest is kept to
+    # preserve the identity of every paper-artefact trace; scenarios
+    # (arbitrary user names) mix in a cryptographic digest instead — see
+    # :func:`_scenario_stream_seed`.
     name_digest = sum((index + 1) * ord(char)
                       for index, char in enumerate(profile.name))
     rng = np.random.default_rng(seed + name_digest % (1 << 16))
@@ -422,8 +431,21 @@ SCENARIOS: Dict[str, ScenarioProfile] = {
 }
 
 
+#: Scenario names shipped with the library (never replaceable by user
+#: registrations — a config that shadowed ``branch_storm`` would silently
+#: change what every other consumer of the grid means by it).
+_BUILTIN_SCENARIO_NAMES = frozenset(SCENARIOS)
+
+#: Accepted scenario names: identifier-like, plus ``.`` and ``-``.
+_SCENARIO_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
 def scenario_workloads() -> List[str]:
-    """Names of the scenario-library workloads (sweep-able grid order)."""
+    """Names of the scenario-library workloads (sweep-able grid order).
+
+    Built-in scenarios first, then user-registered ones in registration
+    order.
+    """
     return list(SCENARIOS)
 
 
@@ -436,9 +458,317 @@ def get_scenario(name: str) -> ScenarioProfile:
         raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
 
 
+#: Process-local profiles shipped by the sweep layer.  Pool worker
+#: processes re-import this module with only the built-in registries, so
+#: ``run_simulation_point`` installs the sweep's shipped profiles here
+#: before simulating — then *every* name lookup inside the point (the
+#: trace itself, but also the simulator's warm-up trace, which re-resolves
+#: ``trace.name`` with a different seed) sees exactly the same profiles in
+#: a worker as in the parent process.  Never listed by
+#: :func:`scenario_workloads`; entries are refreshed per sweep point.
+_EPHEMERAL_PROFILES: Dict[str, ScenarioProfile] = {}
+
+
+def install_ephemeral_profiles(profiles: Sequence[ScenarioProfile]) -> None:
+    """Make shipped scenario profiles resolvable by name in this process.
+
+    Called by the sweep layer (parent and workers alike) with the
+    ``SweepConfig.scenario_profiles`` of the sweep being executed;
+    same-name entries are overwritten so lookups always reflect the
+    current sweep's content.
+    """
+    for profile in profiles:
+        _EPHEMERAL_PROFILES[profile.name] = profile
+
+
 def has_workload(name: str) -> bool:
-    """True when ``name`` is a known benchmark or scenario."""
-    return name in WORKLOADS or name in SCENARIOS
+    """True when ``name`` is a known benchmark or scenario (including
+    profiles shipped by the currently executing sweep)."""
+    return (name in WORKLOADS or name in SCENARIOS
+            or name in _EPHEMERAL_PROFILES)
+
+
+# ----------------------------------------------------------------------
+# User-defined scenarios: validation, registration, config loading.
+# ----------------------------------------------------------------------
+def validate_scenario_profile(profile: ScenarioProfile) -> None:
+    """Validate a scenario profile, raising :class:`ValueError` on problems.
+
+    Checks the name shape, the suite, the phase list (non-empty, known
+    kernel families) and the phase length — everything the generator and
+    the sweep stack assume without re-checking.
+    """
+    if not isinstance(profile, ScenarioProfile):
+        raise ValueError(f"expected a ScenarioProfile, got {type(profile).__name__}")
+    if not isinstance(profile.name, str) or not _SCENARIO_NAME_RE.match(profile.name):
+        raise ValueError(
+            f"invalid scenario name {profile.name!r}: must start with a letter "
+            f"or underscore and contain only letters, digits, '_', '.', '-'")
+    if profile.suite not in ("int", "fp"):
+        raise ValueError(f"scenario {profile.name!r}: suite must be 'int' or "
+                         f"'fp', got {profile.suite!r}")
+    if not profile.phases:
+        raise ValueError(f"scenario {profile.name!r}: needs at least one phase")
+    for index, phase in enumerate(profile.phases):
+        if phase.kernel not in _KERNEL_FACTORIES:
+            known = ", ".join(sorted(_KERNEL_FACTORIES))
+            raise ValueError(
+                f"scenario {profile.name!r} phase {index}: unknown kernel "
+                f"{phase.kernel!r}; known kernels: {known}")
+        if not isinstance(phase.params, KernelParams):
+            raise ValueError(
+                f"scenario {profile.name!r} phase {index}: params must be a "
+                f"KernelParams, got {type(phase.params).__name__}")
+    if not isinstance(profile.phase_length, int) or profile.phase_length <= 0:
+        raise ValueError(f"scenario {profile.name!r}: phase_length must be a "
+                         f"positive integer, got {profile.phase_length!r}")
+
+
+def register_scenario(profile: ScenarioProfile,
+                      replace: bool = False) -> ScenarioProfile:
+    """Register a user-defined scenario in :data:`SCENARIOS`.
+
+    After registration the scenario resolves through every layer that
+    accepts a workload name — :func:`get_workload`, ``run_sweep``, the
+    on-disk sweep cache, the experiment CLI.  Trace identity is keyed by
+    the profile's *content* (see :func:`profile_digest`), so re-registering
+    a changed profile under the same name can never serve a stale trace
+    or a stale cached sweep point.
+
+    Registering the same content twice is a no-op.  Re-registering a
+    *different* profile under an existing user-registered name requires
+    ``replace=True``; built-in scenario and benchmark names can never be
+    taken over.
+    """
+    validate_scenario_profile(profile)
+    name = profile.name
+    if name in WORKLOADS:
+        raise ValueError(f"scenario name {name!r} collides with a built-in "
+                         f"benchmark profile")
+    if name in _BUILTIN_SCENARIO_NAMES:
+        raise ValueError(f"scenario name {name!r} collides with a built-in "
+                         f"scenario")
+    existing = SCENARIOS.get(name)
+    if existing is not None and existing != profile and not replace:
+        raise ValueError(
+            f"scenario {name!r} is already registered with different "
+            f"content; pass replace=True to re-register")
+    SCENARIOS[name] = profile
+    return profile
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a user-registered scenario (built-ins cannot be removed)."""
+    if name in _BUILTIN_SCENARIO_NAMES:
+        raise ValueError(f"cannot unregister built-in scenario {name!r}")
+    if name not in SCENARIOS:
+        raise KeyError(f"no registered scenario {name!r}")
+    del SCENARIOS[name]
+
+
+def _phase_from_config(entry: Mapping, scenario: str, index: int) -> ScenarioPhase:
+    if not isinstance(entry, Mapping):
+        raise ValueError(f"scenario {scenario!r} phase {index}: expected a "
+                         f"mapping, got {type(entry).__name__}")
+    unknown = set(entry) - {"kernel", "params"}
+    if unknown:
+        raise ValueError(f"scenario {scenario!r} phase {index}: unknown keys "
+                         f"{sorted(unknown)} (expected 'kernel' and 'params')")
+    kernel = entry.get("kernel")
+    if not isinstance(kernel, str):
+        raise ValueError(f"scenario {scenario!r} phase {index}: 'kernel' is "
+                         f"required and must be a string")
+    params = entry.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ValueError(f"scenario {scenario!r} phase {index}: 'params' must "
+                         f"be a mapping of KernelParams fields")
+    valid = {field.name: field.type for field in dataclasses.fields(KernelParams)}
+    bad = set(params) - set(valid)
+    if bad:
+        raise ValueError(
+            f"scenario {scenario!r} phase {index}: unknown kernel parameters "
+            f"{sorted(bad)}; valid parameters: {', '.join(sorted(valid))}")
+    for key, value in params.items():
+        # Annotations are strings ("int"/"float") under
+        # `from __future__ import annotations`; reject wrong-typed values
+        # here, at load time, instead of as an opaque TypeError deep
+        # inside trace generation (possibly in a pool worker).
+        expected = valid[key]
+        if expected == "int":
+            type_ok = isinstance(value, int) and not isinstance(value, bool)
+        elif expected == "float":
+            type_ok = (isinstance(value, (int, float))
+                       and not isinstance(value, bool))
+        else:  # future non-numeric knob: defer to KernelParams itself
+            type_ok = True
+        if not type_ok:
+            raise ValueError(
+                f"scenario {scenario!r} phase {index}: parameter {key!r} "
+                f"must be {'an int' if expected == 'int' else 'a number'}, "
+                f"got {value!r}")
+    return ScenarioPhase(kernel=kernel, params=KernelParams(**params))
+
+
+_SCENARIO_CONFIG_KEYS = {"name", "suite", "description", "phase_length", "phases"}
+
+
+def _scenario_from_config(entry: Mapping, source: str) -> ScenarioProfile:
+    if not isinstance(entry, Mapping):
+        raise ValueError(f"{source}: each scenario must be a mapping, got "
+                         f"{type(entry).__name__}")
+    unknown = set(entry) - _SCENARIO_CONFIG_KEYS
+    if unknown:
+        raise ValueError(f"{source}: unknown scenario keys {sorted(unknown)}; "
+                         f"expected {sorted(_SCENARIO_CONFIG_KEYS)}")
+    name = entry.get("name")
+    if not isinstance(name, str):
+        raise ValueError(f"{source}: scenario 'name' is required and must be "
+                         f"a string")
+    phases_cfg = entry.get("phases")
+    if not isinstance(phases_cfg, Sequence) or isinstance(phases_cfg, (str, bytes)):
+        raise ValueError(f"{source}: scenario {name!r} needs a 'phases' list")
+    phase_length = entry.get("phase_length", 2_500)
+    profile = ScenarioProfile(
+        name=name,
+        suite=entry.get("suite", ""),
+        description=entry.get("description", ""),
+        phase_length=phase_length,
+        phases=tuple(_phase_from_config(phase, name, index)
+                     for index, phase in enumerate(phases_cfg)),
+    )
+    validate_scenario_profile(profile)
+    return profile
+
+
+def parse_scenario_config(data: Mapping,
+                          source: str = "<scenario config>") -> List[ScenarioProfile]:
+    """Build (validated) scenario profiles from a parsed config mapping.
+
+    Two shapes are accepted: a mapping with a ``scenarios`` list, or a
+    single scenario mapping (one with a ``name`` key).  See
+    ``docs/workloads.md`` ("User-defined scenarios") for the format.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{source}: top level must be a mapping")
+    if "scenarios" in data:
+        entries = data["scenarios"]
+        extra = set(data) - {"scenarios"}
+        if extra:
+            raise ValueError(f"{source}: unknown top-level keys {sorted(extra)}")
+        if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+            raise ValueError(f"{source}: 'scenarios' must be a list")
+    elif "name" in data:
+        entries = [data]
+    else:
+        raise ValueError(f"{source}: expected a 'scenarios' list or a single "
+                         f"scenario mapping with a 'name'")
+    profiles = [_scenario_from_config(entry, source) for entry in entries]
+    if not profiles:
+        raise ValueError(f"{source}: no scenarios defined")
+    names = [profile.name for profile in profiles]
+    if len(set(names)) != len(names):
+        raise ValueError(f"{source}: duplicate scenario names in one config")
+    return profiles
+
+
+def load_scenario_file(path: Union[str, Path]) -> List[ScenarioProfile]:
+    """Load scenario profiles from a TOML (``.toml``) or JSON config file.
+
+    TOML needs Python 3.11+ (:mod:`tomllib`); JSON works everywhere.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ImportError:
+            raise ValueError(
+                f"{path}: TOML scenario configs need Python 3.11+ "
+                f"(tomllib); use the JSON form on older interpreters") from None
+        with path.open("rb") as handle:
+            data = tomllib.load(handle)
+    else:
+        with path.open("r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    return parse_scenario_config(data, source=str(path))
+
+
+def register_scenario_file(path: Union[str, Path],
+                           replace: bool = False) -> List[str]:
+    """Load a scenario config file and register every profile in it.
+
+    Returns the registered names (config order).
+    """
+    profiles = load_scenario_file(path)
+    return [register_scenario(profile, replace=replace).name
+            for profile in profiles]
+
+
+# ----------------------------------------------------------------------
+# Trace identity: content digests and the in-memory trace cache.
+# ----------------------------------------------------------------------
+def profile_digest(profile: Union[BenchmarkProfile, ScenarioProfile]) -> str:
+    """Stable content digest of a benchmark or scenario profile.
+
+    Profiles are frozen dataclasses of primitives, so their ``repr`` is a
+    deterministic, content-bearing serialisation; hashing it gives the
+    identity that keys both the in-memory trace cache and the on-disk
+    sweep cache.  Re-registering a changed scenario under the same name
+    therefore changes every cache key it participates in.
+    """
+    payload = f"{type(profile).__name__}:{profile!r}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def resolve_workload_profile(
+        name: str,
+        scenario_profiles: Sequence[ScenarioProfile] = (),
+) -> Union[BenchmarkProfile, ScenarioProfile]:
+    """Resolve a workload name to its profile.
+
+    ``scenario_profiles`` are ephemeral overrides searched first — the
+    sweep layer uses them to ship registered (or derived) scenarios to
+    pool worker processes, whose freshly imported registry only contains
+    the built-ins.  The registries come next (an explicit
+    ``register_scenario`` must always win for names they hold), and
+    profiles installed by the executing sweep
+    (:func:`install_ephemeral_profiles`) resolve last — they exist for
+    names the process's registry does not know.
+    """
+    for profile in scenario_profiles:
+        if profile.name == name:
+            return profile
+    if name in SCENARIOS:
+        return SCENARIOS[name]
+    if name in WORKLOADS:
+        return WORKLOADS[name]
+    if name in _EPHEMERAL_PROFILES:
+        return _EPHEMERAL_PROFILES[name]
+    known = ", ".join(sorted(WORKLOADS) + sorted(SCENARIOS))
+    raise KeyError(f"unknown workload {name!r}; known workloads: {known}")
+
+
+def workload_digest(name: str,
+                    scenario_profiles: Sequence[ScenarioProfile] = ()) -> str:
+    """Content digest of the named workload (see :func:`profile_digest`)."""
+    return profile_digest(resolve_workload_profile(name, scenario_profiles))
+
+
+def _scenario_stream_seed(name: str) -> int:
+    """Stable 64-bit name digest mixed into a scenario's RNG seed.
+
+    The pre-PR-5 ad-hoc digest (``sum((i + 1) * ord(c))``, folded mod
+    2**16) collides easily across names ("bc" vs "db"), which handed two
+    distinct scenarios identical RNG streams; a cryptographic digest
+    makes that practically impossible.  Switching was a one-time
+    re-baseline of the built-in scenario traces (documented in
+    ``docs/workloads.md``); their new identity is pinned by
+    ``tests/trace/test_scenario_config.py``.
+    """
+    return int.from_bytes(hashlib.sha256(name.encode("utf-8")).digest()[:8],
+                          "big")
 
 
 def generate_scenario_trace(profile: ScenarioProfile,
@@ -458,9 +788,8 @@ def generate_scenario_trace(profile: ScenarioProfile,
     """
     if n_instructions <= 0:
         raise ValueError("n_instructions must be positive")
-    name_digest = sum((index + 1) * ord(char)
-                      for index, char in enumerate(profile.name))
-    rng = np.random.default_rng(seed + name_digest % (1 << 16))
+    rng = np.random.default_rng(
+        np.random.SeedSequence((seed, _scenario_stream_seed(profile.name))))
     vectorized = vectorized_enabled(vectorized)
     kernels = [_KERNEL_FACTORIES[phase.kernel](phase.params)
                for phase in profile.phases]
@@ -481,21 +810,33 @@ def generate_scenario_trace(profile: ScenarioProfile,
 
 
 @lru_cache(maxsize=64)
-def _cached_workload(name: str, n_instructions: int, seed: int) -> Trace:
-    if name in SCENARIOS:
-        return generate_scenario_trace(SCENARIOS[name], n_instructions, seed)
-    return generate_trace(get_profile(name), n_instructions, seed)
+def _cached_trace(profile: Union[BenchmarkProfile, ScenarioProfile],
+                  n_instructions: int, seed: int) -> Trace:
+    """Memoised trace generation, keyed by profile *content*.
+
+    Profiles are frozen (hashable) dataclasses, so the key is the full
+    content: re-registering a changed scenario under the same name misses
+    this cache instead of serving the stale trace, while re-registering
+    identical content still hits.
+    """
+    if isinstance(profile, ScenarioProfile):
+        return generate_scenario_trace(profile, n_instructions, seed)
+    return generate_trace(profile, n_instructions, seed)
 
 
 def get_workload(name: str, n_instructions: int = DEFAULT_TRACE_LENGTH,
-                 seed: int = 0) -> Trace:
+                 seed: int = 0,
+                 scenario_profiles: Sequence[ScenarioProfile] = ()) -> Trace:
     """Return (and cache) the synthetic trace for benchmark or scenario
     ``name``.
 
-    Traces are deterministic functions of ``(name, n_instructions, seed)``,
-    so repeated calls — e.g. the same benchmark simulated under the three
-    release policies — reuse the cached object.  Scenario names (see
-    :data:`SCENARIOS`) resolve exactly like the paper's benchmarks, so
-    the whole sweep/cache stack works on them unchanged.
+    Traces are deterministic functions of ``(profile content,
+    n_instructions, seed)``, so repeated calls — e.g. the same benchmark
+    simulated under the three release policies — reuse the cached object.
+    Scenario names (built-in, user-:func:`register_scenario`-ed, or
+    supplied ephemerally through ``scenario_profiles``) resolve exactly
+    like the paper's benchmarks, so the whole sweep/cache stack works on
+    them unchanged.
     """
-    return _cached_workload(name, n_instructions, seed)
+    profile = resolve_workload_profile(name, scenario_profiles)
+    return _cached_trace(profile, n_instructions, seed)

@@ -9,7 +9,7 @@ class TestRegistry:
     def test_every_paper_artifact_registered(self):
         expected = {"table1", "figure2", "figure3", "figure9", "figure10",
                     "figure11", "table4", "section33", "section44",
-                    "scenarios"}
+                    "scenarios", "scenario_occupancy"}
         assert set(EXPERIMENTS) == expected
 
     def test_run_experiment_unknown_name(self):
@@ -59,3 +59,54 @@ class TestCLI:
         # benchmark suite instead.
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestScenarioCLI:
+    CONFIG = """{
+      "scenarios": [{
+        "name": "cli_user_scn",
+        "suite": "int",
+        "phase_length": 600,
+        "phases": [{"kernel": "int_compute",
+                    "params": {"pc_base": 3276800, "data_base": 52428800,
+                               "chain_len": 2, "trip_count": 32}}]
+      }]
+    }"""
+
+    @pytest.fixture
+    def config_path(self, tmp_path):
+        path = tmp_path / "user_scenarios.json"
+        path.write_text(self.CONFIG)
+        return path
+
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        yield
+        from repro.trace.workloads import SCENARIOS, unregister_scenario
+        if "cli_user_scn" in SCENARIOS:
+            unregister_scenario("cli_user_scn")
+
+    def test_scenario_file_flows_into_grid_and_occupancy(self, capsys,
+                                                         config_path):
+        # The quick-PR CI job runs this same pipeline end to end.
+        assert main(["scenarios", "scenario_occupancy",
+                     "--scenario-file", str(config_path),
+                     "--scenarios", "cli_user_scn",
+                     "--trace-length", "1200", "--serial", "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert "registered scenarios from" in output
+        assert "cli_user_scn" in output
+        assert "Scenario occupancy: cli_user_scn" in output
+
+    def test_unknown_scenario_filter_raises(self, config_path):
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            main(["scenarios", "--scenarios", "cli_user_scm",
+                  "--scenario-file", str(config_path),
+                  "--trace-length", "1000", "--serial", "--no-cache"])
+
+    def test_broken_scenario_file_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"scenarios": [{"name": "x"}]}')
+        with pytest.raises(SystemExit):
+            main(["scenarios", "--scenario-file", str(path)])
+        assert "--scenario-file" in capsys.readouterr().err

@@ -108,10 +108,96 @@ class TestScenarioExperiment:
         assert 0.0 <= result.early_release_fraction("store_wave", "extended",
                                                     64) <= 1.0
 
+    def test_unknown_scenario_names_raise(self):
+        """A typo in the scenario filter must fail loudly, not produce a
+        sweep quietly missing points (pre-PR-5 behaviour)."""
+        from repro.experiments import scenarios as scenarios_experiment
+
+        with pytest.raises(ValueError, match="unknown scenarios: branch_strom"):
+            scenarios_experiment.run(trace_length=1_000, parallel=False,
+                                     scenarios=["branch_storm",
+                                                "branch_strom"])
+        with pytest.raises(ValueError, match="known scenarios"):
+            scenarios_experiment.resolve_scenario_names(["nope"])
+        # An effectively empty selection ("--scenarios ," on the CLI)
+        # must not silently produce an empty grid either.
+        with pytest.raises(ValueError, match="empty scenario selection"):
+            scenarios_experiment.resolve_scenario_names([])
+
+    def test_grid_reports_user_registered_scenario(self):
+        """early_release_fraction resolves through the registry (and the
+        suites captured on the result), so registered scenarios work —
+        the pre-PR-5 code indexed the hard-coded SCENARIOS dict and
+        KeyErrored."""
+        from repro.experiments import scenarios as scenarios_experiment
+        from repro.trace.workloads import (KernelParams, ScenarioPhase,
+                                           ScenarioProfile, register_scenario,
+                                           unregister_scenario)
+
+        profile = ScenarioProfile(
+            name="grid_user_scn", suite="int", phase_length=500,
+            phases=(ScenarioPhase("int_compute",
+                                  KernelParams(pc_base=0x310000,
+                                               data_base=0x31_00000,
+                                               chain_len=2, trip_count=32)),))
+        register_scenario(profile)
+        try:
+            result = scenarios_experiment.run(trace_length=1_200,
+                                              parallel=False, sizes=(64,),
+                                              cache=None,
+                                              scenarios=["grid_user_scn"])
+            fraction = result.early_release_fraction("grid_user_scn",
+                                                     "extended", 64)
+            assert 0.0 <= fraction <= 1.0
+            assert result.suites["grid_user_scn"] == "int"
+            assert "grid_user_scn" in result.format()
+        finally:
+            unregister_scenario("grid_user_scn")
+        # The captured suite keeps reporting working even after the
+        # scenario is gone from the registry.
+        assert 0.0 <= result.early_release_fraction("grid_user_scn",
+                                                    "extended", 64) <= 1.0
+
     def test_runner_exposes_scenarios(self):
         from repro.experiments.runner import EXPERIMENTS, _SIMULATION_EXPERIMENTS
         assert "scenarios" in EXPERIMENTS
         assert "scenarios" in _SIMULATION_EXPERIMENTS
+        assert "scenario_occupancy" in EXPERIMENTS
+        assert "scenario_occupancy" in _SIMULATION_EXPERIMENTS
 
     def test_scenario_order_is_stable(self):
         assert scenario_workloads() == list(SCENARIOS)
+
+
+class TestScenarioOccupancy:
+    def test_per_phase_rows_and_figure(self):
+        from repro.experiments import scenario_occupancy
+
+        result = scenario_occupancy.run(trace_length=1_500, parallel=False,
+                                        num_registers=96, cache=None,
+                                        scenarios=["phased", "store_wave"])
+        # One row per phase: phased has two phases, store_wave one.
+        assert [row.benchmark for row in result.phase_rows("phased")] == \
+            ["phase 0 (int_compute)", "phase 1 (streaming)"]
+        assert len(result.phase_rows("store_wave")) == 1
+        for scenario in ("phased", "store_wave"):
+            for row in result.phase_rows(scenario):
+                assert 0 < row.allocated <= 96
+            assert result.idle_overhead(scenario) > 0
+        text = result.format()
+        assert "Scenario occupancy: phased" in text
+        assert "phase 1 (streaming)" in text and "idle/used" in text
+
+    def test_unknown_scenario_raises(self):
+        from repro.experiments import scenario_occupancy
+
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            scenario_occupancy.run(trace_length=1_000, parallel=False,
+                                   scenarios=["not_a_scenario"])
+
+    def test_derived_phase_profiles_stay_out_of_registry(self):
+        from repro.experiments import scenario_occupancy
+
+        scenario_occupancy.run(trace_length=1_000, parallel=False,
+                               cache=None, scenarios=["phased"])
+        assert all("@phase" not in name for name in scenario_workloads())
