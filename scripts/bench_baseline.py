@@ -19,16 +19,26 @@ plus two serial probes embedded into the snapshot:
 * ``"scheduler"`` — representative Figure 11 grid points with the
   event-driven scheduler's counters (cycles skipped, fast-forwards,
   ready-set peak size) alongside each point's wall-clock;
+* ``"scheduler_compiled"`` — the same grid points on the compiled C
+  engine (``repro.engine.accel``); each point records the backend that
+  *actually* ran (``engine_backend``), so a toolchain fallback is
+  visible in the snapshot instead of masquerading as a slow C core;
 * ``"generation"`` — trace-generation throughput (scalar oracle vs the
   vectorised bulk-draw path) over the scenario library plus
   representative SPEC-like workloads.
 
-``--probe-only`` (the CI mode) skips the pytest harness, runs both
+``--probe-only`` (the CI mode) skips the pytest harness, runs the
 probes, and *gates*: it compares the probe against the newest committed
 ``BENCH_*.json`` and exits non-zero when any tracked throughput
 regressed by more than the tolerance factor (default 1.4, generous
 enough for runner-to-runner variance; override with ``--tolerance`` or
-``$BENCH_PROBE_TOLERANCE``; ``--no-compare`` disables the gate).  Pass
+``$BENCH_PROBE_TOLERANCE``; ``--no-compare`` disables the gate).  The
+gate is strictly like-for-like: the Python probe is compared against
+the baseline's Python probe and the compiled probe against the
+baseline's compiled probe, and a compiled section whose points fell
+back to the Python engine is excluded from the compiled comparison.
+``--engine`` selects which scheduler probes run in probe-only mode
+(``python`` — the default, ``compiled``, or ``both``).  Pass
 ``--output`` to also write the probe JSON (uploaded as a CI artifact).
 Otherwise exits with pytest's return code.
 """
@@ -115,16 +125,21 @@ def _make_pr1_semantics_clock():
 
 
 def collect_scheduler_counters(trace_length: int = 4_000,
-                               include_grid: bool = True) -> dict:
+                               include_grid: bool = True,
+                               engine: str = "python") -> dict:
     """Serially simulate the probe points and collect scheduler telemetry.
 
     Runs at the same scale as the ``benchmarks/`` harness (trace length,
     default warm-up) so the wall-clock numbers are comparable PR over PR.
-    With ``include_grid`` (the default) it also sweeps a Figure 11
-    sub-grid under both the current clock and a PR 1-semantics reference
-    clock, recording the ``cycles_skipped`` fraction of each so the
-    skip-set enlargement is tracked in-snapshot; ``--probe-only`` (CI)
-    skips the grid, which dominates the runtime.
+    ``engine`` pins the backend ("python" or "compiled"); the compiled
+    backend is warmed (built + self-checked) before the timed loop so the
+    one-time probe cost does not pollute the first point, and each point
+    records the backend that actually produced it — a toolchain fallback
+    records ``"python"``.  With ``include_grid`` (the default) it also
+    sweeps a Figure 11 sub-grid under both the current clock and a PR
+    1-semantics reference clock, recording the ``cycles_skipped``
+    fraction of each so the skip-set enlargement is tracked in-snapshot;
+    ``--probe-only`` (CI) skips the grid, which dominates the runtime.
     """
     import time as time_module
 
@@ -135,34 +150,47 @@ def collect_scheduler_counters(trace_length: int = 4_000,
     from repro.trace.workloads import (fp_workloads, get_workload,
                                        integer_workloads)
 
+    if engine == "compiled":
+        from repro.engine import accel
+
+        accel.resolve_engine_backend(ProcessorConfig(engine="compiled"))
+
     points = []
     for benchmark_name, policy, registers in SCHEDULER_PROBE_POINTS:
         trace = get_workload(benchmark_name, trace_length)
         config = ProcessorConfig(release_policy=policy,
                                  num_physical_int=registers,
-                                 num_physical_fp=registers)
-        engine = SimulationEngine(trace, config, clock=EventClock())
+                                 num_physical_fp=registers,
+                                 engine=engine)
+        sim = SimulationEngine(trace, config, clock=EventClock())
         start = time_module.perf_counter()
-        stats = engine.run()
+        stats = sim.run()
         elapsed = time_module.perf_counter() - start
-        clock = engine.clock
+        clock = sim.clock
+        compiled = sim.backend_used == "compiled"
         points.append({
             "benchmark": benchmark_name,
             "policy": policy,
             "num_registers": registers,
+            "engine_backend": sim.backend_used,
             "wall_clock_s": round(elapsed, 4),
             "cycles": stats.cycles,
-            "cycles_skipped": clock.cycles_skipped,
-            "skip_fraction": round(clock.cycles_skipped / stats.cycles, 4)
-            if stats.cycles else 0.0,
-            "fast_forwards": clock.fast_forwards,
-            "ready_set_peak": engine.state.ready.peak_size,
+            # The compiled core steps every cycle: the event clock never
+            # runs, so its counters are structurally zero there.
+            "cycles_skipped": 0 if compiled else clock.cycles_skipped,
+            "skip_fraction": 0.0 if compiled or not stats.cycles
+            else round(clock.cycles_skipped / stats.cycles, 4),
+            "fast_forwards": 0 if compiled else clock.fast_forwards,
+            "ready_set_peak": sim.compiled_ready_peak if compiled
+            else sim.state.ready.peak_size,
             "ipc": round(stats.ipc, 4),
         })
     total_cycles = sum(p["cycles"] for p in points)
     total_skipped = sum(p["cycles_skipped"] for p in points)
     result = {
         "trace_length": trace_length,
+        "engine_requested": engine,
+        "engine_backend": probe_backend_label({"points": points}),
         "points": points,
         "probe_skip_fraction": round(total_skipped / total_cycles, 4)
         if total_cycles else 0.0,
@@ -307,6 +335,19 @@ def scheduler_throughput(scheduler: dict) -> float:
     return sum(p["cycles"] for p in points) / wall if wall else 0.0
 
 
+def probe_backend_label(scheduler: dict) -> str:
+    """The backend a scheduler probe actually ran on.
+
+    ``"python"`` / ``"compiled"`` when every point agrees (points
+    predating the backend split count as Python), ``"mixed"`` otherwise
+    — a mixed or fallen-back probe must never be gated against a true
+    compiled baseline.
+    """
+    backends = {point.get("engine_backend", "python")
+                for point in scheduler.get("points", [])}
+    return backends.pop() if len(backends) == 1 else "mixed"
+
+
 def find_latest_snapshot(root: Path) -> "Optional[Path]":
     """Newest committed ``BENCH_*.json``.
 
@@ -344,10 +385,21 @@ def compare_against_baseline(current: dict, baseline: dict,
                 f"{label}: {now:,.0f} vs baseline {then:,.0f} "
                 f"(more than {tolerance:g}x slower)")
 
-    baseline_scheduler = baseline.get("scheduler") or {}
-    current_scheduler = current.get("scheduler") or {}
-    if baseline_scheduler.get("points") and current_scheduler.get("points"):
-        check("scheduler probe simulated cycles/s",
+    # Like-for-like only: each backend's probe is gated against the same
+    # backend's baseline.  A probe that fell back to the Python engine is
+    # excluded from the compiled comparison rather than failing it — the
+    # fallback itself is reported by the probe summary and the tests.
+    for section, backend in (("scheduler", "python"),
+                             ("scheduler_compiled", "compiled")):
+        baseline_scheduler = baseline.get(section) or {}
+        current_scheduler = current.get(section) or {}
+        if not (baseline_scheduler.get("points")
+                and current_scheduler.get("points")):
+            continue
+        if (probe_backend_label(baseline_scheduler) != backend
+                or probe_backend_label(current_scheduler) != backend):
+            continue
+        check(f"{backend}-engine scheduler probe simulated cycles/s",
               scheduler_throughput(current_scheduler),
               scheduler_throughput(baseline_scheduler))
     baseline_generation = baseline.get("generation") or {}
@@ -366,7 +418,12 @@ def compare_against_baseline(current: dict, baseline: dict,
 
 def format_probe_summary(scheduler: dict) -> str:
     """Human/CI-readable recap of the scheduler probe (markdown-friendly)."""
-    lines = [f"scheduler probe (trace length {scheduler['trace_length']}):"]
+    backend = probe_backend_label(scheduler)
+    requested = scheduler.get("engine_requested", "python")
+    label = backend if backend == requested \
+        else f"{backend}, requested {requested}"
+    lines = [f"scheduler probe (trace length {scheduler['trace_length']}, "
+             f"engine {label}):"]
     for point in scheduler["points"]:
         lines.append(
             f"  {point['benchmark']}/{point['policy']}/"
@@ -407,14 +464,29 @@ def main(argv=None) -> int:
                              "or $BENCH_PROBE_TOLERANCE)")
     parser.add_argument("--no-compare", action="store_true",
                         help="probe-only: skip the baseline regression gate")
+    parser.add_argument("--engine", default="python",
+                        choices=["python", "compiled", "both"],
+                        help="probe-only: which engine backends to run the "
+                             "scheduler probe on (default: python; the full "
+                             "snapshot always records both)")
     args = parser.parse_args(argv)
 
     if args.probe_only:
-        scheduler = collect_scheduler_counters(include_grid=False)
+        current = {}
+        summaries = []
+        if args.engine in ("python", "both"):
+            scheduler = collect_scheduler_counters(include_grid=False)
+            current["scheduler"] = scheduler
+            summaries.append(format_probe_summary(scheduler))
+        if args.engine in ("compiled", "both"):
+            compiled_scheduler = collect_scheduler_counters(
+                include_grid=False, engine="compiled")
+            current["scheduler_compiled"] = compiled_scheduler
+            summaries.append(format_probe_summary(compiled_scheduler))
         generation = collect_generation_throughput(trace_length=20_000)
-        current = {"scheduler": scheduler, "generation": generation}
-        summary = (format_probe_summary(scheduler) + "\n"
-                   + format_generation_summary(generation))
+        current["generation"] = generation
+        summaries.append(format_generation_summary(generation))
+        summary = "\n".join(summaries)
 
         gate_lines = []
         returncode = 0
@@ -470,12 +542,15 @@ def main(argv=None) -> int:
     if returncode != 0:
         return returncode
 
-    # Embed the scheduler and generation probes into the snapshot.
+    # Embed the scheduler (both backends) and generation probes.
     scheduler = collect_scheduler_counters()
+    compiled_scheduler = collect_scheduler_counters(include_grid=False,
+                                                    engine="compiled")
     generation = collect_generation_throughput()
     with open(output) as handle:
         payload = json.load(handle)
     payload["scheduler"] = scheduler
+    payload["scheduler_compiled"] = compiled_scheduler
     payload["generation"] = generation
     with open(output, "w") as handle:
         json.dump(payload, handle, indent=2)
@@ -487,6 +562,7 @@ def main(argv=None) -> int:
         print(f"  {bench['stats']['mean']:8.2f}s  {bench['name']}")
     print()
     print(format_probe_summary(scheduler))
+    print(format_probe_summary(compiled_scheduler))
     print(format_generation_summary(generation))
     grid = scheduler["figure11_grid"]
     print(f"figure11 grid ({grid['points']} points, sizes {grid['sizes']}): "

@@ -50,7 +50,12 @@ CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 #: (``repro.trace.workloads.workload_digest``), so a user-defined scenario
 #: re-registered with different content under the same name can never be
 #: served a stale entry.
-CACHE_SCHEMA_VERSION = 3
+#: v4: keys additionally fold in the *requested engine backend*
+#: (``repro.engine.accel.requested_backend``) and :func:`code_digest`
+#: covers the C core sources, so results produced by the compiled and
+#: Python engines — equivalent by contract, but separately validated —
+#: occupy distinct entries and a core change invalidates compiled results.
+CACHE_SCHEMA_VERSION = 4
 
 
 def default_cache_dir() -> Path:
@@ -107,7 +112,9 @@ def code_digest() -> str:
 
     package_root = Path(repro.__file__).resolve().parent
     digest = hashlib.sha256()
-    for path in sorted(package_root.rglob("*.py")):
+    sources = [path for pattern in ("*.py", "*.c")
+               for path in package_root.rglob(pattern)]
+    for path in sorted(sources):
         digest.update(str(path.relative_to(package_root)).encode())
         digest.update(path.read_bytes())
     return digest.hexdigest()
@@ -116,9 +123,13 @@ def code_digest() -> str:
 def point_key(sweep_config: "SweepConfig", point: "SweepPoint") -> str:
     """Cache key of one sweep point:
     (workload name + content, config hash, trace length, seed, simulator
-    code).  The workload *content* digest means a registered scenario and
-    its later re-registration with different parameters occupy different
-    keys even though they share a name."""
+    code, engine backend).  The workload *content* digest means a
+    registered scenario and its later re-registration with different
+    parameters occupy different keys even though they share a name.  The
+    *requested* backend (not the resolved one) is folded in so a
+    toolchain-driven fallback still hits the entries it asked for, while
+    compiled and Python results never share an entry."""
+    from repro.engine.accel import requested_backend
     from repro.trace.workloads import workload_digest
 
     config = sweep_config.config_for(point)
@@ -129,6 +140,7 @@ def point_key(sweep_config: "SweepConfig", point: "SweepPoint") -> str:
                         getattr(sweep_config, "scenario_profiles", ())),
         sweep_config.trace_length, sweep_config.seed,
         config_digest(config),
+        requested_backend(config),
     )).encode()
     return hashlib.sha256(payload).hexdigest()
 

@@ -1,0 +1,140 @@
+"""Accelerated (compiled) engine backend: selection, self-check, fallback.
+
+The compiled backend runs the whole per-cycle pipeline in C
+(:mod:`~repro.engine.accel.loader` builds it, :mod:`~repro.engine.accel.compiled`
+drives it) and is **opt-in**:
+
+* ``ProcessorConfig.engine`` — ``"python"`` / ``"compiled"`` pins a
+  backend for that configuration; the default ``"auto"`` defers to
+* ``$REPRO_ENGINE`` — process-wide request (the ``--engine`` CLI flag
+  sets it); anything other than ``compiled`` means the Python engine.
+
+Requesting the compiled backend never changes results and never fails a
+run: before the first compiled run in a process, a **self-check** runs
+one small simulation on both backends and compares the full ``SimStats``
+field-for-field.  A missing/broken toolchain or any divergence logs one
+warning on the ``repro.engine.accel`` logger and pins the process to the
+Python engine.  Individual runs the C core cannot model (or that hit its
+deadlock/internal escapes) quietly fall back per-run.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+from repro.engine.accel.loader import ToolchainError, reset_loader_cache
+
+__all__ = ["ENGINE_ENV", "ENGINE_CHOICES", "requested_backend",
+           "resolve_engine_backend", "run_compiled", "ToolchainError",
+           "reset_backend_cache"]
+
+logger = logging.getLogger("repro.engine.accel")
+
+#: Environment variable selecting the process-wide default backend.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Valid values of ``ProcessorConfig.engine`` / ``--engine``.
+ENGINE_CHOICES = ("auto", "python", "compiled")
+
+#: Cached verdict of the per-process availability probe (None = not yet
+#: probed; True = compiled backend loads and passes the self-check).
+_COMPILED_OK: Optional[bool] = None
+
+
+def requested_backend(config=None) -> str:
+    """The backend the user asked for: config field, else ``$REPRO_ENGINE``.
+
+    Returns ``"python"`` or ``"compiled"`` (never ``"auto"``).
+    """
+    if config is not None:
+        field = getattr(config, "engine", "auto")
+        if field != "auto":
+            return field
+    env = os.environ.get(ENGINE_ENV, "").strip().lower()
+    return "compiled" if env == "compiled" else "python"
+
+
+def resolve_engine_backend(config=None) -> str:
+    """The backend that will actually run: the request gated by the probe."""
+    if requested_backend(config) != "compiled":
+        return "python"
+    return "compiled" if _compiled_available() else "python"
+
+
+def reset_backend_cache() -> None:
+    """Forget the availability verdict and the loaded core (test hook)."""
+    global _COMPILED_OK
+    _COMPILED_OK = None
+    reset_loader_cache()
+
+
+def _compiled_available() -> bool:
+    global _COMPILED_OK
+    if _COMPILED_OK is None:
+        _COMPILED_OK = _probe_backend()
+    return _COMPILED_OK
+
+
+def _probe_backend() -> bool:
+    """Build the core and verify it against the Python engine, once."""
+    from repro.engine.accel import loader
+
+    try:
+        loader.load_core()
+    except ToolchainError as exc:
+        logger.warning(
+            "compiled engine requested but unavailable (%s); "
+            "using the Python engine", exc)
+        return False
+    try:
+        if not _self_check():
+            logger.warning(
+                "compiled engine failed the statistics self-check; "
+                "using the Python engine")
+            return False
+    except Exception as exc:  # any probe crash must degrade, not propagate
+        logger.warning(
+            "compiled engine self-check crashed (%s); using the Python "
+            "engine", exc)
+        return False
+    return True
+
+
+def _self_check() -> bool:
+    """One small run on both backends must agree field-for-field."""
+    import dataclasses
+
+    from repro.engine.accel.compiled import run_compiled
+    from repro.engine.engine import SimulationEngine
+    from repro.pipeline.config import ProcessorConfig
+    from repro.trace.workloads import get_workload
+
+    # Small but representative: branch-dense integer workload, tight file
+    # (register stalls + reuse), exceptions on, basic policy (early
+    # releases + squash cancellation), warm structures exported.
+    config = ProcessorConfig(release_policy="basic", engine="python",
+                             num_physical_int=48, num_physical_fp=48,
+                             exception_rate=0.002, warmup=True)
+    trace = get_workload("gcc", 600, seed=0)
+    compiled = run_compiled(SimulationEngine(trace, config).state)
+    if compiled is None:
+        return False
+    reference = SimulationEngine(trace, config).run()
+    return (dataclasses.asdict(compiled.stats)
+            == dataclasses.asdict(reference))
+
+
+def run_compiled(state, *, max_instructions=None, max_cycles=None,
+                 deadlock_threshold: int = 50_000):
+    """Run ``state`` on the compiled core (see :mod:`.compiled`).
+
+    Thin re-export that keeps the heavy imports (numpy views, cffi) out
+    of backend *resolution*; returns ``None`` on any per-run fallback.
+    """
+    from repro.engine.accel.compiled import run_compiled as _run
+
+    return _run(state, max_instructions=max_instructions,
+                max_cycles=max_cycles,
+                deadlock_threshold=deadlock_threshold)

@@ -1,0 +1,467 @@
+"""Drive one simulation through the compiled core, bit-identically.
+
+:func:`run_compiled` takes a fully constructed (and, when configured,
+warmed) :class:`~repro.engine.state.MachineState`, exports it into a C
+``Machine`` built by :mod:`repro.engine.accel.loader`, lets ``sim_run``
+execute the whole pipeline, and assembles the resulting counters into the
+same :class:`~repro.pipeline.stats.SimStats` the Python engine's
+``collect_stats`` would produce.
+
+The only Python work during the run is *refilling draw buffers*: the C
+core never calls back into Python, so the two stochastic inputs — the
+wrong-path instruction stream and the per-rename exception lottery — are
+pre-drawn into flat buffers.  ``sim_run`` escapes with
+``RUN_NEED_WRONGPATH`` / ``RUN_NEED_EXC`` *before* starting any cycle
+that could exhaust a buffer, Python tops the buffer up from deep copies
+of the state's own generators (so a later pure-Python fallback run still
+observes untouched RNG streams), and re-enters.
+
+Wrong-path payloads are exported pc-agnostically: the generator is asked
+for the instruction at ``pc=0``, whose branch target then *is*
+``4 * delta`` — the C core stamps the real (front-end dependent) pc back
+in, exactly like the generator's own vectorised pre-draw path.
+
+``run_compiled`` returns ``None`` whenever the run must be redone by the
+Python engine: configurations the C core does not model, a deadlock
+(so the Python engine raises its own ``DeadlockError``), or an internal
+self-check failure inside the core (logged — this is the divergence
+fallback of the accelerated backend's contract).
+"""
+
+from __future__ import annotations
+
+import copy
+import logging
+from typing import NamedTuple, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.accel import loader
+from repro.engine.accel.loader import (A, CFG, NCFG, RF, RQ_LEVELS,
+                                       RUN_DEADLOCK, RUN_FINISHED,
+                                       RUN_INTERNAL, RUN_NEED_EXC,
+                                       RUN_NEED_WRONGPATH, SC, ST, ST_N)
+from repro.isa import FUKind, OpClass
+from repro.pipeline.stats import RegisterFileStats, SimStats
+from repro.core.register_state import OccupancyTotals
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.engine.state import MachineState
+
+logger = logging.getLogger("repro.engine.accel")
+
+#: Wrong-path payload buffer capacity.  Consumed one per wrong-path fetch;
+#: a refill escape costs one ``sim_run`` re-entry plus this many generator
+#: draws, so the value trades refill frequency against the up-front fill
+#: every run pays (the escape check fires before the first cycle).
+WP_BUFFER = 1024
+
+#: Exception-lottery buffer capacity (one double per renamed correct-path
+#: instruction; refills are a single batched ``Generator.random`` call).
+EXC_BUFFER = 4096
+
+_POLICY_CODES = {"conv": 0, "conventional": 0, "basic": 1, "extended": 2}
+
+_FU_KINDS = tuple(FUKind)          # 6 pools, enum order == C pool order
+_OP_CLASSES = tuple(OpClass)       # 11 classes, enum order == C op order
+
+
+class CompiledRun(NamedTuple):
+    """Result of a successful compiled run."""
+
+    stats: SimStats
+    #: peak size of the ready set (the Python engine exposes this as
+    #: ``state.ready.peak_size``; the bench probe records it).
+    ready_peak: int
+
+
+# ----------------------------------------------------------------------
+# Export-support probe
+# ----------------------------------------------------------------------
+def unsupported_reason(state: "MachineState") -> Optional[str]:
+    """Why this configuration cannot run on the compiled core (None = can).
+
+    The C core hardwires the Release Queue depth (``RQ_LEVELS``) and the
+    six-pool / eleven-class functional-unit model; configurations outside
+    that envelope quietly use the Python engine.
+    """
+    cfg = state.config
+    if (_POLICY_CODES.get(cfg.release_policy) == 2
+            and cfg.max_pending_branches > RQ_LEVELS):
+        return (f"extended policy needs max_pending_branches <= {RQ_LEVELS} "
+                f"(got {cfg.max_pending_branches})")
+    counts = cfg.functional_units.counts
+    latencies = cfg.functional_units.latencies
+    if any(kind not in _FU_KINDS for kind in counts):
+        return "functional-unit pool outside the six-pool model"
+    if any(op not in latencies for op in _OP_CLASSES):
+        return "incomplete functional-unit latency table"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Config vector
+# ----------------------------------------------------------------------
+def _config_vector(state: "MachineState") -> "np.ndarray":
+    cfg = state.config
+    mem = cfg.memory
+    fus = cfg.functional_units
+    vec = np.zeros(NCFG, dtype=np.int64)
+    vec[CFG.TRACE_LEN] = len(state.trace.instructions)
+    vec[CFG.FETCH_W] = cfg.fetch_width
+    vec[CFG.RENAME_W] = cfg.rename_width
+    vec[CFG.ISSUE_W] = cfg.issue_width
+    vec[CFG.COMMIT_W] = cfg.commit_width
+    vec[CFG.MAX_TAKEN] = cfg.max_taken_branches_per_cycle
+    vec[CFG.FRONTEND] = cfg.frontend_stages
+    vec[CFG.ROS] = cfg.ros_size
+    vec[CFG.LSQ] = cfg.lsq_size
+    vec[CFG.CK_CAP] = cfg.max_pending_branches
+    vec[CFG.NPHYS_INT] = cfg.num_physical_int
+    vec[CFG.NPHYS_FP] = cfg.num_physical_fp
+    vec[CFG.NLOG_INT] = cfg.num_logical_int
+    vec[CFG.NLOG_FP] = cfg.num_logical_fp
+    vec[CFG.GSHARE_BITS] = cfg.gshare_history_bits
+    vec[CFG.BTB_SETS] = cfg.btb_entries // cfg.btb_associativity
+    vec[CFG.BTB_ASSOC] = cfg.btb_associativity
+    vec[CFG.POLICY] = _POLICY_CODES[cfg.release_policy]
+    vec[CFG.REUSE] = int(cfg.reuse_on_committed_lu)
+    vec[CFG.WP_ENABLED] = int(cfg.enable_wrong_path)
+    vec[CFG.EXC_ENABLED] = int(cfg.exception_rate > 0.0)
+    for base, level in ((CFG.L1I_SETS, mem.l1i), (CFG.L1D_SETS, mem.l1d),
+                        (CFG.L2_SETS, mem.l2)):
+        vec[base + 0] = level.n_sets
+        vec[base + 1] = level.associativity
+        vec[base + 2] = level.line_bytes.bit_length() - 1
+        vec[base + 3] = level.hit_latency
+    vec[CFG.MEM_LAT] = mem.main_memory_latency
+    for k, kind in enumerate(_FU_KINDS):
+        vec[CFG.FU + 2 * k] = fus.counts.get(kind, 0)
+        vec[CFG.FU + 2 * k + 1] = int(kind in fus.unpipelined)
+    for op in _OP_CLASSES:
+        vec[CFG.OP_LAT + int(op)] = fus.latencies[op]
+    vec[CFG.WP_CAP] = WP_BUFFER
+    vec[CFG.EXC_CAP] = EXC_BUFFER
+    return vec
+
+
+# ----------------------------------------------------------------------
+# State export
+# ----------------------------------------------------------------------
+def _i64_view(ffi, lib, mach, which: int, length: int) -> "np.ndarray":
+    ptr = lib.sim_i64(mach, which)
+    return np.frombuffer(ffi.buffer(ptr, 8 * length), dtype=np.int64)
+
+
+def _export_trace(ffi, lib, mach, instructions) -> None:
+    n = len(instructions)
+    if n == 0:
+        return
+    op = np.empty(n, dtype=np.int64)
+    pc = np.empty(n, dtype=np.int64)
+    dc = np.empty(n, dtype=np.int64)
+    dest = np.empty(n, dtype=np.int64)
+    nsrc = np.empty(n, dtype=np.int64)
+    src_class = np.zeros(3 * n, dtype=np.int64)
+    src_log = np.zeros(3 * n, dtype=np.int64)
+    taken = np.empty(n, dtype=np.int64)
+    target = np.empty(n, dtype=np.int64)
+    addr = np.empty(n, dtype=np.int64)
+    for i, inst in enumerate(instructions):
+        op[i] = int(inst.op)
+        pc[i] = inst.pc
+        if inst.dest is None:
+            dc[i] = -1
+            dest[i] = 0
+        else:
+            dc[i] = int(inst.dest[0])
+            dest[i] = inst.dest[1]
+        srcs = inst.srcs
+        nsrc[i] = len(srcs)
+        for s, (reg_class, log) in enumerate(srcs):
+            src_class[3 * i + s] = int(reg_class)
+            src_log[3 * i + s] = log
+        taken[i] = int(inst.taken)
+        target[i] = inst.target
+        addr[i] = inst.mem_addr
+    for which, column in ((A.T_OP, op), (A.T_PC, pc), (A.T_DC, dc),
+                          (A.T_DEST, dest), (A.T_NSRC, nsrc),
+                          (A.T_TAKEN, taken), (A.T_TARGET, target),
+                          (A.T_ADDR, addr)):
+        _i64_view(ffi, lib, mach, which, n)[:] = column
+    _i64_view(ffi, lib, mach, A.T_SRC_CLASS, 3 * n)[:] = src_class
+    _i64_view(ffi, lib, mach, A.T_SRC_LOG, 3 * n)[:] = src_log
+
+
+def _export_predictor(ffi, lib, mach, predictor) -> None:
+    table = np.frombuffer(ffi.buffer(lib.sim_i8(mach, 0),
+                                     predictor.table_size), dtype=np.int8)
+    table[:] = np.frombuffer(predictor.table, dtype=np.int8)
+    lib.sim_set(mach, SC.GS_HISTORY, predictor.history)
+
+
+def _export_btb(ffi, lib, mach, btb) -> None:
+    assoc = btb.associativity
+    n_sets = btb.n_sets
+    tag = _i64_view(ffi, lib, mach, A.B_TAG, n_sets * assoc)
+    target = _i64_view(ffi, lib, mach, A.B_TARGET, n_sets * assoc)
+    nway = _i64_view(ffi, lib, mach, A.B_NWAY, n_sets)
+    for index, ways in enumerate(btb._sets):
+        if not ways:
+            continue
+        nway[index] = len(ways)
+        base = index * assoc
+        for pos, (entry_tag, entry_target) in enumerate(ways):
+            tag[base + pos] = entry_tag
+            target[base + pos] = entry_target
+
+
+def _export_cache(ffi, lib, mach, cache, which_tag: int) -> None:
+    assoc = cache.config.associativity
+    n_sets = cache._n_sets
+    tag = _i64_view(ffi, lib, mach, which_tag, n_sets * assoc)
+    dirty = _i64_view(ffi, lib, mach, which_tag + 1, n_sets * assoc)
+    nway = _i64_view(ffi, lib, mach, which_tag + 2, n_sets)
+    for index, ways in cache._sets.items():
+        if not ways:
+            continue
+        nway[index] = len(ways)
+        base = index * assoc
+        for pos, (entry_tag, entry_dirty) in enumerate(ways):
+            tag[base + pos] = entry_tag
+            dirty[base + pos] = entry_dirty
+
+
+# ----------------------------------------------------------------------
+# Draw-buffer refills
+# ----------------------------------------------------------------------
+def _payload_columns(ffi, lib, mach, cap: int):
+    return {which: _i64_view(ffi, lib, mach, which, 2 * cap
+                             if which in (A.W_SRC_CLASS, A.W_SRC_LOG)
+                             else cap)
+            for which in (A.W_OP, A.W_DC, A.W_DEST, A.W_NSRC,
+                          A.W_SRC_CLASS, A.W_SRC_LOG, A.W_ADDR, A.W_TDELTA)}
+
+
+def _fill_wrongpath(columns, generator, start: int, stop: int) -> None:
+    """Draw payloads ``[start, stop)`` from the wrong-path generator.
+
+    ``pc=0`` makes the drawn branch target equal ``4 * delta``, so the
+    exported ``tdelta`` is pc-independent and the C core can stamp the
+    real pc in at fetch time (matching the Python front end exactly).
+    """
+    w_op, w_dc = columns[A.W_OP], columns[A.W_DC]
+    w_dest, w_nsrc = columns[A.W_DEST], columns[A.W_NSRC]
+    w_src_class, w_src_log = columns[A.W_SRC_CLASS], columns[A.W_SRC_LOG]
+    w_addr, w_tdelta = columns[A.W_ADDR], columns[A.W_TDELTA]
+    next_instruction = generator.next_instruction
+    for i in range(start, stop):
+        inst = next_instruction(0)
+        w_op[i] = int(inst.op)
+        if inst.dest is None:
+            w_dc[i] = -1
+            w_dest[i] = 0
+        else:
+            w_dc[i] = int(inst.dest[0])
+            w_dest[i] = inst.dest[1]
+        srcs = inst.srcs
+        w_nsrc[i] = len(srcs)
+        for s, (reg_class, log) in enumerate(srcs):
+            w_src_class[2 * i + s] = int(reg_class)
+            w_src_log[2 * i + s] = log
+        w_addr[i] = inst.mem_addr
+        w_tdelta[i] = inst.target >> 2 if inst.is_branch else 0
+
+
+def _refill_wrongpath(lib, mach, columns, generator, cap: int) -> None:
+    head = lib.sim_get(mach, SC.WP_HEAD)
+    count = lib.sim_get(mach, SC.WP_COUNT)
+    remaining = count - head
+    if remaining > 0 and head > 0:
+        for column in columns.values():
+            stride = 2 if len(column) == 2 * cap else 1
+            keep = column[stride * head:stride * count].copy()
+            column[:stride * remaining] = keep
+    _fill_wrongpath(columns, generator, remaining, cap)
+    lib.sim_set(mach, SC.WP_HEAD, 0)
+    lib.sim_set(mach, SC.WP_COUNT, cap)
+
+
+def _refill_exceptions(ffi, lib, mach, rng, cap: int) -> None:
+    buf = np.frombuffer(ffi.buffer(lib.sim_f64(mach, 0), 8 * cap),
+                        dtype=np.float64)
+    head = lib.sim_get(mach, SC.EXC_HEAD)
+    count = lib.sim_get(mach, SC.EXC_COUNT)
+    remaining = count - head
+    if remaining > 0 and head > 0:
+        buf[:remaining] = buf[head:count].copy()
+    buf[remaining:cap] = rng.random(cap - remaining)
+    lib.sim_set(mach, SC.EXC_HEAD, 0)
+    lib.sim_set(mach, SC.EXC_COUNT, cap)
+
+
+# ----------------------------------------------------------------------
+# Stats assembly
+# ----------------------------------------------------------------------
+def _hit_rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return 1.0 if total == 0 else hits / total
+
+
+def _miss_rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return 0.0 if total == 0 else misses / total
+
+
+def _register_file_stats(st: "np.ndarray", base: int, num_physical: int,
+                         cycles: int) -> RegisterFileStats:
+    rf = st[base:base + 11]
+    totals = OccupancyTotals(cycles=cycles,
+                             empty=float(rf[RF.OCC_EMPTY]),
+                             ready=float(rf[RF.OCC_READY]),
+                             idle=float(rf[RF.OCC_IDLE]))
+    return RegisterFileStats(
+        num_physical=num_physical,
+        allocations=int(rf[RF.ALLOCS]),
+        releases=int(rf[RF.RELEASES]),
+        early_releases=int(rf[RF.EARLY]),
+        register_reuses=int(rf[RF.REUSES]),
+        immediate_releases=int(rf[RF.IMMEDIATE]),
+        scheduled_early_releases=int(rf[RF.SCHED_EARLY]),
+        conventional_releases=int(rf[RF.CONVENTIONAL]),
+        conditional_schedulings=int(rf[RF.CONDITIONAL]),
+        occupancy=totals.averages(),
+    )
+
+
+def _assemble_stats(state: "MachineState", st: "np.ndarray",
+                    cycles: int) -> SimStats:
+    cfg = state.config
+    stats = SimStats(benchmark=state.trace.name,
+                     release_policy=cfg.release_policy)
+    stats.cycles = cycles
+    stats.committed_instructions = int(st[ST.COMMITTED])
+    stats.committed_by_class = {
+        op.name: int(st[ST.BY_CLASS + int(op)])
+        for op in _OP_CLASSES if st[ST.BY_CLASS + int(op)]
+    }
+    stats.fetched_instructions = int(st[ST.FETCHED])
+    stats.fetched_wrong_path = int(st[ST.FETCHED_WP])
+    stats.renamed_instructions = int(st[ST.RENAMED])
+    stats.squashed_instructions = int(st[ST.SQUASHED])
+    stats.exceptions_taken = int(st[ST.EXCEPTIONS])
+    stats.branches_resolved = int(st[ST.BR_RESOLVED])
+    stats.branch_mispredictions = int(st[ST.BR_MISPRED])
+    stats.btb_hit_rate = _hit_rate(int(st[ST.BTB_HITS]),
+                                   int(st[ST.BTB_MISSES]))
+    stats.l1i_miss_rate = _miss_rate(int(st[ST.L1I_HITS]),
+                                     int(st[ST.L1I_MISSES]))
+    stats.l1d_miss_rate = _miss_rate(int(st[ST.L1D_HITS]),
+                                     int(st[ST.L1D_MISSES]))
+    stats.l2_miss_rate = _miss_rate(int(st[ST.L2_HITS]),
+                                    int(st[ST.L2_MISSES]))
+    stats.forwarded_loads = int(st[ST.FORWARDED])
+    stats.dispatch_stalls = {
+        "ros_full": int(st[ST.STALL_ROS]),
+        "lsq_full": int(st[ST.STALL_LSQ]),
+        "checkpoints_full": int(st[ST.STALL_CK]),
+        "no_free_int_register": int(st[ST.STALL_INT]),
+        "no_free_fp_register": int(st[ST.STALL_FP]),
+    }
+    stats.structural_stalls = int(st[ST.STRUCTURAL])
+    stats.int_registers = _register_file_stats(st, ST.RF_INT,
+                                               cfg.num_physical_int, cycles)
+    stats.fp_registers = _register_file_stats(st, ST.RF_FP,
+                                              cfg.num_physical_fp, cycles)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_compiled(state: "MachineState", *,
+                 max_instructions: Optional[int] = None,
+                 max_cycles: Optional[int] = None,
+                 deadlock_threshold: int = 50_000) -> Optional[CompiledRun]:
+    """Run ``state``'s simulation on the compiled core.
+
+    Returns a :class:`CompiledRun`, or ``None`` when the run must be
+    (re)done by the Python engine.  The Python ``state`` is never
+    mutated: the export copies structure contents and deep-copies the
+    RNG-bearing generators, so a fallback run starts from pristine state.
+
+    Raises :class:`~repro.engine.accel.loader.ToolchainError` when the
+    core cannot be built/loaded (callers resolve that once per process).
+    """
+    reason = unsupported_reason(state)
+    if reason is not None:
+        logger.debug("compiled backend unavailable for this run: %s", reason)
+        return None
+
+    ffi, lib = loader.load_core()
+    vec = _config_vector(state)
+    mach = lib.sim_new(ffi.cast("long long *", ffi.from_buffer(vec)), NCFG)
+    if mach == ffi.NULL:
+        logger.warning("compiled core rejected the configuration vector; "
+                       "falling back to the Python engine")
+        return None
+    mach = ffi.gc(mach, lib.sim_free)
+
+    _export_trace(ffi, lib, mach, state.trace.instructions)
+    _export_predictor(ffi, lib, mach, state.predictor)
+    _export_btb(ffi, lib, mach, state.btb)
+    memory = state.memory
+    _export_cache(ffi, lib, mach, memory.l1i, A.L1I_TAG)
+    _export_cache(ffi, lib, mach, memory.l1d, A.L1D_TAG)
+    _export_cache(ffi, lib, mach, memory.l2, A.L2_TAG)
+
+    limit = (max_instructions if max_instructions is not None
+             else len(state.trace.instructions))
+    lib.sim_set(mach, SC.COMMIT_LIMIT, limit)
+    lib.sim_set(mach, SC.MAX_CYCLES, -1 if max_cycles is None else max_cycles)
+    lib.sim_set(mach, SC.DEADLOCK, deadlock_threshold)
+    lib.sim_setf(mach, 0, state.config.exception_rate)
+
+    # Deep copies: the compiled attempt consumes these streams; a Python
+    # fallback (deadlock, internal error) must see them untouched.
+    wrongpath = (copy.deepcopy(state.fetch_unit.wrongpath)
+                 if state.config.enable_wrong_path
+                 and state.fetch_unit.wrongpath is not None else None)
+    exc_rng = (copy.deepcopy(state.exception_rng)
+               if state.config.exception_rate > 0.0 else None)
+    if state.config.enable_wrong_path and wrongpath is None:
+        # A wrong-path-enabled config without a generator cannot occur via
+        # MachineState construction; refuse rather than diverge.
+        logger.warning("wrong path enabled but no generator present; "
+                       "falling back to the Python engine")
+        return None
+
+    wp_columns = (_payload_columns(ffi, lib, mach, WP_BUFFER)
+                  if wrongpath is not None else None)
+
+    status = lib.sim_run(mach)
+    while status in (RUN_NEED_WRONGPATH, RUN_NEED_EXC):
+        if status == RUN_NEED_WRONGPATH:
+            _refill_wrongpath(lib, mach, wp_columns, wrongpath, WP_BUFFER)
+        else:
+            _refill_exceptions(ffi, lib, mach, exc_rng, EXC_BUFFER)
+        status = lib.sim_run(mach)
+
+    if status == RUN_DEADLOCK:
+        # Let the Python engine reproduce its own DeadlockError (message
+        # includes live pipeline details only it can render).
+        logger.debug("compiled core hit the deadlock threshold; deferring "
+                     "to the Python engine")
+        return None
+    if status != RUN_FINISHED:
+        logger.warning(
+            "compiled core reported internal error %d (self-check escape); "
+            "falling back to the Python engine",
+            lib.sim_get(mach, SC.ERROR) if status == RUN_INTERNAL else status)
+        return None
+
+    st = _i64_view(ffi, lib, mach, A.STATS, ST_N).copy()
+    cycles = int(lib.sim_get(mach, SC.CYCLE))
+    ready_peak = int(lib.sim_get(mach, SC.READY_PEAK))
+    return CompiledRun(stats=_assemble_stats(state, st, cycles),
+                      ready_peak=ready_peak)

@@ -36,6 +36,12 @@ class SimulationEngine:
         #: the event-driven clock is the default; pass :class:`CycleClock`
         #: to force classic per-cycle stepping (reference/debugging mode).
         self.clock = clock if clock is not None else EventClock()
+        #: backend that produced the last :meth:`run` result ("python"
+        #: until a run completes on the compiled core).
+        self.backend_used = "python"
+        #: ready-set peak reported by the compiled core (the Python
+        #: engine exposes it as ``state.ready.peak_size`` instead).
+        self.compiled_ready_peak: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -65,6 +71,21 @@ class SimulationEngine:
             deadlock_threshold: int = 50_000) -> SimStats:
         """Run the simulation until the trace drains (or a limit is hit)."""
         state = self.state
+        if state.cycle == 0 and state.seq == 0:
+            # Backend dispatch happens only for whole runs from reset:
+            # a partially stepped machine cannot be exported.
+            from repro.engine import accel
+
+            if accel.resolve_engine_backend(state.config) == "compiled":
+                result = accel.run_compiled(
+                    state, max_instructions=max_instructions,
+                    max_cycles=max_cycles,
+                    deadlock_threshold=deadlock_threshold)
+                if result is not None:
+                    self.backend_used = "compiled"
+                    self.compiled_ready_peak = result.ready_peak
+                    return result.stats
+        self.backend_used = "python"
         clock = self.clock
         advance = clock.advance
         ticks = self._ticks

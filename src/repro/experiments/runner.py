@@ -18,11 +18,19 @@ the grid to the named scenarios; unknown names are an error)::
     repro-experiments scenarios scenario_occupancy \
         --scenario-file my_scenarios.toml --scenarios my_burst --quick
 
+``--engine compiled`` runs the simulations on the accelerated C core
+(built on demand; automatic fallback to the Python engine with identical
+results when no toolchain is available — see
+:mod:`repro.engine.accel`); ``--engine python`` pins the reference
+engine.  The flag sets ``$REPRO_ENGINE`` for this process and the
+worker pool.
+
 Simulation results are cached on disk by default (keyed by workload,
-configuration hash, trace length and seed), so re-generating a figure — or
-generating Table 4 after Figure 11 — only simulates points never simulated
-before.  ``--no-cache`` disables the cache, ``--cache-dir`` relocates it
-(default: ``$REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``).
+configuration hash, trace length, seed and engine backend), so
+re-generating a figure — or generating Table 4 after Figure 11 — only
+simulates points never simulated before.  ``--no-cache`` disables the
+cache, ``--cache-dir`` relocates it (default: ``$REPRO_SWEEP_CACHE`` or
+``~/.cache/repro/sweeps``).
 
 The ``cache`` subcommand inspects and maintains that store::
 
@@ -167,6 +175,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run simulations in this process instead of a pool")
     parser.add_argument("--quick", action="store_true",
                         help="reduced trace length and register-size grid")
+    parser.add_argument("--engine", default=None,
+                        choices=["auto", "python", "compiled"],
+                        help="simulation engine backend: 'compiled' builds and "
+                             "uses the accelerated C core (falls back to the "
+                             "Python engine, with identical results, when no C "
+                             "toolchain is available); 'python' pins the "
+                             "reference engine (default: $REPRO_ENGINE)")
     parser.add_argument("--no-cache", action="store_true",
                         help="always re-simulate instead of using the on-disk "
                              "sweep result cache")
@@ -183,6 +198,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "scenario-library experiments to (unknown names "
                              "are an error)")
     args = parser.parse_args(raw_argv)
+
+    if args.engine is not None:
+        # Exported (rather than threaded through run()) so the sweep worker
+        # pool inherits the choice; "auto" restores the environment default.
+        import os
+
+        from repro.engine.accel import ENGINE_ENV
+
+        if args.engine == "auto":
+            os.environ.pop(ENGINE_ENV, None)
+        else:
+            os.environ[ENGINE_ENV] = args.engine
 
     for path in args.scenario_file:
         try:

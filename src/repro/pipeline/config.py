@@ -85,6 +85,11 @@ class ProcessorConfig:
     exception_rate: float = 0.0
     #: RNG seed for exception injection and wrong-path synthesis.
     seed: int = 0
+    #: simulation engine backend: "auto" (defer to ``$REPRO_ENGINE``),
+    #: "python" (pure-Python stage loop) or "compiled" (C core with
+    #: bit-identical statistics and automatic fallback; see
+    #: :mod:`repro.engine.accel`).
+    engine: str = "auto"
 
     # -------------------------------------------------------- substructures
     memory: MemoryConfig = field(default_factory=MemoryConfig)
@@ -105,6 +110,8 @@ class ProcessorConfig:
             raise ValueError("exception_rate must be a probability")
         if self.release_policy not in ("conv", "conventional", "basic", "extended"):
             raise ValueError(f"unknown release policy {self.release_policy!r}")
+        if self.engine not in ("auto", "python", "compiled"):
+            raise ValueError(f"unknown engine backend {self.engine!r}")
 
     # ------------------------------------------------------------------
     def with_registers(self, num_int: Optional[int] = None,

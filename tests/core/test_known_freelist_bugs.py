@@ -17,14 +17,15 @@ non-default configurations:
    (``LOAD r11 <- [r11]``) was waved past a dry free list and crashed in
    ``allocate()`` instead of stalling.
 
-The *extended* policy carried a fourth hole (strict-xfail pinned until
-PR 4): a next-version instruction reading its own destination register is
-its own last use, but its ROS entry is unpublished while it renames, so
-the Release Queue's "unknown LU" fallback scheduled an RwNS release of a
-register whose in-flight definer an exception flush would release again.
-Such self-LU schedulings are now RwC entries tied to the NV's own entry,
-and every scheduling carries the NV's sequence number so squashes cancel
-it wherever confirmation merges moved it.
+The *extended* policy carried a fourth hole, fixed in PR 4 (these tests
+were strict-xfail until then and now pin the fix): a next-version
+instruction reading its own destination register is its own last use,
+but its ROS entry is unpublished while it renames, so the Release
+Queue's "unknown LU" fallback scheduled an RwNS release of a register
+whose in-flight definer an exception flush would release again.  Such
+self-LU schedulings are now RwC entries tied to the NV's own entry, and
+every scheduling carries the NV's sequence number so squashes cancel it
+wherever confirmation merges moved it.
 
 These tests pin the fixed behaviour on the exact configurations that used
 to crash.

@@ -21,9 +21,14 @@ def load_bench_module():
 bench = load_bench_module()
 
 
-def snapshot(cycles_per_s=100_000.0, generation_inst_per_s=500_000):
-    """A minimal snapshot with one scheduler point and a generation probe."""
-    return {
+def snapshot(cycles_per_s=100_000.0, generation_inst_per_s=500_000,
+             compiled_cycles_per_s=None, compiled_backend="compiled"):
+    """A minimal snapshot with one scheduler point and a generation probe.
+
+    ``compiled_cycles_per_s`` adds a ``scheduler_compiled`` section whose
+    single point reports ``compiled_backend`` as the engine that ran it.
+    """
+    payload = {
         "scheduler": {
             "trace_length": 4000,
             "points": [{"wall_clock_s": 1.0, "cycles": cycles_per_s}],
@@ -35,6 +40,15 @@ def snapshot(cycles_per_s=100_000.0, generation_inst_per_s=500_000):
             "scenario_speedup": 2.0,
         },
     }
+    if compiled_cycles_per_s is not None:
+        payload["scheduler_compiled"] = {
+            "trace_length": 4000,
+            "engine_requested": "compiled",
+            "points": [{"wall_clock_s": 1.0,
+                        "cycles": compiled_cycles_per_s,
+                        "engine_backend": compiled_backend}],
+        }
+    return payload
 
 
 class TestCompareAgainstBaseline:
@@ -85,6 +99,33 @@ class TestCompareAgainstBaseline:
         with pytest.raises(ValueError):
             bench.compare_against_baseline(snapshot(), snapshot(), 0.9)
 
+    def test_compiled_probe_gates_like_for_like(self):
+        baseline = snapshot(compiled_cycles_per_s=500_000)
+        current = snapshot(compiled_cycles_per_s=200_000)   # 2.5x slower
+        messages = bench.compare_against_baseline(current, baseline, 1.4)
+        assert len(messages) == 1
+        assert "compiled-engine" in messages[0]
+
+    def test_fallen_back_compiled_probe_is_not_gated(self):
+        """A compiled probe whose points ran on the Python engine (no
+        toolchain on the runner) must be excluded from the compiled
+        comparison, not flagged as a 6x C-core regression."""
+        baseline = snapshot(compiled_cycles_per_s=500_000)
+        current = snapshot(compiled_cycles_per_s=80_000,
+                           compiled_backend="python")
+        assert bench.compare_against_baseline(current, baseline, 1.4) == []
+
+    def test_python_and_compiled_probes_never_cross_compare(self):
+        """A slow compiled section must not drag down the Python gate and
+        vice versa: each section only meets its own baseline section."""
+        baseline = snapshot(cycles_per_s=100_000,
+                            compiled_cycles_per_s=500_000)
+        current = snapshot(cycles_per_s=100_000,
+                           compiled_cycles_per_s=500_000)
+        assert bench.compare_against_baseline(current, baseline, 1.4) == []
+        only_python = snapshot(cycles_per_s=100_000)
+        assert bench.compare_against_baseline(only_python, baseline, 1.4) == []
+
 
 class TestSnapshotDiscovery:
     def test_picks_newest_by_date(self, tmp_path):
@@ -113,6 +154,30 @@ class TestSnapshotDiscovery:
         payload = json.loads(newest.read_text())
         assert payload.get("scheduler", {}).get("points")
         assert payload.get("generation", {}).get("scenario_vector_inst_per_s")
+
+    def test_repo_baseline_arms_the_compiled_gate(self):
+        """The newest committed snapshot records a genuinely compiled
+        scheduler probe, so the compiled-engine gate is armed too."""
+        import json
+        newest = bench.find_latest_snapshot(REPO_ROOT)
+        payload = json.loads(newest.read_text())
+        compiled = payload.get("scheduler_compiled", {})
+        assert compiled.get("points")
+        assert bench.probe_backend_label(compiled) == "compiled"
+
+
+class TestProbeBackendLabel:
+    def test_uniform_backends(self):
+        assert bench.probe_backend_label(
+            {"points": [{"engine_backend": "compiled"}] * 3}) == "compiled"
+
+    def test_legacy_points_count_as_python(self):
+        assert bench.probe_backend_label({"points": [{}, {}]}) == "python"
+
+    def test_mixed_backends_are_flagged(self):
+        assert bench.probe_backend_label(
+            {"points": [{"engine_backend": "compiled"},
+                        {"engine_backend": "python"}]}) == "mixed"
 
 
 class TestSchedulerThroughput:
