@@ -41,13 +41,36 @@ def default_chunk_size(n_points: int, workers: int) -> int:
     return max(1, n_points // (workers * 4))
 
 
-def _run_chunk(sweep_config: "SweepConfig", chunk: Sequence["SweepPoint"],
-               ) -> List[Tuple["SweepPoint", "SimStats"]]:
-    """Worker entry point for one shard of points."""
-    from repro.analysis.sweep import run_simulation_point
+def _empty_telemetry() -> Dict:
+    return {"export_cache_hits": 0, "export_cache_misses": 0,
+            "fallback_chunks": 0, "fallback_reason": None}
 
-    return [(point, run_simulation_point(sweep_config, point))
-            for point in chunk]
+
+def _run_chunk(sweep_config: "SweepConfig", chunk: Sequence["SweepPoint"],
+               ) -> Tuple[List[Tuple["SweepPoint", "SimStats"]], Dict]:
+    """Worker entry point for one shard of points.
+
+    Returns the ``(point, stats)`` pairs plus per-chunk telemetry: the
+    export-artefact cache hit/miss deltas and — with the per-worker
+    warning suppressed — whether this process fell back from a requested
+    compiled backend, so the parent can log one summary for the whole
+    sweep instead of one warning per worker.
+    """
+    from repro.analysis.sweep import run_simulation_point
+    from repro.engine import accel
+    from repro.engine.accel.artefacts import EXPORT_CACHE
+
+    hits_before, misses_before = EXPORT_CACHE.counters()
+    with accel.suppressed_backend_warnings():
+        pairs = [(point, run_simulation_point(sweep_config, point))
+                 for point in chunk]
+    hits_after, misses_after = EXPORT_CACHE.counters()
+    meta = {
+        "export_cache_hits": hits_after - hits_before,
+        "export_cache_misses": misses_after - misses_before,
+        "compiled_fallback": accel.backend_fallback_reason(),
+    }
+    return pairs, meta
 
 
 class ParallelSweepRunner:
@@ -55,6 +78,12 @@ class ParallelSweepRunner:
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         self.max_workers = available_workers(max_workers)
+        #: telemetry aggregated over the chunks of the last :meth:`run`:
+        #: export-artefact cache hits/misses, and how many chunks ran in a
+        #: process that fell back from a requested compiled backend (with
+        #: one representative reason).  The sweep driver folds this into
+        #: ``SweepResult`` and emits a single fallback summary.
+        self.telemetry: Dict = _empty_telemetry()
 
     def run(self, sweep_config: "SweepConfig",
             points: Sequence["SweepPoint"],
@@ -70,6 +99,7 @@ class ParallelSweepRunner:
         crash mid-sweep keeps everything already simulated.
         """
         results: Dict["SweepPoint", "SimStats"] = {}
+        self.telemetry = _empty_telemetry()
         if not points:
             return results
         workers = min(self.max_workers, len(points))
@@ -90,7 +120,9 @@ class ParallelSweepRunner:
             gc.freeze()
             try:
                 for chunk in chunks:
-                    for point, stats in _run_chunk(sweep_config, chunk):
+                    pairs, meta = _run_chunk(sweep_config, chunk)
+                    self._fold_telemetry(meta)
+                    for point, stats in pairs:
                         results[point] = stats
                         if on_result is not None:
                             on_result(point, stats)
@@ -101,8 +133,19 @@ class ParallelSweepRunner:
             futures = [pool.submit(_run_chunk, sweep_config, chunk)
                        for chunk in chunks]
             for future in as_completed(futures):
-                for point, stats in future.result():
+                pairs, meta = future.result()
+                self._fold_telemetry(meta)
+                for point, stats in pairs:
                     results[point] = stats
                     if on_result is not None:
                         on_result(point, stats)
         return results
+
+    def _fold_telemetry(self, meta: Dict) -> None:
+        telemetry = self.telemetry
+        telemetry["export_cache_hits"] += meta.get("export_cache_hits", 0)
+        telemetry["export_cache_misses"] += meta.get("export_cache_misses", 0)
+        reason = meta.get("compiled_fallback")
+        if reason is not None:
+            telemetry["fallback_chunks"] += 1
+            telemetry["fallback_reason"] = reason

@@ -119,15 +119,28 @@ class SweepResult:
     ``simulated`` / ``cached`` report how many points the producing
     ``run_sweep`` call actually simulated versus served from the on-disk
     cache (both zero for results built directly from a dict).
+
+    ``export_cache_hits`` / ``export_cache_misses`` count the compiled
+    backend's export-artefact cache traffic (trace columns built once per
+    trace and shared read-only across configurations; see
+    :mod:`repro.engine.accel.artefacts`), summed over every process that
+    simulated points for this result.  ``compiled_fallback_reason`` is
+    set — once, however many workers observed it — when the sweep
+    requested the compiled backend but ran on the Python engine.
     """
 
     def __init__(self, sweep_config: SweepConfig,
                  results: Dict[SweepPoint, SimStats],
-                 simulated: int = 0, cached: int = 0) -> None:
+                 simulated: int = 0, cached: int = 0,
+                 export_cache_hits: int = 0, export_cache_misses: int = 0,
+                 compiled_fallback_reason: Optional[str] = None) -> None:
         self.config = sweep_config
         self._results = dict(results)
         self.simulated = simulated
         self.cached = cached
+        self.export_cache_hits = export_cache_hits
+        self.export_cache_misses = export_cache_misses
+        self.compiled_fallback_reason = compiled_fallback_reason
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -212,9 +225,33 @@ class SweepResult:
         config = replace(self.config, register_sizes=sizes, benchmarks=benchmarks,
                          policies=policies,
                          scenario_profiles=tuple(profiles.values()))
-        return SweepResult(config, merged,
-                           simulated=self.simulated + other.simulated,
-                           cached=self.cached + other.cached)
+        return SweepResult(
+            config, merged,
+            simulated=self.simulated + other.simulated,
+            cached=self.cached + other.cached,
+            export_cache_hits=self.export_cache_hits + other.export_cache_hits,
+            export_cache_misses=(self.export_cache_misses
+                                 + other.export_cache_misses),
+            compiled_fallback_reason=(self.compiled_fallback_reason
+                                      or other.compiled_fallback_reason))
+
+
+def _empty_point_telemetry() -> Dict:
+    return {"export_cache_hits": 0, "export_cache_misses": 0,
+            "fallback_chunks": 0, "fallback_reason": None}
+
+
+def _warn_fallback_summary(telemetry: Dict) -> None:
+    """One summary warning for the whole sweep, however many workers fell
+    back — each process's own warning was suppressed during execution."""
+    reason = telemetry.get("fallback_reason")
+    if reason is None:
+        return
+    import logging
+
+    # ``reason`` is the full per-process warning text (it already ends in
+    # "using the Python engine"), logged here exactly once for the sweep.
+    logging.getLogger("repro.engine.accel").warning("%s", reason)
 
 
 def run_sweep(sweep_config: SweepConfig, parallel: bool = True,
@@ -250,6 +287,7 @@ def run_sweep(sweep_config: SweepConfig, parallel: bool = True,
     else:
         missing = points
 
+    telemetry = _empty_point_telemetry()
     if missing:
         # Persist each result as soon as it lands (not after the whole
         # sweep): an interrupted or crashed run keeps every completed
@@ -265,9 +303,27 @@ def run_sweep(sweep_config: SweepConfig, parallel: bool = True,
             runner = ParallelSweepRunner(max_workers=max_workers)
             runner.run(sweep_config, missing, chunk_size=chunk_size,
                        on_result=record)
+            telemetry = dict(runner.telemetry)
         else:
-            for point in missing:
-                record(point, run_simulation_point(sweep_config, point))
+            from repro.engine import accel
+            from repro.engine.accel.artefacts import EXPORT_CACHE
 
-    return SweepResult(sweep_config, results,
-                       simulated=len(missing), cached=len(points) - len(missing))
+            hits_before, misses_before = EXPORT_CACHE.counters()
+            with accel.suppressed_backend_warnings():
+                for point in missing:
+                    record(point, run_simulation_point(sweep_config, point))
+            hits_after, misses_after = EXPORT_CACHE.counters()
+            telemetry["export_cache_hits"] = hits_after - hits_before
+            telemetry["export_cache_misses"] = misses_after - misses_before
+            reason = accel.backend_fallback_reason()
+            if reason is not None:
+                telemetry["fallback_chunks"] = 1
+                telemetry["fallback_reason"] = reason
+        _warn_fallback_summary(telemetry)
+
+    return SweepResult(
+        sweep_config, results,
+        simulated=len(missing), cached=len(points) - len(missing),
+        export_cache_hits=telemetry["export_cache_hits"],
+        export_cache_misses=telemetry["export_cache_misses"],
+        compiled_fallback_reason=telemetry["fallback_reason"])

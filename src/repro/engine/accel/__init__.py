@@ -20,15 +20,17 @@ deadlock/internal escapes) quietly fall back per-run.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import os
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.engine.accel.loader import ToolchainError, reset_loader_cache
 
 __all__ = ["ENGINE_ENV", "ENGINE_CHOICES", "requested_backend",
            "resolve_engine_backend", "run_compiled", "ToolchainError",
-           "reset_backend_cache"]
+           "reset_backend_cache", "backend_fallback_reason",
+           "suppressed_backend_warnings"]
 
 logger = logging.getLogger("repro.engine.accel")
 
@@ -41,6 +43,45 @@ ENGINE_CHOICES = ("auto", "python", "compiled")
 #: Cached verdict of the per-process availability probe (None = not yet
 #: probed; True = compiled backend loads and passes the self-check).
 _COMPILED_OK: Optional[bool] = None
+
+#: Why the probe pinned this process to the Python engine (None when the
+#: probe passed or has not run).  Sweep workers report this back to the
+#: parent so a pool emits one summary instead of N per-worker warnings.
+_FALLBACK_REASON: Optional[str] = None
+
+#: When True, the probe's fallback warnings are withheld (the caller —
+#: the sweep layer — takes responsibility for surfacing one summary).
+_WARNINGS_SUPPRESSED = False
+
+
+def backend_fallback_reason() -> Optional[str]:
+    """Why this process fell back to the Python engine (None = it didn't)."""
+    return _FALLBACK_REASON
+
+
+@contextlib.contextmanager
+def suppressed_backend_warnings() -> Iterator[None]:
+    """Withhold the probe's per-process fallback warnings inside the block.
+
+    The sweep layer wraps worker execution in this so a process pool does
+    not log one identical toolchain warning per worker; the reason stays
+    available via :func:`backend_fallback_reason` and the sweep driver
+    emits a single summary instead.
+    """
+    global _WARNINGS_SUPPRESSED
+    previous = _WARNINGS_SUPPRESSED
+    _WARNINGS_SUPPRESSED = True
+    try:
+        yield
+    finally:
+        _WARNINGS_SUPPRESSED = previous
+
+
+def _warn_fallback(message: str, *args) -> None:
+    global _FALLBACK_REASON
+    _FALLBACK_REASON = message % args if args else message
+    if not _WARNINGS_SUPPRESSED:
+        logger.warning(message, *args)
 
 
 def requested_backend(config=None) -> str:
@@ -65,8 +106,9 @@ def resolve_engine_backend(config=None) -> str:
 
 def reset_backend_cache() -> None:
     """Forget the availability verdict and the loaded core (test hook)."""
-    global _COMPILED_OK
+    global _COMPILED_OK, _FALLBACK_REASON
     _COMPILED_OK = None
+    _FALLBACK_REASON = None
     reset_loader_cache()
 
 
@@ -84,18 +126,18 @@ def _probe_backend() -> bool:
     try:
         loader.load_core()
     except ToolchainError as exc:
-        logger.warning(
+        _warn_fallback(
             "compiled engine requested but unavailable (%s); "
             "using the Python engine", exc)
         return False
     try:
         if not _self_check():
-            logger.warning(
+            _warn_fallback(
                 "compiled engine failed the statistics self-check; "
                 "using the Python engine")
             return False
     except Exception as exc:  # any probe crash must degrade, not propagate
-        logger.warning(
+        _warn_fallback(
             "compiled engine self-check crashed (%s); using the Python "
             "engine", exc)
         return False
@@ -122,8 +164,16 @@ def _self_check() -> bool:
     if compiled is None:
         return False
     reference = SimulationEngine(trace, config).run()
-    return (dataclasses.asdict(compiled.stats)
-            == dataclasses.asdict(reference))
+    if dataclasses.asdict(compiled.stats) != dataclasses.asdict(reference):
+        return False
+    # Same point again with warm-up deferred into the C core (the
+    # engine="compiled" state skips the Python warm pass), so the in-C
+    # warm-up path gets the same per-process divergence gate.
+    deferred = run_compiled(SimulationEngine(
+        trace, dataclasses.replace(config, engine="compiled")).state)
+    if deferred is None:
+        return False
+    return dataclasses.asdict(deferred.stats) == dataclasses.asdict(reference)
 
 
 def run_compiled(state, *, max_instructions=None, max_cycles=None,

@@ -1,11 +1,26 @@
 """Drive one simulation through the compiled core, bit-identically.
 
-:func:`run_compiled` takes a fully constructed (and, when configured,
-warmed) :class:`~repro.engine.state.MachineState`, exports it into a C
+:func:`run_compiled` takes a fully constructed
+:class:`~repro.engine.state.MachineState`, exports it into a C
 ``Machine`` built by :mod:`repro.engine.accel.loader`, lets ``sim_run``
 execute the whole pipeline, and assembles the resulting counters into the
 same :class:`~repro.pipeline.stats.SimStats` the Python engine's
 ``collect_stats`` would produce.
+
+Warm-up runs inside the compiled invocation: a state constructed with
+``warmup=True`` for the compiled backend defers its Python warm-up pass
+(``state.warmup_pending``), and ``run_compiled`` instead exports the
+warm-up trace's columns and lets ``sim_run`` replay them through the C
+predictor/BTB/cache models before the first measured cycle — the exact
+port of ``MachineState._warm_state``, bit-identical by the equivalence
+suite.  A state that was warmed in Python (``warmup_pending`` false)
+exports the already-warm structures with a zero-length warm-up, which is
+equally exact.
+
+The immutable trace columns are served by the process-level
+:data:`~repro.engine.accel.artefacts.EXPORT_CACHE`, so a sweep replaying
+one trace under many configurations builds the columns once; all mutable
+machine state is allocated per run by ``sim_new``.
 
 The only Python work during the run is *refilling draw buffers*: the C
 core never calls back into Python, so the two stochastic inputs — the
@@ -37,7 +52,8 @@ from typing import NamedTuple, Optional, TYPE_CHECKING
 import numpy as np
 
 from repro.engine.accel import loader
-from repro.engine.accel.loader import (A, CFG, NCFG, RF, RQ_LEVELS,
+from repro.engine.accel.artefacts import EXPORT_CACHE
+from repro.engine.accel.loader import (A, CFG, NCFG, RF, RQ_LEVELS_MAX,
                                        RUN_DEADLOCK, RUN_FINISHED,
                                        RUN_INTERNAL, RUN_NEED_EXC,
                                        RUN_NEED_WRONGPATH, SC, ST, ST_N)
@@ -78,18 +94,21 @@ class CompiledRun(NamedTuple):
 # ----------------------------------------------------------------------
 # Export-support probe
 # ----------------------------------------------------------------------
-def unsupported_reason(state: "MachineState") -> Optional[str]:
+def unsupported_reason(config_or_state) -> Optional[str]:
     """Why this configuration cannot run on the compiled core (None = can).
 
-    The C core hardwires the Release Queue depth (``RQ_LEVELS``) and the
-    six-pool / eleven-class functional-unit model; configurations outside
-    that envelope quietly use the Python engine.
+    Accepts a :class:`~repro.pipeline.config.ProcessorConfig` or anything
+    carrying one as ``.config`` (a ``MachineState``).  The C core sizes
+    its Release Queue from the config but caps the depth at
+    ``RQ_LEVELS_MAX``, and models exactly the paper's six-pool /
+    eleven-class functional units; configurations outside that envelope
+    quietly use the Python engine.
     """
-    cfg = state.config
+    cfg = getattr(config_or_state, "config", config_or_state)
     if (_POLICY_CODES.get(cfg.release_policy) == 2
-            and cfg.max_pending_branches > RQ_LEVELS):
-        return (f"extended policy needs max_pending_branches <= {RQ_LEVELS} "
-                f"(got {cfg.max_pending_branches})")
+            and cfg.max_pending_branches > RQ_LEVELS_MAX):
+        return (f"extended policy needs max_pending_branches <= "
+                f"{RQ_LEVELS_MAX} (got {cfg.max_pending_branches})")
     counts = cfg.functional_units.counts
     latencies = cfg.functional_units.latencies
     if any(kind not in _FU_KINDS for kind in counts):
@@ -102,7 +121,7 @@ def unsupported_reason(state: "MachineState") -> Optional[str]:
 # ----------------------------------------------------------------------
 # Config vector
 # ----------------------------------------------------------------------
-def _config_vector(state: "MachineState") -> "np.ndarray":
+def _config_vector(state: "MachineState", warm_len: int) -> "np.ndarray":
     cfg = state.config
     mem = cfg.memory
     fus = cfg.functional_units
@@ -142,6 +161,7 @@ def _config_vector(state: "MachineState") -> "np.ndarray":
         vec[CFG.OP_LAT + int(op)] = fus.latencies[op]
     vec[CFG.WP_CAP] = WP_BUFFER
     vec[CFG.EXC_CAP] = EXC_BUFFER
+    vec[CFG.WARM_LEN] = warm_len
     return vec
 
 
@@ -153,44 +173,31 @@ def _i64_view(ffi, lib, mach, which: int, length: int) -> "np.ndarray":
     return np.frombuffer(ffi.buffer(ptr, 8 * length), dtype=np.int64)
 
 
-def _export_trace(ffi, lib, mach, instructions) -> None:
-    n = len(instructions)
+def _export_trace(ffi, lib, mach, trace) -> None:
+    """Copy the trace's (cached, read-only) columns into the C Machine."""
+    n = len(trace.instructions)
     if n == 0:
         return
-    op = np.empty(n, dtype=np.int64)
-    pc = np.empty(n, dtype=np.int64)
-    dc = np.empty(n, dtype=np.int64)
-    dest = np.empty(n, dtype=np.int64)
-    nsrc = np.empty(n, dtype=np.int64)
-    src_class = np.zeros(3 * n, dtype=np.int64)
-    src_log = np.zeros(3 * n, dtype=np.int64)
-    taken = np.empty(n, dtype=np.int64)
-    target = np.empty(n, dtype=np.int64)
-    addr = np.empty(n, dtype=np.int64)
-    for i, inst in enumerate(instructions):
-        op[i] = int(inst.op)
-        pc[i] = inst.pc
-        if inst.dest is None:
-            dc[i] = -1
-            dest[i] = 0
-        else:
-            dc[i] = int(inst.dest[0])
-            dest[i] = inst.dest[1]
-        srcs = inst.srcs
-        nsrc[i] = len(srcs)
-        for s, (reg_class, log) in enumerate(srcs):
-            src_class[3 * i + s] = int(reg_class)
-            src_log[3 * i + s] = log
-        taken[i] = int(inst.taken)
-        target[i] = inst.target
-        addr[i] = inst.mem_addr
-    for which, column in ((A.T_OP, op), (A.T_PC, pc), (A.T_DC, dc),
-                          (A.T_DEST, dest), (A.T_NSRC, nsrc),
-                          (A.T_TAKEN, taken), (A.T_TARGET, target),
-                          (A.T_ADDR, addr)):
-        _i64_view(ffi, lib, mach, which, n)[:] = column
-    _i64_view(ffi, lib, mach, A.T_SRC_CLASS, 3 * n)[:] = src_class
-    _i64_view(ffi, lib, mach, A.T_SRC_LOG, 3 * n)[:] = src_log
+    columns = EXPORT_CACHE.trace_columns(trace)
+    for which, name in ((A.T_OP, "op"), (A.T_PC, "pc"), (A.T_DC, "dc"),
+                        (A.T_DEST, "dest"), (A.T_NSRC, "nsrc"),
+                        (A.T_TAKEN, "taken"), (A.T_TARGET, "target"),
+                        (A.T_ADDR, "addr")):
+        _i64_view(ffi, lib, mach, which, n)[:] = columns[name]
+    _i64_view(ffi, lib, mach, A.T_SRC_CLASS, 3 * n)[:] = columns["src_class"]
+    _i64_view(ffi, lib, mach, A.T_SRC_LOG, 3 * n)[:] = columns["src_log"]
+
+
+def _export_warmup(ffi, lib, mach, warm_trace) -> None:
+    """Copy the warm-up trace's (cached) replay columns into the Machine."""
+    n = len(warm_trace.instructions)
+    if n == 0:
+        return
+    columns = EXPORT_CACHE.warmup_columns(warm_trace)
+    for which, name in ((A.WU_OP, "op"), (A.WU_PC, "pc"),
+                        (A.WU_ADDR, "addr"), (A.WU_TAKEN, "taken"),
+                        (A.WU_TARGET, "target")):
+        _i64_view(ffi, lib, mach, which, n)[:] = columns[name]
 
 
 def _export_predictor(ffi, lib, mach, predictor) -> None:
@@ -398,8 +405,17 @@ def run_compiled(state: "MachineState", *,
         logger.debug("compiled backend unavailable for this run: %s", reason)
         return None
 
+    # A deferred warm-up (state constructed for the compiled backend)
+    # runs inside sim_run from the exported warm-up trace; a state warmed
+    # in Python instead exports its already-warm structures below and the
+    # C pass is a no-op.  The Python state is left pending — a fallback
+    # run warms itself via ensure_warm().
+    warm_trace = (state._build_warmup_trace()
+                  if getattr(state, "warmup_pending", False) else None)
+    warm_len = len(warm_trace.instructions) if warm_trace is not None else 0
+
     ffi, lib = loader.load_core()
-    vec = _config_vector(state)
+    vec = _config_vector(state, warm_len)
     mach = lib.sim_new(ffi.cast("long long *", ffi.from_buffer(vec)), NCFG)
     if mach == ffi.NULL:
         logger.warning("compiled core rejected the configuration vector; "
@@ -407,7 +423,9 @@ def run_compiled(state: "MachineState", *,
         return None
     mach = ffi.gc(mach, lib.sim_free)
 
-    _export_trace(ffi, lib, mach, state.trace.instructions)
+    _export_trace(ffi, lib, mach, state.trace)
+    if warm_trace is not None:
+        _export_warmup(ffi, lib, mach, warm_trace)
     _export_predictor(ffi, lib, mach, state.predictor)
     _export_btb(ffi, lib, mach, state.btb)
     memory = state.memory

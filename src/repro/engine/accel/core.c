@@ -53,8 +53,8 @@ enum {
     CFG_MEM_LAT,
     CFG_FU = 34,          /* 6 x [count, unpipelined]  -> 34..45 */
     CFG_OP_LAT = 46,      /* 11 op latencies           -> 46..56 */
-    CFG_WP_CAP = 57, CFG_EXC_CAP = 58,
-    NCFG = 59,
+    CFG_WP_CAP = 57, CFG_EXC_CAP = 58, CFG_WARM_LEN = 59,
+    NCFG = 60,
 };
 
 /* Scalar ids for sim_get / sim_set. */
@@ -64,7 +64,7 @@ enum {
     SC_GS_HISTORY, SC_READY_PEAK, SC_SEQ, SC_ABI_MAGIC,
 };
 
-#define ABI_MAGIC 0x52503601LL
+#define ABI_MAGIC 0x52503701LL
 
 /* Array ids for sim_i64. */
 enum {
@@ -77,6 +77,7 @@ enum {
     A_L1D_TAG, A_L1D_DIRTY, A_L1D_NWAY,
     A_L2_TAG, A_L2_DIRTY, A_L2_NWAY,
     A_STATS,
+    A_WU_OP, A_WU_PC, A_WU_ADDR, A_WU_TAKEN, A_WU_TARGET,
 };
 
 /* sim_run statuses. */
@@ -124,7 +125,8 @@ enum {
     RF_OCC_EMPTY, RF_OCC_READY, RF_OCC_IDLE,
 };
 
-#define RQ_LEVELS 20            /* hardwired in make_release_policy */
+#define RQ_LEVELS_MAX 256       /* compiled ceiling; depth itself is
+                                 * config-derived (max_pending_branches) */
 #define MAX_SRCS 3
 
 /* ------------------------------------------------------------------ */
@@ -176,6 +178,12 @@ struct Machine {
     i64 trace_len;
     i64 *t_op, *t_pc, *t_dc, *t_dest, *t_nsrc, *t_src_class, *t_src_log,
         *t_taken, *t_target, *t_addr;
+
+    /* warm-up trace columns (C-owned, filled by Python; replayed once
+     * through the predictor/BTB/memory models before the measured run) */
+    i64 warm_len;
+    i64 *wu_op, *wu_pc, *wu_addr, *wu_taken, *wu_target;
+    int warm_done;
 
     /* wrong-path payload ring buffer (refilled by Python, status 1) */
     i64 wp_cap, wp_count, wp_head;
@@ -278,10 +286,12 @@ struct Machine {
     i64 *ck_lus_seq[2];
     i8 *ck_lus_slot[2];
 
-    /* release queues (extended), one per class */
-    RQLevel rq_slots[2][RQ_LEVELS];
-    int rq_order[2][RQ_LEVELS];
-    int rq_freestack[2][RQ_LEVELS];
+    /* release queues (extended), one per class; rq_levels slots each,
+     * sized from the config's checkpoint capacity (max_pending_branches) */
+    i64 rq_levels;
+    RQLevel *rq_slots[2];
+    int *rq_order[2];
+    int *rq_freestack[2];
     int rq_count[2], rq_nfree[2];
     i64 rq_rwns_cap, rq_rwc_cap;
 
@@ -980,7 +990,7 @@ static int ck_has_pending_younger(Machine *m, i64 seq) {
 /* Levels keep Python-dict semantics: ordered, update-in-place.       */
 /* ------------------------------------------------------------------ */
 static void rq_push_level(Machine *m, int c, i64 branch_seq) {
-    if (m->rq_count[c] >= RQ_LEVELS || m->rq_nfree[c] == 0) {
+    if (m->rq_count[c] >= m->rq_levels || m->rq_nfree[c] == 0) {
         m->status = RUN_INTERNAL;
         m->error = E_RQ_OVERFLOW;
         return;
@@ -1879,8 +1889,41 @@ static void finalize_stats(Machine *m) {
     }
 }
 
+/* Warm-up pass: exact port of MachineState._warm_state.  Each warm-up
+ * instruction touches the I-cache, the data caches (loads/stores) and —
+ * for branches — the predictor (speculative-history predict + resolve)
+ * and the BTB (update only when taken; no lookup, matching the Python
+ * pass).  The warmed structures keep their contents; every statistic
+ * they incremented is zeroed afterwards, exactly like the Python
+ * reset_statistics() calls at the warm/measure boundary. */
+static void warmup_pass(Machine *m) {
+    if (m->warm_len <= 0) return;
+    for (i64 i = 0; i < m->warm_len; i++) {
+        int op = (int)m->wu_op[i];
+        i64 pc = m->wu_pc[i];
+        MEM_IACCESS(m, pc);
+        if (IS_MEM(op)) {
+            if (IS_STORE(op)) MEM_DWRITE(m, m->wu_addr[i]);
+            else MEM_DREAD(m, m->wu_addr[i]);
+        }
+        if (IS_BRANCH(op)) {
+            i64 idx, hist;
+            int pred;
+            int taken = m->wu_taken[i] != 0;
+            gs_predict(m, pc, &idx, &hist, &pred);
+            gs_resolve(m, idx, hist, taken, pred);
+            if (taken) btb_update(m, pc, m->wu_target[i]);
+        }
+    }
+    for (int s = ST_BTB_HITS; s <= ST_L2_MISSES; s++) m->st[s] = 0;
+}
+
 int sim_run(Machine *m) {
     if (m->status == RUN_INTERNAL) return m->status;
+    if (!m->warm_done) {
+        m->warm_done = 1;
+        warmup_pass(m);
+    }
     m->status = RUN_FINISHED;
     for (;;) {
         if (m->max_cycles >= 0 && m->cycle >= m->max_cycles) break;
@@ -1940,6 +1983,8 @@ static void cache_init(Machine *m, CacheZ *c, i64 sets, i64 assoc,
 
 Machine *sim_new(const long long *cfg, int ncfg) {
     if (ncfg != NCFG) return 0;
+    if (cfg[CFG_POLICY] == 2 && cfg[CFG_CK_CAP] > RQ_LEVELS_MAX)
+        return 0;           /* Release Queue deeper than the compiled max */
     Machine *m = (Machine *)zmalloc(sizeof(Machine));
     if (!m) return 0;
     memcpy(m->cfg, cfg, sizeof(m->cfg));
@@ -1977,6 +2022,15 @@ Machine *sim_new(const long long *cfg, int ncfg) {
     m->t_taken = NEW_I64(tl);
     m->t_target = NEW_I64(tl);
     m->t_addr = NEW_I64(tl);
+
+    /* warm-up trace columns */
+    m->warm_len = cfg[CFG_WARM_LEN];
+    i64 wl = m->warm_len > 0 ? m->warm_len : 1;
+    m->wu_op = NEW_I64(wl);
+    m->wu_pc = NEW_I64(wl);
+    m->wu_addr = NEW_I64(wl);
+    m->wu_taken = NEW_I64(wl);
+    m->wu_target = NEW_I64(wl);
 
     /* wrong-path payload buffer */
     i64 wc = m->wp_cap > 0 ? m->wp_cap : 1;
@@ -2176,13 +2230,19 @@ Machine *sim_new(const long long *cfg, int ncfg) {
         m->ck_lus_slot[c] = NEW_I8(kc * nl);
     }
 
-    /* release queues (extended only) */
+    /* release queues (extended only): depth = checkpoint capacity
+     * (ProcessorConfig.max_pending_branches), not a hardwired constant */
     if (m->policy == 2) {
         i64 npmax = m->nphys[0] > m->nphys[1] ? m->nphys[0] : m->nphys[1];
+        m->rq_levels = m->ck_cap > 0 ? m->ck_cap : 1;
         m->rq_rwns_cap = 2 * npmax + rc;
         m->rq_rwc_cap = rc;
         for (int c = 0; c < 2; c++) {
-            for (int s = 0; s < RQ_LEVELS; s++) {
+            m->rq_slots[c] = (RQLevel *)zmalloc(
+                (size_t)m->rq_levels * sizeof(RQLevel));
+            m->rq_order[c] = NEW_INT(m->rq_levels);
+            m->rq_freestack[c] = NEW_INT(m->rq_levels);
+            for (i64 s = 0; s < m->rq_levels; s++) {
                 RQLevel *lv = &m->rq_slots[c][s];
                 lv->rwns_phys = NEW_INT(m->rq_rwns_cap);
                 lv->rwns_log = NEW_INT(m->rq_rwns_cap);
@@ -2191,9 +2251,9 @@ Machine *sim_new(const long long *cfg, int ncfg) {
                 lv->rwc_nbits = NEW_INT(m->rq_rwc_cap);
                 lv->rwc_bits = NEW_INT(m->rq_rwc_cap * 4);
                 lv->rwc_nv = NEW_I64(m->rq_rwc_cap * 4);
-                m->rq_freestack[c][s] = s;
+                m->rq_freestack[c][s] = (int)s;
             }
-            m->rq_nfree[c] = RQ_LEVELS;
+            m->rq_nfree[c] = (int)m->rq_levels;
         }
     }
 
@@ -2216,6 +2276,8 @@ void sim_free(Machine *m) {
     free(m->t_op); free(m->t_pc); free(m->t_dc); free(m->t_dest);
     free(m->t_nsrc); free(m->t_src_class); free(m->t_src_log);
     free(m->t_taken); free(m->t_target); free(m->t_addr);
+    free(m->wu_op); free(m->wu_pc); free(m->wu_addr);
+    free(m->wu_taken); free(m->wu_target);
     free(m->w_op); free(m->w_dc); free(m->w_dest); free(m->w_nsrc);
     free(m->w_src_class); free(m->w_src_log); free(m->w_addr);
     free(m->w_tdelta);
@@ -2235,12 +2297,14 @@ void sim_free(Machine *m) {
         free(m->ck_map[c]); free(m->ck_stale[c]);
         free(m->ck_lus_seq[c]); free(m->ck_lus_slot[c]);
         if (m->policy == 2) {
-            for (int s = 0; s < RQ_LEVELS; s++) {
+            for (i64 s = 0; s < m->rq_levels; s++) {
                 RQLevel *lv = &m->rq_slots[c][s];
                 free(lv->rwns_phys); free(lv->rwns_log); free(lv->rwns_nv);
                 free(lv->rwc_lu); free(lv->rwc_nbits);
                 free(lv->rwc_bits); free(lv->rwc_nv);
             }
+            free(m->rq_slots[c]); free(m->rq_order[c]);
+            free(m->rq_freestack[c]);
         }
         free(m->freed_reg[c]);
     }
@@ -2302,6 +2366,11 @@ long long *sim_i64(Machine *m, int which) {
     case A_L2_DIRTY: return m->l2.dirty;
     case A_L2_NWAY: return m->l2.nway;
     case A_STATS: return m->st;
+    case A_WU_OP: return m->wu_op;
+    case A_WU_PC: return m->wu_pc;
+    case A_WU_ADDR: return m->wu_addr;
+    case A_WU_TAKEN: return m->wu_taken;
+    case A_WU_TARGET: return m->wu_target;
     }
     return 0;
 }

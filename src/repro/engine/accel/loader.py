@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import Optional, Tuple
 
 __all__ = ["ToolchainError", "load_core", "reset_loader_cache",
-           "CFG", "SC", "A", "ST", "RF", "NCFG", "ST_N", "RQ_LEVELS",
+           "CFG", "SC", "A", "ST", "RF", "NCFG", "ST_N", "RQ_LEVELS_MAX",
            "ABI_MAGIC", "RUN_FINISHED", "RUN_NEED_WRONGPATH",
            "RUN_NEED_EXC", "RUN_DEADLOCK", "RUN_INTERNAL"]
 
@@ -73,9 +73,9 @@ CFG = _Namespace(
     L1I_SETS=21, L1I_ASSOC=22, L1I_SHIFT=23, L1I_LAT=24,
     L1D_SETS=25, L1D_ASSOC=26, L1D_SHIFT=27, L1D_LAT=28,
     L2_SETS=29, L2_ASSOC=30, L2_SHIFT=31, L2_LAT=32,
-    MEM_LAT=33, FU=34, OP_LAT=46, WP_CAP=57, EXC_CAP=58,
+    MEM_LAT=33, FU=34, OP_LAT=46, WP_CAP=57, EXC_CAP=58, WARM_LEN=59,
 )
-NCFG = 59
+NCFG = 60
 
 #: Scalar ids (enum ``SC_*``).
 SC = _Namespace(
@@ -95,6 +95,7 @@ A = _Namespace(
     L1D_TAG=24, L1D_DIRTY=25, L1D_NWAY=26,
     L2_TAG=27, L2_DIRTY=28, L2_NWAY=29,
     STATS=30,
+    WU_OP=31, WU_PC=32, WU_ADDR=33, WU_TAKEN=34, WU_TARGET=35,
 )
 
 #: STATS slots (enum ``ST_*``).
@@ -123,10 +124,11 @@ RUN_NEED_EXC = 2
 RUN_DEADLOCK = 3
 RUN_INTERNAL = 4
 
-#: Release-queue depth hardwired in core.c (and in make_release_policy).
-RQ_LEVELS = 20
+#: Deepest Release Queue the compiled core accepts; the depth itself is
+#: config-derived (``ProcessorConfig.max_pending_branches``).
+RQ_LEVELS_MAX = 256
 
-ABI_MAGIC = 0x52503601
+ABI_MAGIC = 0x52503701
 
 
 # ----------------------------------------------------------------------

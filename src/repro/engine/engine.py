@@ -62,6 +62,7 @@ class SimulationEngine:
         cycle.  The clock only jumps inside :meth:`run`.
         """
         state = self.state
+        state.ensure_warm()
         for tick in self._ticks:
             tick(state)
         state.cycle += 1
@@ -86,6 +87,7 @@ class SimulationEngine:
                     self.compiled_ready_peak = result.ready_peak
                     return result.stats
         self.backend_used = "python"
+        state.ensure_warm()     # warm-up deferred to a backend we didn't use
         clock = self.clock
         advance = clock.advance
         ticks = self._ticks

@@ -95,10 +95,16 @@ class MachineState:
         self.checkpoints = CheckpointStack(capacity=cfg.max_pending_branches)
 
         options = PolicyOptions(reuse_on_committed_lu=cfg.reuse_on_committed_lu)
+        # The extended policy's Release Queue is as deep as the checkpoint
+        # stack: one level per unresolved branch, so the config's
+        # max_pending_branches bounds both (a level can never overflow
+        # before the checkpoint hazard stalls rename).
+        policy_kwargs = ({"release_queue_capacity": cfg.max_pending_branches}
+                         if cfg.release_policy == "extended" else {})
         self.policies: Dict[RegClass, ReleasePolicy] = {
             rc: make_release_policy(cfg.release_policy, rc, self.register_files[rc],
                                     self.map_tables[rc], self.iomts[rc], self,
-                                    options=options)
+                                    options=options, **policy_kwargs)
             for rc in (RegClass.INT, RegClass.FP)
         }
         #: the same two policies as a tuple: the per-commit/per-rename hooks
@@ -171,8 +177,17 @@ class MachineState:
         }
         self.last_commit_cycle = 0
 
+        #: warm-up owed but not yet run.  When the compiled backend is
+        #: requested and can model this config, the (expensive) Python
+        #: warm-up pass is deferred: the compiled core replays the warm-up
+        #: trace itself inside sim_run, and any path that instead steps
+        #: the Python engine calls :meth:`ensure_warm` first.
+        self.warmup_pending = False
         if cfg.warmup:
-            self._warm_state()
+            if self._defer_warmup_to_backend():
+                self.warmup_pending = True
+            else:
+                self._warm_state()
 
     # ------------------------------------------------------------------
     @property
@@ -182,6 +197,27 @@ class MachineState:
                 and self.ros.is_empty)
 
     # ------------------------------------------------------------------
+    def _defer_warmup_to_backend(self) -> bool:
+        """Should warm-up run inside the compiled core instead of here?
+
+        Purely config-driven (no toolchain probe at construction time): the
+        compiled backend must be the requested engine and the config inside
+        its envelope.  If the toolchain later turns out to be unavailable,
+        the Python engine calls :meth:`ensure_warm` before stepping.
+        """
+        from repro.engine.accel import requested_backend
+        from repro.engine.accel.compiled import unsupported_reason
+
+        if requested_backend(self.config) != "compiled":
+            return False
+        return unsupported_reason(self.config) is None
+
+    def ensure_warm(self) -> None:
+        """Run the deferred warm-up pass if one is still owed."""
+        if self.warmup_pending:
+            self.warmup_pending = False
+            self._warm_state()
+
     def _warm_state(self) -> None:
         """Bring caches, BTB and branch predictor to steady state.
 

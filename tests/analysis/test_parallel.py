@@ -50,3 +50,69 @@ class TestParallelRunner:
             assert serial.ipc(point.benchmark, point.policy, point.num_registers) \
                 == pytest.approx(parallel.ipc(point.benchmark, point.policy,
                                               point.num_registers))
+
+
+class TestSweepTelemetry:
+    """Export-cache counters and the deduplicated fallback summary."""
+
+    def test_sweep_result_carries_export_cache_counters(self):
+        config = SweepConfig(benchmarks=("swim",), policies=("conv", "basic"),
+                             register_sizes=(40, 48), trace_length=400,
+                             base_config=FAST)
+        result = run_sweep(config, parallel=False, cache=False)
+        assert result.export_cache_hits >= 0
+        assert result.export_cache_misses >= 0
+        assert result.compiled_fallback_reason is None  # nothing fell back
+
+    def test_runner_telemetry_resets_per_run(self):
+        config = SweepConfig(benchmarks=("swim",), policies=("conv",),
+                             register_sizes=(48,), trace_length=400,
+                             base_config=FAST)
+        runner = ParallelSweepRunner(max_workers=1)
+        runner.telemetry["export_cache_hits"] = 99_999
+        runner.run(config, config.points())
+        assert runner.telemetry["export_cache_hits"] < 99_999
+        assert set(runner.telemetry) == {"export_cache_hits",
+                                         "export_cache_misses",
+                                         "fallback_chunks", "fallback_reason"}
+
+    def test_merge_sums_telemetry(self):
+        config = SweepConfig(benchmarks=("swim",), policies=("conv",),
+                             register_sizes=(48,), trace_length=400,
+                             base_config=FAST)
+        result = run_sweep(config, parallel=False, cache=False)
+        a = type(result)(config, {}, export_cache_hits=3, export_cache_misses=1)
+        b = type(result)(config, {}, export_cache_hits=2, export_cache_misses=4,
+                         compiled_fallback_reason="toolchain broken")
+        merged = a.merge(b)
+        assert merged.export_cache_hits == 5
+        assert merged.export_cache_misses == 5
+        assert merged.compiled_fallback_reason == "toolchain broken"
+
+    def test_fallback_warning_emitted_once_per_sweep(self, monkeypatch, caplog):
+        # Six points on a broken toolchain: without deduplication every
+        # simulation (or every pool worker) would log the same warning;
+        # the sweep must surface exactly one summary and still finish on
+        # the Python engine.
+        import dataclasses
+        import logging
+
+        from repro.engine import accel
+
+        monkeypatch.setenv("REPRO_ACCEL_CC", "/nonexistent/compiler-xyz")
+        accel.reset_backend_cache()
+        try:
+            config = SweepConfig(
+                benchmarks=("swim",), policies=("conv", "basic", "extended"),
+                register_sizes=(40, 48), trace_length=400,
+                base_config=dataclasses.replace(FAST, engine="compiled"))
+            with caplog.at_level(logging.WARNING, logger="repro.engine.accel"):
+                result = run_sweep(config, parallel=False, cache=False)
+            warnings = [r for r in caplog.records
+                        if "using the Python engine" in r.message]
+            assert len(warnings) == 1
+            assert result.compiled_fallback_reason is not None
+            assert "unavailable" in result.compiled_fallback_reason
+            assert len(result) == 6
+        finally:
+            accel.reset_backend_cache()

@@ -118,6 +118,61 @@ class TestBitIdenticalStats:
                                           enable_wrong_path=False)
         assert dataclasses.asdict(compiled) == dataclasses.asdict(reference)
 
+    @pytest.mark.parametrize("depth", [4, 64])
+    def test_config_derived_rq_depth_equivalence(self, depth):
+        # The compiled Release Queue is sized from ``max_pending_branches``
+        # at export time (not a hardwired 20): both a shallower and a
+        # much deeper queue must stay bit-identical to the Python engine.
+        reference, compiled, _ = run_both("gcc", "extended",
+                                          max_pending_branches=depth)
+        assert dataclasses.asdict(compiled) == dataclasses.asdict(reference)
+
+    @pytest.mark.parametrize("warm_length", [0, 5, None],
+                             ids=["empty", "shorter_than_trace", "full"])
+    def test_warmup_length_edge_cases(self, warm_length, monkeypatch):
+        # The in-C warm-up pass replays whatever _build_warmup_trace
+        # returns; pin the edge lengths: an empty warm trace (warm_len=0
+        # exports no columns), a warm trace much shorter than the measured
+        # trace, and the default full-length segment (warm len == trace
+        # len for traces under the 20k warm-up cap).
+        from repro.engine.state import MachineState
+        from repro.trace.records import Trace
+
+        if warm_length is not None:
+            original = MachineState._build_warmup_trace
+
+            def truncated(self):
+                base = original(self)
+                return Trace(name=base.name, focus_class=base.focus_class,
+                             instructions=list(base.instructions[:warm_length]),
+                             seed=base.seed)
+
+            monkeypatch.setattr(MachineState, "_build_warmup_trace", truncated)
+        reference, compiled, engine = run_both("gcc", "extended", warmup=True,
+                                               trace_length=1_000)
+        if warm_length is None:
+            assert len(engine.state._build_warmup_trace().instructions) >= 1_000
+        assert dataclasses.asdict(compiled) == dataclasses.asdict(reference)
+
+    def test_warmup_of_unregistered_trace_replays_itself(self):
+        # A hand-built trace is not in the workload registry, so its
+        # warm-up trace is the trace itself — on both backends.
+        from repro.trace.records import Trace
+
+        base = get_workload("gcc", 700, seed=0)
+        loose = Trace(name="hand-rolled", focus_class=base.focus_class,
+                      instructions=list(base.instructions), seed=0)
+        stats = {}
+        for backend in ("python", "compiled"):
+            config = ProcessorConfig(release_policy="basic", warmup=True,
+                                     num_physical_int=48, num_physical_fp=48,
+                                     engine=backend)
+            engine = SimulationEngine(loose, config)
+            stats[backend] = engine.run()
+            assert engine.backend_used == backend
+        assert dataclasses.asdict(stats["compiled"]) == \
+            dataclasses.asdict(stats["python"])
+
     def test_ready_peak_reported(self):
         # The compiled core reports the scheduler's ready-set peak through
         # the engine (the bench probe records it); it must match Python's.
@@ -208,21 +263,29 @@ class TestFallbackContract:
             accel.reset_backend_cache()
 
     def test_unsupported_config_falls_back_per_run(self):
-        # The C core hardwires the paper's 20-level Release Queue; an
-        # extended-policy config beyond that is outside its envelope and
-        # must be delegated to the Python engine — which surfaces its own
-        # behaviour for the config (here: an RQ overflow error, since the
-        # Python Release Queue is sized for <=20 pending branches too).
+        # The Release Queue depth is config-derived (sized from
+        # ``max_pending_branches`` at export time), bounded only by the
+        # compiled core's ``RQ_LEVELS_MAX`` ceiling.  A config beyond the
+        # ceiling is outside the envelope — named clearly — and must run
+        # on the Python engine, whose Release Queue is also config-sized.
         from repro.engine.accel.compiled import unsupported_reason
+        from repro.engine.accel.loader import RQ_LEVELS_MAX
 
         trace = get_workload("gcc", 800, seed=0)
-        config = ProcessorConfig(release_policy="extended", warmup=False,
+        inside = ProcessorConfig(release_policy="extended", warmup=False,
                                  max_pending_branches=64, engine="compiled")
+        assert unsupported_reason(inside) is None
+        config = ProcessorConfig(release_policy="extended", warmup=False,
+                                 max_pending_branches=RQ_LEVELS_MAX + 44,
+                                 engine="compiled")
+        reason = unsupported_reason(config)
+        assert reason is not None and str(RQ_LEVELS_MAX) in reason
         engine = SimulationEngine(trace, config)
-        assert unsupported_reason(engine.state) is not None
-        with pytest.raises(RuntimeError, match="Release Queue overflow"):
-            engine.run()
+        stats = engine.run()
         assert engine.backend_used == "python"
+        reference = SimulationEngine(
+            trace, dataclasses.replace(config, engine="python")).run()
+        assert dataclasses.asdict(stats) == dataclasses.asdict(reference)
 
     def test_partially_stepped_machine_stays_python(self):
         # Backend dispatch only covers whole runs from reset: a machine
@@ -241,6 +304,80 @@ class TestFallbackContract:
             assert engine.backend_used == "python"
         assert dataclasses.asdict(stats["compiled"]) == \
             dataclasses.asdict(stats["python"])
+
+
+class TestWarmupDeferral:
+    """Warm-up is deferred into the compiled core — and still owed on
+    fallback.  Config-driven, so these run without a toolchain."""
+
+    def test_compiled_request_defers_warmup(self):
+        trace = get_workload("swim", 500, seed=0)
+        state = SimulationEngine(trace, ProcessorConfig(
+            engine="compiled", warmup=True)).state
+        assert state.warmup_pending
+        # Deferred means genuinely cold: the predictor has trained on
+        # nothing yet (the C core, or ensure_warm(), will do the pass).
+        assert len(set(state.predictor.table)) == 1
+
+    def test_python_engine_warms_at_construction(self):
+        trace = get_workload("swim", 500, seed=0)
+        state = SimulationEngine(trace, ProcessorConfig(
+            engine="python", warmup=True)).state
+        assert not state.warmup_pending
+        assert state.predictor.predictions == 0     # stats reset after warm
+        assert len(set(state.predictor.table)) > 1  # but the tables learned
+
+    def test_out_of_envelope_config_does_not_defer(self):
+        # A config the compiled core cannot run must warm up eagerly —
+        # deferring would hand the Python engine a cold machine.
+        from repro.engine.accel.loader import RQ_LEVELS_MAX
+
+        trace = get_workload("swim", 500, seed=0)
+        state = SimulationEngine(trace, ProcessorConfig(
+            engine="compiled", warmup=True, release_policy="extended",
+            max_pending_branches=RQ_LEVELS_MAX + 1)).state
+        assert not state.warmup_pending
+
+    def test_ensure_warm_runs_once(self):
+        trace = get_workload("swim", 500, seed=0)
+        state = SimulationEngine(trace, ProcessorConfig(
+            engine="compiled", warmup=True)).state
+        state.ensure_warm()
+        assert not state.warmup_pending
+        assert len(set(state.predictor.table)) > 1
+        snapshot = list(state.predictor.table)
+        state.ensure_warm()                         # idempotent
+        assert list(state.predictor.table) == snapshot
+
+    def test_broken_toolchain_still_warms_up(self, monkeypatch):
+        # Warm-up deferred to a compiled backend that turns out to be
+        # missing must still happen (ensure_warm before the Python clock
+        # loop): stats equal the python-engine warmup=True reference.
+        monkeypatch.setenv("REPRO_ACCEL_CC", "/nonexistent/compiler-xyz")
+        accel.reset_backend_cache()
+        try:
+            trace = get_workload("gcc", 800, seed=0)
+            config = ProcessorConfig(release_policy="extended", warmup=True,
+                                     engine="compiled")
+            engine = SimulationEngine(trace, config)
+            assert engine.state.warmup_pending
+            stats = engine.run()
+            assert engine.backend_used == "python"
+            reference = SimulationEngine(
+                trace, dataclasses.replace(config, engine="python")).run()
+            assert dataclasses.asdict(stats) == dataclasses.asdict(reference)
+        finally:
+            accel.reset_backend_cache()
+
+    def test_single_stepping_warms_first(self):
+        # step() never reaches the compiled backend, so the deferred pass
+        # must run before the first stepped cycle.
+        trace = get_workload("swim", 500, seed=0)
+        engine = SimulationEngine(trace, ProcessorConfig(
+            engine="compiled", warmup=True))
+        assert engine.state.warmup_pending
+        engine.step()
+        assert not engine.state.warmup_pending
 
 
 class TestBackendSelection:

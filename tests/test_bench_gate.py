@@ -127,6 +127,61 @@ class TestCompareAgainstBaseline:
         assert bench.compare_against_baseline(only_python, baseline, 1.4) == []
 
 
+def sweep_point_section(cycles_per_s, backend, hits=10, misses=2):
+    return {
+        "trace_length": 4000,
+        "engine_requested": backend,
+        "points": [{"wall_clock_s": 1.0, "cycles": cycles_per_s,
+                    "engine_backend": backend}],
+        "export_cache_hits": hits,
+        "export_cache_misses": misses,
+    }
+
+
+class TestSweepPointGate:
+    def test_sweep_point_regression_fails(self):
+        baseline = snapshot()
+        baseline["sweep_point_compiled"] = sweep_point_section(
+            500_000, "compiled")
+        current = snapshot()
+        current["sweep_point_compiled"] = sweep_point_section(
+            200_000, "compiled")    # 2.5x slower end-to-end
+        messages = bench.compare_against_baseline(current, baseline, 1.4)
+        assert len(messages) == 1
+        assert "sweep-point" in messages[0]
+        assert "compiled-engine" in messages[0]
+
+    def test_sweep_point_gates_like_for_like(self):
+        # A compiled sweep-point probe that fell back to Python must be
+        # excluded, exactly like the run-only scheduler sections.
+        baseline = snapshot()
+        baseline["sweep_point_compiled"] = sweep_point_section(
+            500_000, "compiled")
+        current = snapshot()
+        current["sweep_point_compiled"] = sweep_point_section(
+            80_000, "compiled")
+        current["sweep_point_compiled"]["points"][0]["engine_backend"] = \
+            "python"
+        assert bench.compare_against_baseline(current, baseline, 1.4) == []
+
+    def test_missing_sweep_point_baseline_is_skipped(self):
+        # Pre-PR-7 snapshots have no sweep_point sections: the gate only
+        # arms once a snapshot recording them is committed.
+        current = snapshot()
+        current["sweep_point"] = sweep_point_section(1, "python")
+        current["sweep_point_compiled"] = sweep_point_section(1, "compiled")
+        assert bench.compare_against_baseline(current, snapshot(), 1.4) == []
+
+    def test_python_sweep_point_section_gated_separately(self):
+        baseline = snapshot()
+        baseline["sweep_point"] = sweep_point_section(100_000, "python")
+        current = snapshot()
+        current["sweep_point"] = sweep_point_section(40_000, "python")
+        messages = bench.compare_against_baseline(current, baseline, 1.4)
+        assert len(messages) == 1
+        assert "python-engine sweep-point" in messages[0]
+
+
 class TestSnapshotDiscovery:
     def test_picks_newest_by_date(self, tmp_path):
         (tmp_path / "BENCH_20260101_pr1.json").write_text("{}")
@@ -164,6 +219,19 @@ class TestSnapshotDiscovery:
         compiled = payload.get("scheduler_compiled", {})
         assert compiled.get("points")
         assert bench.probe_backend_label(compiled) == "compiled"
+
+    def test_repo_baseline_arms_the_sweep_point_gate(self):
+        """The newest committed snapshot records both end-to-end
+        sweep-point probes, the compiled one genuinely compiled and with
+        export-artefact cache hits proving the export was amortised."""
+        import json
+        newest = bench.find_latest_snapshot(REPO_ROOT)
+        payload = json.loads(newest.read_text())
+        assert payload.get("sweep_point", {}).get("points")
+        compiled = payload.get("sweep_point_compiled", {})
+        assert compiled.get("points")
+        assert bench.probe_backend_label(compiled) == "compiled"
+        assert compiled.get("export_cache_hits", 0) > 0
 
 
 class TestProbeBackendLabel:
