@@ -9,7 +9,7 @@ quiescent gaps.  :func:`simulate` is the one-call entry point; the legacy
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 from repro.engine.clock import CycleClock, EventClock
 from repro.engine.stages import Stage, default_stages
@@ -28,7 +28,8 @@ class SimulationEngine:
 
     def __init__(self, trace: Trace, config: Optional[ProcessorConfig] = None,
                  clock: Union[None, CycleClock, EventClock] = None,
-                 stages: Optional[List[Stage]] = None) -> None:
+                 stages: Optional[List[Stage]] = None,
+                 probe: Optional[Callable[[MachineState], None]] = None) -> None:
         self.state = MachineState(trace, config)
         self.stages = stages if stages is not None else default_stages()
         #: bound tick methods, hoisted out of the per-cycle sweep.
@@ -36,6 +37,14 @@ class SimulationEngine:
         #: the event-driven clock is the default; pass :class:`CycleClock`
         #: to force classic per-cycle stepping (reference/debugging mode).
         self.clock = clock if clock is not None else EventClock()
+        #: introspection hook: called with the :class:`MachineState` after
+        #: every *executed* cycle (the differential fuzzer's invariant
+        #: probes attach here).  A probe observes Python-engine state, so
+        #: setting one pins the run to the Python engine — the compiled
+        #: core has no per-cycle state to expose.  Combine with a
+        #: :class:`CycleClock` to observe literally every cycle (the
+        #: event-driven clock fast-forwards across quiescent gaps).
+        self.probe = probe
         #: backend that produced the last :meth:`run` result ("python"
         #: until a run completes on the compiled core).
         self.backend_used = "python"
@@ -66,15 +75,19 @@ class SimulationEngine:
         for tick in self._ticks:
             tick(state)
         state.cycle += 1
+        if self.probe is not None:
+            self.probe(state)
 
     def run(self, max_instructions: Optional[int] = None,
             max_cycles: Optional[int] = None,
             deadlock_threshold: int = 50_000) -> SimStats:
         """Run the simulation until the trace drains (or a limit is hit)."""
         state = self.state
-        if state.cycle == 0 and state.seq == 0:
-            # Backend dispatch happens only for whole runs from reset:
-            # a partially stepped machine cannot be exported.
+        if state.cycle == 0 and state.seq == 0 and self.probe is None:
+            # Backend dispatch happens only for whole runs from reset
+            # (a partially stepped machine cannot be exported) and only
+            # when no probe is attached (probes observe Python-engine
+            # state the compiled core does not materialise).
             from repro.engine import accel
 
             if accel.resolve_engine_backend(state.config) == "compiled":
@@ -91,6 +104,7 @@ class SimulationEngine:
         clock = self.clock
         advance = clock.advance
         ticks = self._ticks
+        probe = self.probe
         stats = state.stats
         fetch_unit = state.fetch_unit
         decode_queue = state.decode_queue
@@ -103,6 +117,8 @@ class SimulationEngine:
             for tick in ticks:          # one cycle: commit → … → fetch
                 tick(state)
             state.cycle += 1
+            if probe is not None:
+                probe(state)
             if stats.committed_instructions >= limit:
                 break
             # state.finished, with the property chain flattened.

@@ -37,6 +37,14 @@ The ``cache`` subcommand inspects and maintains that store::
     repro-experiments cache                          # per-workload stats
     repro-experiments cache --prune --max-age-days 30
     repro-experiments cache --prune --stale-code     # drop old-code entries
+
+The ``fuzz`` subcommand runs the differential scenario fuzzer (random
+workloads and tight machine configs cross-checked between clocks,
+engine backends and trace-generation paths — see ``docs/fuzzing.md``)::
+
+    repro-experiments fuzz --seed 20260808 --samples 80
+    repro-experiments fuzz --budget-seconds 60 --report fuzz-report.json
+    repro-experiments fuzz --replay tests/fuzz/corpus
 """
 
 from __future__ import annotations
@@ -162,13 +170,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     raw_argv = list(sys.argv[1:] if argv is None else argv)
     if raw_argv and raw_argv[0] == "cache":
         return cache_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "fuzz":
+        from repro.fuzz.cli import fuzz_main
+
+        return fuzz_main(raw_argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of 'Hardware Schemes for "
                     "Early Register Release' (ICPP 2002).")
     parser.add_argument("experiments", nargs="+",
-                        help="experiment names (%s), 'all', or the 'cache' "
-                             "subcommand" % ", ".join(sorted(EXPERIMENTS)))
+                        help="experiment names (%s), 'all', or the 'cache' / "
+                             "'fuzz' subcommands"
+                             % ", ".join(sorted(EXPERIMENTS)))
     parser.add_argument("--trace-length", type=int, default=None,
                         help="dynamic instructions per benchmark simulation")
     parser.add_argument("--serial", action="store_true",

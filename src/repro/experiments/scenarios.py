@@ -30,9 +30,11 @@ def resolve_scenario_names(scenarios: Optional[List[str]]) -> List[str]:
     """Resolve a scenario filter against the registry, in grid order.
 
     ``None`` selects every scenario.  An unknown name raises
-    :class:`ValueError` listing the known scenarios — silently dropping
-    it (the pre-PR-5 behaviour) turned a typo into a sweep that was
-    quietly missing points, or an empty grid.
+    :class:`ValueError` listing the known scenarios in sorted order —
+    silently dropping it (the pre-PR-5 behaviour) turned a typo into a
+    sweep that was quietly missing points, or an empty grid.  This is the
+    single name-validation path shared by the scenario-grid experiments
+    and the ``repro-experiments fuzz`` CLI.
     """
     known = scenario_workloads()
     if scenarios is None:
@@ -41,13 +43,14 @@ def resolve_scenario_names(scenarios: Optional[List[str]]) -> List[str]:
         raise ValueError(
             f"empty scenario selection (an empty or all-separator "
             f"--scenarios value selects nothing); known scenarios: "
-            f"{', '.join(known)}")
+            f"{', '.join(sorted(known))}")
     unknown = [name for name in scenarios if name not in known]
     if unknown:
         raise ValueError(
             f"unknown scenarios: {', '.join(sorted(unknown))}; known "
-            f"scenarios: {', '.join(known)} (user-defined scenarios must "
-            f"be registered first — see register_scenario / --scenario-file)")
+            f"scenarios: {', '.join(sorted(known))} (user-defined scenarios "
+            f"must be registered first — see register_scenario / "
+            f"--scenario-file)")
     requested = set(scenarios)
     return [name for name in known if name in requested]
 

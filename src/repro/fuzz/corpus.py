@@ -1,0 +1,164 @@
+"""The committed replay corpus: serialised (shrunk) fuzz samples.
+
+Every failure the fuzzer has ever found and fixed lives on as a JSON
+file under ``tests/fuzz/corpus/`` and is replayed by tier-1 on every
+run — the regression never comes back silently.  The entry format is
+deliberately built from existing public pieces:
+
+* the ``scenario`` block is exactly the mapping shape accepted by
+  :func:`repro.trace.workloads.parse_scenario_config` (the
+  ``--scenario-file`` JSON format), so a corpus entry's scenario can be
+  registered and swept by hand;
+* the ``config`` block is the ``{field: value}`` overrides mapping of
+  :func:`repro.fuzz.sampling.config_from_overrides` — only non-default
+  fields, so entries stay reviewable.
+
+Top-level keys::
+
+    format        entry-format version (currently 1)
+    comment       what bug this entry pinned (free text)
+    oracles       oracle names this entry must pass on replay
+    scenario      parse_scenario_config-compatible scenario mapping
+    config        ProcessorConfig overrides (fuzzable fields only)
+    trace_length  instructions to generate
+    trace_seed    trace-generation seed
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.trace.workloads import KernelParams, parse_scenario_config
+
+from repro.fuzz.oracles import resolve_oracle_names
+from repro.fuzz.sampling import (FuzzSample, config_from_overrides,
+                                 config_overrides, params_overrides)
+
+#: Current on-disk entry format.
+CORPUS_FORMAT = 1
+
+#: Repo-relative home of the committed corpus.
+CORPUS_DIR = Path("tests/fuzz/corpus")
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusEntry:
+    """One replayable corpus item: a sample plus the oracles it pins."""
+
+    sample: FuzzSample
+    oracles: Tuple[str, ...]
+    comment: str = ""
+    source: str = "<corpus entry>"
+
+
+def sample_to_entry_dict(sample: FuzzSample, oracles: Iterable[str],
+                         comment: str = "") -> dict:
+    """Serialise a sample as a ready-to-commit corpus entry mapping."""
+    scenario = sample.scenario
+    return {
+        "format": CORPUS_FORMAT,
+        "comment": comment,
+        "oracles": list(oracles),
+        "scenario": {
+            "name": scenario.name,
+            "suite": scenario.suite,
+            "description": scenario.description,
+            "phase_length": scenario.phase_length,
+            "phases": [
+                {"kernel": phase.kernel,
+                 "params": params_overrides(phase.params)}
+                for phase in scenario.phases
+            ],
+        },
+        "config": config_overrides(sample.config),
+        "trace_length": sample.trace_length,
+        "trace_seed": sample.trace_seed,
+    }
+
+
+def entry_from_dict(data: dict, source: str = "<corpus entry>") -> CorpusEntry:
+    """Parse one corpus entry mapping (checked, error messages name keys)."""
+    if not isinstance(data, dict):
+        raise ValueError(f"{source}: corpus entry must be a mapping")
+    fmt = data.get("format")
+    if fmt != CORPUS_FORMAT:
+        raise ValueError(f"{source}: unsupported corpus format {fmt!r} "
+                         f"(this build reads format {CORPUS_FORMAT})")
+    known = {"format", "comment", "oracles", "scenario", "config",
+             "trace_length", "trace_seed"}
+    extra = set(data) - known
+    if extra:
+        raise ValueError(f"{source}: unknown corpus keys {sorted(extra)}")
+    for key in ("scenario", "trace_length", "trace_seed"):
+        if key not in data:
+            raise ValueError(f"{source}: missing required key {key!r}")
+    profiles = parse_scenario_config(data["scenario"], source=source)
+    if len(profiles) != 1:
+        raise ValueError(f"{source}: a corpus entry pins exactly one "
+                         f"scenario, got {len(profiles)}")
+    trace_length = data["trace_length"]
+    trace_seed = data["trace_seed"]
+    if not isinstance(trace_length, int) or trace_length <= 0:
+        raise ValueError(f"{source}: trace_length must be a positive integer")
+    if not isinstance(trace_seed, int) or trace_seed < 0:
+        raise ValueError(f"{source}: trace_seed must be a non-negative "
+                         f"integer")
+    config = config_from_overrides(dict(data.get("config", {})),
+                                   source=source)
+    oracles = data.get("oracles")
+    if oracles is None:
+        oracle_names = resolve_oracle_names(None)
+    else:
+        if (not isinstance(oracles, list)
+                or not all(isinstance(name, str) for name in oracles)):
+            raise ValueError(f"{source}: 'oracles' must be a list of oracle "
+                             f"names")
+        try:
+            oracle_names = resolve_oracle_names(tuple(oracles))
+        except ValueError as exc:
+            raise ValueError(f"{source}: {exc}") from None
+    comment = data.get("comment", "")
+    if not isinstance(comment, str):
+        raise ValueError(f"{source}: 'comment' must be a string")
+    sample = FuzzSample(scenario=profiles[0], config=config,
+                        trace_length=trace_length, trace_seed=trace_seed)
+    return CorpusEntry(sample=sample, oracles=oracle_names, comment=comment,
+                       source=source)
+
+
+def load_corpus_file(path) -> CorpusEntry:
+    """Load one ``*.json`` corpus entry from disk."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    return entry_from_dict(data, source=str(path))
+
+
+def load_corpus(path) -> List[CorpusEntry]:
+    """Load a corpus entry file, or every ``*.json`` under a directory."""
+    path = Path(path)
+    if path.is_dir():
+        files = sorted(path.glob("*.json"))
+        if not files:
+            raise ValueError(f"{path}: no *.json corpus entries found")
+        return [load_corpus_file(item) for item in files]
+    return [load_corpus_file(path)]
+
+
+def default_corpus_dir(repo_root=None) -> Path:
+    """The committed corpus directory (best effort from this file)."""
+    if repo_root is None:
+        repo_root = Path(__file__).resolve().parents[3]
+    return repo_root / CORPUS_DIR
+
+
+# Re-exported so corpus consumers need not import workloads directly.
+__all__ = ["CORPUS_DIR", "CORPUS_FORMAT", "CorpusEntry", "KernelParams",
+           "default_corpus_dir", "entry_from_dict", "load_corpus",
+           "load_corpus_file", "sample_to_entry_dict"]

@@ -1,0 +1,255 @@
+"""The fuzz loop: sample → oracles → shrink → report.
+
+:func:`run_fuzz` drives the differential fuzzer: deterministic samples
+from :mod:`repro.fuzz.sampling`, each run through the selected oracles
+(:mod:`repro.fuzz.oracles`), failures minimised by
+:mod:`repro.fuzz.shrink` and packaged — as a ready-to-commit corpus
+entry plus the exact reproduction command — into a
+:class:`FuzzReport`.
+
+Determinism contract: with the same master seed and oracle set, two
+runs visit the same sample sequence and produce the same outcomes;
+``--budget-seconds`` only decides *how far* into that sequence a run
+gets (a budget-stopped run is a prefix of a longer one, never a
+different sequence).
+
+Skips are counted, never silent: the report carries per-oracle
+pass/fail/skip tallies and a reason histogram, so "backend oracle
+skipped 50/50 times: no C toolchain" is visible in CI artefacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.workloads import ScenarioProfile
+
+from repro.fuzz import sampling
+from repro.fuzz.corpus import CorpusEntry, sample_to_entry_dict
+from repro.fuzz.oracles import (ORACLES, SampleContext,
+                                resolve_oracle_names)
+from repro.fuzz.sampling import FuzzSample
+from repro.fuzz.shrink import DEFAULT_BUDGET, shrink, shrink_trail
+
+
+@dataclasses.dataclass
+class FuzzFailure:
+    """One oracle failure: the original and shrunk samples plus repro."""
+
+    index: int
+    oracle: str
+    detail: str
+    sample: FuzzSample
+    shrunk: FuzzSample
+    shrunk_detail: str
+    shrink_notes: List[str]
+    master_seed: int
+
+    # ------------------------------------------------------------------
+    def corpus_entry(self) -> dict:
+        """Ready-to-commit corpus entry for the shrunk sample."""
+        return sample_to_entry_dict(
+            self.shrunk, (self.oracle,),
+            comment=(f"fuzz seed={self.master_seed} sample={self.index} "
+                     f"{self.oracle} oracle: {self.detail}"))
+
+    def repro_command(self, entry_path: str = "<entry.json>") -> str:
+        """The exact command that replays this failure from its entry."""
+        return (f"repro-experiments fuzz --replay {entry_path} "
+                f"--oracles {self.oracle}")
+
+    def to_dict(self, entry_path: str = "<entry.json>") -> dict:
+        return {
+            "index": self.index,
+            "oracle": self.oracle,
+            "detail": self.detail,
+            "sample": self.sample.describe(),
+            "shrunk_sample": self.shrunk.describe(),
+            "shrunk_detail": self.shrunk_detail,
+            "shrink_notes": self.shrink_notes,
+            "corpus_entry": self.corpus_entry(),
+            "repro_command": self.repro_command(entry_path),
+        }
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Outcome of one fuzz run (JSON-serialisable via :meth:`to_dict`)."""
+
+    master_seed: int
+    oracles: Tuple[str, ...]
+    samples_run: int = 0
+    elapsed_seconds: float = 0.0
+    stopped_by: str = ""               # "samples" | "budget"
+    #: oracle -> {"pass": n, "fail": n, "skip": n}
+    outcomes: Dict[str, Dict[str, int]] = dataclasses.field(
+        default_factory=dict)
+    #: oracle -> {skip reason: count}
+    skip_reasons: Dict[str, Dict[str, int]] = dataclasses.field(
+        default_factory=dict)
+    failures: List[FuzzFailure] = dataclasses.field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures)
+
+    def record(self, oracle: str, status: str, detail: str) -> None:
+        tally = self.outcomes.setdefault(
+            oracle, {"pass": 0, "fail": 0, "skip": 0})
+        tally[status] += 1
+        if status == "skip":
+            reasons = self.skip_reasons.setdefault(oracle, {})
+            reasons[detail] = reasons.get(detail, 0) + 1
+
+    def to_dict(self) -> dict:
+        return {
+            "master_seed": self.master_seed,
+            "oracles": list(self.oracles),
+            "samples_run": self.samples_run,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "stopped_by": self.stopped_by,
+            "outcomes": self.outcomes,
+            "skip_reasons": self.skip_reasons,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+    def summary(self) -> str:
+        """Multi-line human summary (the CLI's default output)."""
+        lines = [
+            f"fuzz: seed={self.master_seed} samples={self.samples_run} "
+            f"({self.elapsed_seconds:.1f}s, stopped by {self.stopped_by}) "
+            f"failures={len(self.failures)}",
+        ]
+        for oracle in self.oracles:
+            tally = self.outcomes.get(oracle,
+                                      {"pass": 0, "fail": 0, "skip": 0})
+            line = (f"  {oracle:<12} pass={tally['pass']:<4} "
+                    f"fail={tally['fail']:<3} skip={tally['skip']}")
+            reasons = self.skip_reasons.get(oracle)
+            if reasons:
+                top = max(reasons.items(), key=lambda item: item[1])
+                line += f"  (top skip: {top[0]} x{top[1]})"
+            lines.append(line)
+        for failure in self.failures:
+            lines.append(f"  FAIL sample {failure.index} "
+                         f"[{failure.oracle}]: {failure.detail}")
+            lines.append(f"       shrunk to: {failure.shrunk.describe()}")
+            lines.append(f"       ({'; '.join(failure.shrink_notes)})")
+            lines.append(f"       repro: {failure.repro_command()}")
+        return "\n".join(lines)
+
+
+def _still_fails(oracle: str) -> Callable[[FuzzSample], bool]:
+    def predicate(candidate: FuzzSample) -> bool:
+        return ORACLES[oracle](candidate, SampleContext(candidate)).failed
+    return predicate
+
+
+def run_fuzz(master_seed: int,
+             samples: Optional[int] = None,
+             budget_seconds: Optional[float] = None,
+             oracles: Optional[Tuple[str, ...]] = None,
+             scenario_pool: Optional[Sequence[ScenarioProfile]] = None,
+             shrink_failures: bool = True,
+             shrink_budget: int = DEFAULT_BUDGET,
+             progress: Optional[Callable[[str], None]] = None) -> FuzzReport:
+    """Run the differential fuzzer.
+
+    At least one of ``samples`` / ``budget_seconds`` must be given; when
+    both are, whichever limit is hit first stops the run.  The budget is
+    checked *between* samples, so a run always finishes the sample it
+    started (no half-evaluated oracles in the report).
+    """
+    if samples is None and budget_seconds is None:
+        raise ValueError("run_fuzz needs a sample count, a time budget, "
+                         "or both")
+    oracle_names = resolve_oracle_names(oracles)
+    report = FuzzReport(master_seed=master_seed, oracles=oracle_names)
+    start = time.perf_counter()
+    index = 0
+    while True:
+        if samples is not None and index >= samples:
+            report.stopped_by = "samples"
+            break
+        if budget_seconds is not None and \
+                time.perf_counter() - start >= budget_seconds:
+            report.stopped_by = "budget"
+            break
+        fuzz_sample = sampling.sample(master_seed, index,
+                                      scenario_pool=scenario_pool)
+        ctx = SampleContext(fuzz_sample)
+        for oracle in oracle_names:
+            outcome = ORACLES[oracle](fuzz_sample, ctx)
+            report.record(oracle, outcome.status, outcome.detail)
+            if not outcome.failed:
+                continue
+            if progress:
+                progress(f"sample {index} FAILED {oracle}: "
+                         f"{outcome.detail}")
+            shrunk = fuzz_sample
+            shrunk_detail = outcome.detail
+            if shrink_failures:
+                shrunk = shrink(fuzz_sample, _still_fails(oracle),
+                                budget=shrink_budget)
+                shrunk_detail = ORACLES[oracle](
+                    shrunk, SampleContext(shrunk)).detail
+            report.failures.append(FuzzFailure(
+                index=index, oracle=oracle, detail=outcome.detail,
+                sample=fuzz_sample, shrunk=shrunk,
+                shrunk_detail=shrunk_detail,
+                shrink_notes=shrink_trail(fuzz_sample, shrunk),
+                master_seed=master_seed))
+        report.samples_run = index + 1
+        if progress and (index + 1) % 25 == 0:
+            elapsed = time.perf_counter() - start
+            progress(f"{index + 1} samples in {elapsed:.1f}s")
+        index += 1
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+@dataclasses.dataclass
+class ReplayResult:
+    """Outcome of replaying one corpus entry."""
+
+    entry: CorpusEntry
+    #: oracle -> OracleOutcome status ("pass"/"fail"/"skip")
+    statuses: Dict[str, str]
+    details: Dict[str, str]
+
+    @property
+    def failed(self) -> bool:
+        return any(status == "fail" for status in self.statuses.values())
+
+    def describe(self) -> str:
+        parts = [f"{oracle}={status}"
+                 for oracle, status in self.statuses.items()]
+        return f"{self.entry.source}: {' '.join(parts)}"
+
+
+def replay_corpus(entries: Sequence[CorpusEntry]) -> List[ReplayResult]:
+    """Replay committed corpus entries through their pinned oracles.
+
+    A ``fail`` status means the pinned regression is back; ``skip``
+    (e.g. the backend oracle without a C toolchain) is preserved so the
+    caller can decide whether skipping is acceptable in its context.
+    """
+    results: List[ReplayResult] = []
+    for entry in entries:
+        ctx = SampleContext(entry.sample)
+        statuses: Dict[str, str] = {}
+        details: Dict[str, str] = {}
+        for oracle in entry.oracles:
+            outcome = ORACLES[oracle](entry.sample, ctx)
+            statuses[oracle] = outcome.status
+            details[oracle] = outcome.detail
+        results.append(ReplayResult(entry=entry, statuses=statuses,
+                                    details=details))
+    return results
+
+
+__all__ = ["FuzzFailure", "FuzzReport", "ReplayResult", "replay_corpus",
+           "run_fuzz"]

@@ -1,0 +1,236 @@
+"""Random scenario/config sampling for the differential fuzzer.
+
+Every sample is a complete simulation point: a freshly composed
+:class:`~repro.trace.workloads.ScenarioProfile` (random phase count,
+phase lengths and kernel mix, with :class:`KernelParams` drawn from their
+validated ranges), a trace length and seed, and a
+:class:`~repro.pipeline.config.ProcessorConfig` biased toward *tight*
+machines near the structural limits (small register files, shallow ROS /
+LSQ / checkpoint stacks) where the release policies, the squash paths and
+the Release Queue are actually stressed.
+
+Sampling is fully deterministic: sample ``i`` of master seed ``s``
+depends only on ``(s, i)`` (each sample owns a
+``SeedSequence((FUZZ_STREAM, s, i))``-derived generator), so a failure
+report's sample can be regenerated regardless of how many samples a
+budget-bounded run managed before it, and two runs with the same seed
+draw the same sample sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.pipeline.config import ProcessorConfig
+from repro.trace.workloads import (KernelParams, ScenarioPhase,
+                                   ScenarioProfile, validate_scenario_profile)
+
+#: Stream-domain tag keeping fuzz draws disjoint from every other
+#: SeedSequence user in the repo.
+FUZZ_STREAM = 0xF0220
+#: Shortest trace the sampler (and the shrinker) will go down to.
+MIN_TRACE_LENGTH = 400
+#: Kernel families the sampler composes (the full registry).
+KERNEL_FAMILIES = ("streaming", "stencil", "int_compute", "branchy",
+                   "pointer_chase")
+
+#: ProcessorConfig fields the fuzzer samples (and the corpus serialises).
+#: Everything else keeps its default — in particular the memory hierarchy
+#: and functional-unit tables, which the compiled backend models exactly.
+CONFIG_FIELDS: Tuple[str, ...] = (
+    "fetch_width", "rename_width", "issue_width", "commit_width",
+    "max_taken_branches_per_cycle", "frontend_stages",
+    "ros_size", "lsq_size", "max_pending_branches",
+    "num_physical_int", "num_physical_fp",
+    "gshare_history_bits",
+    "release_policy", "reuse_on_committed_lu",
+    "warmup", "enable_wrong_path", "exception_rate", "seed",
+)
+
+
+@dataclass(frozen=True)
+class FuzzSample:
+    """One sampled simulation point (comparable by value for dedup)."""
+
+    scenario: ScenarioProfile
+    config: ProcessorConfig
+    trace_length: int
+    trace_seed: int
+
+    def describe(self) -> str:
+        """One-line human summary (failure reports and progress lines)."""
+        kernels = "+".join(phase.kernel for phase in self.scenario.phases)
+        cfg = self.config
+        return (f"{self.scenario.name} [{kernels}] len={self.trace_length} "
+                f"tseed={self.trace_seed} policy={cfg.release_policy} "
+                f"P={cfg.num_physical_int}i/{cfg.num_physical_fp}f "
+                f"ros={cfg.ros_size} lsq={cfg.lsq_size} "
+                f"ck={cfg.max_pending_branches} "
+                f"exc={cfg.exception_rate:g} warm={int(cfg.warmup)} "
+                f"wp={int(cfg.enable_wrong_path)}")
+
+
+def sample_rng(master_seed: int, index: int) -> np.random.Generator:
+    """The per-sample generator: a pure function of ``(master_seed, index)``."""
+    return np.random.default_rng(
+        np.random.SeedSequence((FUZZ_STREAM, master_seed, index)))
+
+
+def _i(rng: np.random.Generator, lo: int, hi: int) -> int:
+    """Inclusive integer draw as a plain ``int`` (numpy scalars would leak
+    into profile reprs and change every content digest)."""
+    return int(rng.integers(lo, hi + 1))
+
+
+def _f(rng: np.random.Generator, lo: float, hi: float) -> float:
+    return float(round(lo + (hi - lo) * rng.random(), 4))
+
+
+def _sample_params(rng: np.random.Generator, kernel: str,
+                   phase_index: int) -> KernelParams:
+    """Draw kernel parameters from their validated ranges.
+
+    Each phase gets disjoint pc/data ranges (like the built-in scenarios)
+    so multi-phase samples do not alias code or data footprints.
+    """
+    common = dict(
+        pc_base=0x400000 + phase_index * 0x10000,
+        data_base=0x40_00000 + phase_index * 0x10_0000,
+        int_window=_i(rng, 4, 12),
+        trip_count=_i(rng, 8, 192),
+        hammock_len=_i(rng, 1, 4),
+        branch_bias=_f(rng, 0.55, 0.97),
+        branch_noise=_f(rng, 0.0, 0.3),
+        mem_footprint=1 << _i(rng, 12, 16),
+    )
+    if kernel in ("streaming", "stencil"):
+        return KernelParams(
+            n_streams=_i(rng, 1, 5), chain_len=_i(rng, 1, 4),
+            fp_window=_i(rng, 6, 26),
+            stream_stride=int(rng.choice((8, 16, 64))),
+            div_interval=int(rng.choice((0, 0, 3, 4, 6, 8))),
+            **common)
+    if kernel == "int_compute":
+        return KernelParams(
+            chain_len=_i(rng, 1, 4), n_parallel_chains=_i(rng, 1, 4),
+            mult_interval=int(rng.choice((0, 0, 4, 6, 8))),
+            store_fraction=_f(rng, 0.0, 1.0),
+            extra_stores=_i(rng, 0, 3),
+            **common)
+    if kernel == "branchy":
+        return KernelParams(
+            n_branch_sites=_i(rng, 4, 48), block_len=_i(rng, 2, 6),
+            pattern_fraction=_f(rng, 0.0, 1.0),
+            **common)
+    if kernel == "pointer_chase":
+        return KernelParams(
+            load_chain_len=_i(rng, 1, 6),
+            chase_nodes=_i(rng, 64, 2048),
+            store_fraction=_f(rng, 0.0, 1.0),
+            **common)
+    raise ValueError(f"unknown kernel family {kernel!r}")
+
+
+def sample_profile(rng: np.random.Generator, name: str) -> ScenarioProfile:
+    """Compose a random (validated) scenario profile."""
+    n_phases = _i(rng, 1, 3)
+    phases = []
+    has_fp = False
+    for phase_index in range(n_phases):
+        kernel = str(rng.choice(KERNEL_FAMILIES))
+        has_fp = has_fp or kernel in ("streaming", "stencil")
+        phases.append(ScenarioPhase(
+            kernel=kernel, params=_sample_params(rng, kernel, phase_index)))
+    profile = ScenarioProfile(
+        name=name,
+        suite="fp" if has_fp else "int",
+        phases=tuple(phases),
+        phase_length=_i(rng, 250, 1200),
+        description="sampled by the differential scenario fuzzer",
+    )
+    validate_scenario_profile(profile)
+    return profile
+
+
+def sample_config(rng: np.random.Generator) -> ProcessorConfig:
+    """Draw a machine configuration near the structural limits.
+
+    Register files stay *tight* (33–72 physical over 32 logical), the ROS
+    / LSQ / checkpoint stack shallow, and the front end narrow — the
+    regimes where release-policy and recovery bugs live.  ``engine`` is
+    left ``"auto"``; each oracle pins the backend it compares.
+    """
+    policy = str(rng.choice(("conv", "basic", "extended", "extended")))
+    return ProcessorConfig(
+        fetch_width=_i(rng, 2, 8),
+        rename_width=_i(rng, 2, 8),
+        issue_width=_i(rng, 2, 8),
+        commit_width=_i(rng, 2, 8),
+        max_taken_branches_per_cycle=_i(rng, 1, 2),
+        frontend_stages=_i(rng, 1, 4),
+        ros_size=_i(rng, 16, 64),
+        lsq_size=_i(rng, 8, 32),
+        max_pending_branches=_i(rng, 2, 12),
+        num_physical_int=_i(rng, 33, 72),
+        num_physical_fp=_i(rng, 33, 72),
+        gshare_history_bits=_i(rng, 8, 18),
+        release_policy=policy,
+        reuse_on_committed_lu=bool(rng.random() < 0.85),
+        warmup=bool(rng.random() < 0.5),
+        enable_wrong_path=bool(rng.random() < 0.8),
+        exception_rate=float(rng.choice((0.0, 0.0, 0.002, 0.01))),
+        seed=_i(rng, 0, 1 << 16),
+    )
+
+
+def sample(master_seed: int, index: int,
+           scenario_pool: Optional[Sequence[ScenarioProfile]] = None,
+           ) -> FuzzSample:
+    """Draw fuzz sample ``index`` of ``master_seed``.
+
+    ``scenario_pool`` replaces the random profile with a registered
+    profile cycled from the pool (the ``--scenarios`` directed mode);
+    machine config, trace length and trace seed are still sampled.
+    """
+    rng = sample_rng(master_seed, index)
+    if scenario_pool:
+        scenario = scenario_pool[index % len(scenario_pool)]
+        # Burn the profile draws so directed and random modes stay
+        # index-aligned on the config/length draws below.
+        sample_profile(rng, f"fuzz.s{index:05d}")
+    else:
+        scenario = sample_profile(rng, f"fuzz.s{index:05d}")
+    config = sample_config(rng)
+    trace_length = _i(rng, MIN_TRACE_LENGTH, 2400)
+    trace_seed = _i(rng, 0, 1 << 12)
+    return FuzzSample(scenario=scenario, config=config,
+                      trace_length=trace_length, trace_seed=trace_seed)
+
+
+def config_overrides(config: ProcessorConfig) -> dict:
+    """The sampled config as a ``{field: non-default value}`` mapping."""
+    default = ProcessorConfig()
+    return {name: getattr(config, name) for name in CONFIG_FIELDS
+            if getattr(config, name) != getattr(default, name)}
+
+
+def config_from_overrides(overrides: dict, source: str = "<fuzz config>",
+                          ) -> ProcessorConfig:
+    """Rebuild a sampled config from its overrides mapping (checked)."""
+    unknown = set(overrides) - set(CONFIG_FIELDS)
+    if unknown:
+        raise ValueError(f"{source}: unknown config fields {sorted(unknown)}; "
+                         f"fuzzable fields: {', '.join(CONFIG_FIELDS)}")
+    return ProcessorConfig(**overrides)
+
+
+def params_overrides(params: KernelParams) -> dict:
+    """Non-default kernel parameters (corpus entries stay readable)."""
+    default = KernelParams()
+    return {field.name: getattr(params, field.name)
+            for field in dataclasses.fields(KernelParams)
+            if getattr(params, field.name) != getattr(default, field.name)}

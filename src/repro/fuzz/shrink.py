@@ -1,0 +1,191 @@
+"""Minimising shrinker for failing fuzz samples.
+
+Given a failing :class:`~repro.fuzz.sampling.FuzzSample` and a predicate
+("does this candidate still fail the same oracle?"), :func:`shrink`
+greedily applies structure-reducing transformations until a fixpoint or
+the evaluation budget runs out:
+
+1. **trace-length halving** toward :data:`~repro.fuzz.sampling
+   .MIN_TRACE_LENGTH` — shorter traces replay and debug faster;
+2. **phase removal** — a multi-phase scenario is cut down to the phases
+   the failure actually needs;
+3. **phase-length halving** — fewer instructions per kernel iteration
+   block;
+4. **kernel-parameter simplification** — each non-default
+   :class:`KernelParams` field is first snapped to its default, then
+   bisected toward it (integer fields only);
+5. **config simplification** — warm-up off, wrong-path fetch off,
+   exceptions off, widths/structures snapped to defaults where the
+   failure survives.
+
+Every candidate is re-validated through ``validate_scenario_profile``
+before evaluation, so the shrinker can never hand the predicate (or the
+corpus) an impossible scenario.  The predicate is typically
+``lambda s: run_oracle(name, s).failed`` — re-running the failing oracle
+from scratch each time, which keeps shrinking honest at the cost of a
+few hundred milliseconds per candidate; the default budget of 60
+evaluations bounds the total to well under a minute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List
+
+from repro.pipeline.config import ProcessorConfig
+from repro.trace.workloads import (KernelParams, ScenarioProfile,
+                                   validate_scenario_profile)
+
+from repro.fuzz.sampling import MIN_TRACE_LENGTH, FuzzSample
+
+#: Default cap on predicate evaluations per shrink run.
+DEFAULT_BUDGET = 60
+
+#: Config fields worth simplifying, with their "simplest" value; tried
+#: in order (behavioural toggles first — they delete whole mechanisms).
+_CONFIG_SIMPLIFICATIONS = (
+    ("warmup", False),
+    ("enable_wrong_path", False),
+    ("exception_rate", 0.0),
+    ("reuse_on_committed_lu", True),
+    ("frontend_stages", None),              # None = snap to default
+    ("gshare_history_bits", None),
+    ("fetch_width", None),
+    ("rename_width", None),
+    ("issue_width", None),
+    ("commit_width", None),
+    ("max_taken_branches_per_cycle", None),
+)
+
+#: KernelParams fields never simplified: the address bases keep phases
+#: disjoint and carry no behavioural weight of their own.
+_PARAM_SKIP = ("pc_base", "data_base")
+
+
+def _with_scenario(sample: FuzzSample,
+                   scenario: ScenarioProfile) -> FuzzSample:
+    return dataclasses.replace(sample, scenario=scenario)
+
+
+def _valid(scenario: ScenarioProfile) -> bool:
+    try:
+        validate_scenario_profile(scenario)
+    except ValueError:
+        return False
+    return True
+
+
+def _candidates(sample: FuzzSample) -> Iterator[FuzzSample]:
+    """Yield one-step-reduced candidates, most promising first."""
+    scenario = sample.scenario
+    config = sample.config
+
+    # 1. Trace-length halving.
+    if sample.trace_length > MIN_TRACE_LENGTH:
+        yield dataclasses.replace(
+            sample,
+            trace_length=max(MIN_TRACE_LENGTH, sample.trace_length // 2))
+
+    # 2. Phase removal.
+    if len(scenario.phases) > 1:
+        for drop in range(len(scenario.phases)):
+            phases = tuple(phase for index, phase
+                           in enumerate(scenario.phases) if index != drop)
+            candidate = dataclasses.replace(scenario, phases=phases)
+            if _valid(candidate):
+                yield _with_scenario(sample, candidate)
+
+    # 3. Phase-length halving.
+    if scenario.phase_length > 50:
+        candidate = dataclasses.replace(
+            scenario, phase_length=max(50, scenario.phase_length // 2))
+        yield _with_scenario(sample, candidate)
+
+    # 4. Kernel-parameter simplification.
+    default_params = KernelParams()
+    for phase_index, phase in enumerate(scenario.phases):
+        for field in dataclasses.fields(KernelParams):
+            if field.name in _PARAM_SKIP:
+                continue
+            value = getattr(phase.params, field.name)
+            default = getattr(default_params, field.name)
+            if value == default:
+                continue
+            steps = [default]
+            if (isinstance(value, int) and isinstance(default, int)
+                    and not isinstance(value, bool)
+                    and abs(value - default) > 1):
+                steps.append((value + default) // 2)
+            for new_value in steps:
+                params = dataclasses.replace(phase.params,
+                                             **{field.name: new_value})
+                phases = list(scenario.phases)
+                phases[phase_index] = dataclasses.replace(phase,
+                                                          params=params)
+                candidate = dataclasses.replace(scenario,
+                                                phases=tuple(phases))
+                if _valid(candidate):
+                    yield _with_scenario(sample, candidate)
+
+    # 5. Config simplification.
+    default_config = ProcessorConfig()
+    for field_name, simple in _CONFIG_SIMPLIFICATIONS:
+        if simple is None:
+            simple = getattr(default_config, field_name)
+        if getattr(config, field_name) != simple:
+            yield dataclasses.replace(
+                sample,
+                config=dataclasses.replace(config, **{field_name: simple}))
+
+
+def shrink(sample: FuzzSample,
+           still_fails: Callable[[FuzzSample], bool],
+           budget: int = DEFAULT_BUDGET) -> FuzzSample:
+    """Greedily minimise ``sample`` while ``still_fails`` holds.
+
+    Restarts the candidate pass after every accepted reduction (an
+    accepted phase removal unlocks further parameter shrinks, and so on)
+    and stops at a fixpoint — a full pass with no accepted candidate —
+    or when ``budget`` predicate evaluations have been spent.  The
+    returned sample is always a failing one (the original if nothing
+    smaller still fails).
+    """
+    current = sample
+    evaluations = 0
+    progress = True
+    while progress and evaluations < budget:
+        progress = False
+        for candidate in _candidates(current):
+            if evaluations >= budget:
+                break
+            evaluations += 1
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def shrink_trail(sample: FuzzSample, shrunk: FuzzSample) -> List[str]:
+    """Human-readable summary of what the shrinker removed."""
+    notes: List[str] = []
+    if shrunk.trace_length != sample.trace_length:
+        notes.append(f"trace length {sample.trace_length} -> "
+                     f"{shrunk.trace_length}")
+    if len(shrunk.scenario.phases) != len(sample.scenario.phases):
+        notes.append(f"phases {len(sample.scenario.phases)} -> "
+                     f"{len(shrunk.scenario.phases)}")
+    if shrunk.scenario.phase_length != sample.scenario.phase_length:
+        notes.append(f"phase length {sample.scenario.phase_length} -> "
+                     f"{shrunk.scenario.phase_length}")
+    if shrunk.config != sample.config:
+        changed = [field.name for field in dataclasses.fields(ProcessorConfig)
+                   if getattr(shrunk.config, field.name)
+                   != getattr(sample.config, field.name)]
+        notes.append("config simplified: " + ", ".join(changed))
+    if shrunk.scenario.phases != sample.scenario.phases and \
+            len(shrunk.scenario.phases) == len(sample.scenario.phases):
+        notes.append("kernel parameters simplified")
+    if not notes:
+        notes.append("already minimal")
+    return notes

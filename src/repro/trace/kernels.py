@@ -286,7 +286,11 @@ class _KernelBase:
         #: vary (pc plus registers/outcome).  A kernel's static code is
         #: small and its register rotations cycle, so non-memory
         #: instructions recur exactly and the chunked emitters reuse the
-        #: immutable records instead of re-constructing them.
+        #: immutable records instead of re-constructing them.  Branch keys
+        #: carry a "br" tag: branch-site pcs come from closed-form layout
+        #: formulas and may coincide with a body pc, and ``taken`` is a
+        #: bool (``True == 1``), so an untagged branch key could compare
+        #: equal to an ALU key and serve the wrong instruction.
         self._memo: dict = {}
 
     def _branch_outcome(self, site: BranchSite, rng: np.random.Generator) -> bool:
@@ -578,7 +582,7 @@ class StreamingFPKernel(_KernelBase):
             loop_count += 1
             taken = (loop_count % trip) != 0
             ghist = ((ghist << 1) | taken) & 0xFFFF
-            key = (loop_pc, idx_reg, taken)
+            key = ("br", loop_pc, idx_reg, taken)
             inst = memo.get(key)
             if inst is None:
                 inst = Inst(pc=loop_pc, op=BR, srcs=((INT, idx_reg),),
@@ -827,7 +831,7 @@ class StencilFPKernel(_KernelBase):
             loop_count += 1
             taken = (loop_count % trip) != 0
             ghist = ((ghist << 1) | taken) & 0xFFFF
-            key = (loop_pc, idx_reg, taken)
+            key = ("br", loop_pc, idx_reg, taken)
             inst = memo.get(key)
             if inst is None:
                 inst = Inst(pc=loop_pc, op=BR, srcs=((INT, idx_reg),),
@@ -1035,7 +1039,7 @@ class IntComputeKernel(_KernelBase):
             if noise and noise_column[j] < hammock_noise:
                 taken = not taken
             ghist = ((ghist << 1) | taken) & 0xFFFF
-            key = (hammock_pc, head0, taken)
+            key = ("br", hammock_pc, head0, taken)
             inst = memo.get(key)
             if inst is None:
                 inst = Inst(pc=hammock_pc, op=BR, srcs=((INT, head0),),
@@ -1085,7 +1089,7 @@ class IntComputeKernel(_KernelBase):
             loop_count += 1
             taken = (loop_count % trip) != 0
             ghist = ((ghist << 1) | taken) & 0xFFFF
-            key = (loop_pc, addr_reg, taken)
+            key = ("br", loop_pc, addr_reg, taken)
             inst = memo.get(key)
             if inst is None:
                 inst = Inst(pc=loop_pc, op=BR, srcs=((INT, addr_reg),),
@@ -1316,7 +1320,7 @@ class BranchyKernel(_KernelBase):
                             value_lists[noise_index][j] < site.noise:
                         taken = not taken
                 ghist = ((ghist << 1) | taken) & 0xFFFF
-                key = (site_pc, local, taken)
+                key = ("br", site_pc, local, taken)
                 inst = memo.get(key)
                 if inst is None:
                     inst = Inst(pc=site_pc, op=BR, srcs=((INT, local),),
@@ -1340,7 +1344,7 @@ class BranchyKernel(_KernelBase):
             taken = (loop_count % trip) != 0
             ghist = ((ghist << 1) | taken) & 0xFFFF
             last = ihist[-1] if ihist else iwin[0]
-            key = (loop_pc, last, taken)
+            key = ("br", loop_pc, last, taken)
             inst = memo.get(key)
             if inst is None:
                 inst = Inst(pc=loop_pc, op=BR, srcs=((INT, last),),
@@ -1564,7 +1568,7 @@ class PointerChaseKernel(_KernelBase):
                 taken = (bool(pattern[(pattern_count - 1) % pattern_len])
                          if pattern_len else False)
                 ghist = ((ghist << 1) | taken) & 0xFFFF
-                key = (pattern_pc, first_work, taken)
+                key = ("br", pattern_pc, first_work, taken)
                 inst = memo.get(key)
                 if inst is None:
                     inst = Inst(pc=pattern_pc, op=BR, srcs=((INT, first_work),),
@@ -1586,7 +1590,7 @@ class PointerChaseKernel(_KernelBase):
                 if noise and next_double() < cond_noise:
                     taken = not taken
                 ghist = ((ghist << 1) | taken) & 0xFFFF
-                key = (cond_pc, last_work, taken)
+                key = ("br", cond_pc, last_work, taken)
                 inst = memo.get(key)
                 if inst is None:
                     inst = Inst(pc=cond_pc, op=BR, srcs=((INT, last_work),),
@@ -1618,7 +1622,7 @@ class PointerChaseKernel(_KernelBase):
                 loop_count += 1
                 taken = (loop_count % trip) != 0
                 ghist = ((ghist << 1) | taken) & 0xFFFF
-                key = (loop_pc, first_work, taken)
+                key = ("br", loop_pc, first_work, taken)
                 inst = memo.get(key)
                 if inst is None:
                     inst = Inst(pc=loop_pc, op=BR, srcs=((INT, first_work),),

@@ -278,7 +278,8 @@ def generate_trace(profile: BenchmarkProfile,
                    n_instructions: int = DEFAULT_TRACE_LENGTH,
                    seed: int = 0,
                    vectorized: Optional[bool] = None,
-                   chunk_iterations: Optional[int] = None) -> Trace:
+                   chunk_iterations: Optional[int] = None,
+                   rng: Optional[np.random.Generator] = None) -> Trace:
     """Generate a dynamic trace of roughly ``n_instructions`` for ``profile``.
 
     Generation is iteration-granular: the trace ends at the first loop
@@ -288,20 +289,25 @@ def generate_trace(profile: BenchmarkProfile,
     ``vectorized`` selects between the chunked bulk-draw emitters (the
     default) and the scalar oracle path; both produce bit-identical
     traces (enforced by ``tests/trace/test_vector_equivalence.py``).
-    ``chunk_iterations`` pins the chunk size (testing hook).
+    ``chunk_iterations`` pins the chunk size (testing hook).  ``rng``
+    overrides the seed-derived generator — callers that need to inspect
+    the bit-generator state after generation (the differential fuzzer's
+    generation oracle) pass their own and must construct it exactly as
+    the default below does.
     """
     if n_instructions <= 0:
         raise ValueError("n_instructions must be positive")
-    # Derive a per-benchmark stream from a *stable* digest of the name (the
-    # built-in str hash is salted per interpreter run, which would make
-    # traces irreproducible across sessions).  The ten benchmark names are
-    # a fixed, collision-free set, so this legacy digest is kept to
-    # preserve the identity of every paper-artefact trace; scenarios
-    # (arbitrary user names) mix in a cryptographic digest instead — see
-    # :func:`_scenario_stream_seed`.
-    name_digest = sum((index + 1) * ord(char)
-                      for index, char in enumerate(profile.name))
-    rng = np.random.default_rng(seed + name_digest % (1 << 16))
+    if rng is None:
+        # Derive a per-benchmark stream from a *stable* digest of the name
+        # (the built-in str hash is salted per interpreter run, which would
+        # make traces irreproducible across sessions).  The ten benchmark
+        # names are a fixed, collision-free set, so this legacy digest is
+        # kept to preserve the identity of every paper-artefact trace;
+        # scenarios (arbitrary user names) mix in a cryptographic digest
+        # instead — see :func:`_scenario_stream_seed`.
+        name_digest = sum((index + 1) * ord(char)
+                          for index, char in enumerate(profile.name))
+        rng = np.random.default_rng(seed + name_digest % (1 << 16))
     kernel = make_kernel(profile)
     instructions: List[Instruction] = list(kernel.prologue(rng))
     _emit_until(kernel, rng, instructions, n_instructions,
@@ -479,6 +485,18 @@ def install_ephemeral_profiles(profiles: Sequence[ScenarioProfile]) -> None:
     """
     for profile in profiles:
         _EPHEMERAL_PROFILES[profile.name] = profile
+
+
+def uninstall_ephemeral_profiles(names: Sequence[str]) -> None:
+    """Drop installed ephemeral profiles again (unknown names are ignored).
+
+    The sweep layer never bothers — its entries are simply refreshed per
+    point — but the scenario fuzzer, which installs thousands of
+    one-shot sampled profiles per run, removes each one after its sample
+    so the process-local table cannot grow without bound.
+    """
+    for name in names:
+        _EPHEMERAL_PROFILES.pop(name, None)
 
 
 def has_workload(name: str) -> bool:
@@ -775,7 +793,8 @@ def generate_scenario_trace(profile: ScenarioProfile,
                             n_instructions: int = DEFAULT_TRACE_LENGTH,
                             seed: int = 0,
                             vectorized: Optional[bool] = None,
-                            chunk_iterations: Optional[int] = None) -> Trace:
+                            chunk_iterations: Optional[int] = None,
+                            rng: Optional[np.random.Generator] = None) -> Trace:
     """Generate the (possibly phased) trace of a scenario.
 
     All phases share one ``Generator``; each phase's kernel is
@@ -784,12 +803,15 @@ def generate_scenario_trace(profile: ScenarioProfile,
     boundary at or after ``phase_length`` appended instructions (the
     final segment at ``n_instructions``), so segment boundaries — like
     trace ends — never cut an iteration.  The scalar/vectorised contract
-    of :func:`generate_trace` holds here too.
+    of :func:`generate_trace` holds here too, and ``rng`` overrides the
+    seed-derived generator exactly as there (the fuzzer's generation
+    oracle compares final bit-generator states through it).
     """
     if n_instructions <= 0:
         raise ValueError("n_instructions must be positive")
-    rng = np.random.default_rng(
-        np.random.SeedSequence((seed, _scenario_stream_seed(profile.name))))
+    if rng is None:
+        rng = np.random.default_rng(
+            np.random.SeedSequence((seed, _scenario_stream_seed(profile.name))))
     vectorized = vectorized_enabled(vectorized)
     kernels = [_KERNEL_FACTORIES[phase.kernel](phase.params)
                for phase in profile.phases]

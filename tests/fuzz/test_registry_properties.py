@@ -1,0 +1,174 @@
+"""Property tests of the scenario registry's staleness guarantees.
+
+Random (hypothesis-generated) profile edits drive the content-keyed
+identity chain end to end: re-registering a changed profile under the
+same name must never serve a stale memoised trace, and must move the
+on-disk sweep-cache key; registering identical content must keep hitting.
+Plus: ``register_scenario_file`` rejects malformed TOML/JSON configs with
+errors that name the offending field.
+"""
+
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cache import point_key
+from repro.analysis.sweep import SweepConfig, SweepPoint
+from repro.trace.workloads import (SCENARIOS, KernelParams, ScenarioPhase,
+                                   ScenarioProfile, generate_scenario_trace,
+                                   get_workload, profile_digest,
+                                   register_scenario, register_scenario_file,
+                                   unregister_scenario, workload_digest)
+
+NAME = "fuzzprop.scn"
+
+#: Editable knobs the property tests mutate, with their legal draw range.
+#: All behaviour-bearing: any change must move the content digest.
+knob_strategy = st.sampled_from([
+    ("chain_len", st.integers(1, 4)),
+    ("trip_count", st.integers(8, 64)),
+    ("int_window", st.integers(4, 10)),
+    ("branch_bias", st.floats(0.55, 0.95, allow_nan=False).map(
+        lambda value: round(value, 3))),
+])
+
+
+def make_profile(phase_length=300, **param_overrides):
+    param_overrides.setdefault("trip_count", 16)
+    params = KernelParams(pc_base=0x500000, data_base=0x50_00000,
+                          **param_overrides)
+    return ScenarioProfile(
+        name=NAME, suite="int", phase_length=phase_length,
+        phases=(ScenarioPhase("int_compute", params),))
+
+
+@pytest.fixture
+def clean_registry():
+    before = dict(SCENARIOS)
+    yield
+    SCENARIOS.clear()
+    SCENARIOS.update(before)
+
+
+class TestStaleTraceImpossible:
+    @settings(max_examples=15, deadline=None)
+    @given(knob=knob_strategy, data=st.data())
+    def test_reregistration_never_serves_stale_trace(self, knob, data):
+        field, strategy = knob
+        value_a = data.draw(strategy, label="first value")
+        value_b = data.draw(
+            strategy.filter(lambda candidate: candidate != value_a),
+            label="changed value")
+        before = dict(SCENARIOS)
+        try:
+            register_scenario(make_profile(**{field: value_a}))
+            trace_a = get_workload(NAME, 600, seed=0)
+            unregister_scenario(NAME)
+            register_scenario(make_profile(**{field: value_b}))
+            trace_b = get_workload(NAME, 600, seed=0)
+            # The memoised trace is keyed by profile *content*: the
+            # second lookup regenerates instead of serving trace_a.
+            expected = generate_scenario_trace(
+                make_profile(**{field: value_b}), 600, seed=0)
+            assert list(trace_b.instructions) == list(expected.instructions)
+        finally:
+            SCENARIOS.clear()
+            SCENARIOS.update(before)
+
+    @settings(max_examples=15, deadline=None)
+    @given(knob=knob_strategy, data=st.data())
+    def test_content_digest_round_trip(self, knob, data):
+        field, strategy = knob
+        value_a = data.draw(strategy, label="first value")
+        value_b = data.draw(
+            strategy.filter(lambda candidate: candidate != value_a),
+            label="changed value")
+        digest_a = profile_digest(make_profile(**{field: value_a}))
+        digest_b = profile_digest(make_profile(**{field: value_b}))
+        digest_a_again = profile_digest(make_profile(**{field: value_a}))
+        assert digest_a != digest_b, field
+        assert digest_a == digest_a_again
+
+    def test_identical_reregistration_keeps_cache_hit(self, clean_registry):
+        register_scenario(make_profile(chain_len=2))
+        trace_a = get_workload(NAME, 600, seed=0)
+        unregister_scenario(NAME)
+        register_scenario(make_profile(chain_len=2))
+        trace_b = get_workload(NAME, 600, seed=0)
+        assert trace_a is trace_b  # same content -> same memoised object
+
+
+class TestSweepCacheKey:
+    def _key(self, profile):
+        sweep = SweepConfig(benchmarks=(NAME,), policies=("conv",),
+                            register_sizes=(48,), trace_length=600,
+                            scenario_profiles=(profile,))
+        return point_key(sweep, SweepPoint(NAME, "conv", 48))
+
+    @settings(max_examples=10, deadline=None)
+    @given(knob=knob_strategy, data=st.data())
+    def test_point_key_tracks_profile_content(self, knob, data):
+        field, strategy = knob
+        value_a = data.draw(strategy, label="first value")
+        value_b = data.draw(
+            strategy.filter(lambda candidate: candidate != value_a),
+            label="changed value")
+        key_a = self._key(make_profile(**{field: value_a}))
+        key_b = self._key(make_profile(**{field: value_b}))
+        assert key_a != key_b, field
+        assert key_a == self._key(make_profile(**{field: value_a}))
+
+    def test_workload_digest_prefers_ephemeral_profile(self, clean_registry):
+        register_scenario(make_profile(chain_len=1))
+        registered = workload_digest(NAME)
+        shipped = workload_digest(NAME, (make_profile(chain_len=3),))
+        assert registered != shipped
+
+
+class TestScenarioFileErrors:
+    """register_scenario_file must reject malformed configs naming the
+    offending field — a typo'd scenario file can never half-register."""
+
+    GOOD = """
+[[scenarios]]
+name = "filecase"
+suite = "int"
+phase_length = 300
+
+[[scenarios.phases]]
+kernel = "int_compute"
+params = {{ pc_base = 0x600000, data_base = 0x6000000, {extra} }}
+"""
+
+    @pytest.mark.skipif(sys.version_info < (3, 11),
+                        reason="TOML configs need tomllib")
+    @pytest.mark.parametrize("extra, message", [
+        ("chain_lenn = 2", "unknown kernel parameters.*chain_lenn"),
+        ("chain_len = 2.5", "'chain_len' must be an int"),
+        ("branch_bias = \"high\"", "'branch_bias' must be a number"),
+    ])
+    def test_toml_param_errors_name_the_field(self, tmp_path, extra,
+                                              message, clean_registry):
+        path = tmp_path / "bad.toml"
+        path.write_text(self.GOOD.format(extra=extra))
+        with pytest.raises(ValueError, match=message):
+            register_scenario_file(path)
+        assert "filecase" not in SCENARIOS
+
+    def test_json_unknown_scenario_key_named(self, tmp_path,
+                                             clean_registry):
+        path = tmp_path / "bad.json"
+        path.write_text('{"scenarios": [{"name": "filecase", "suite": '
+                        '"int", "phasez": []}]}')
+        with pytest.raises(ValueError, match="unknown scenario keys.*"
+                                             "phasez"):
+            register_scenario_file(path)
+        assert "filecase" not in SCENARIOS
+
+    def test_json_syntax_error_names_file(self, tmp_path):
+        path = tmp_path / "syntax.json"
+        path.write_text('{"scenarios": [')
+        with pytest.raises(ValueError, match="syntax.json.*not valid JSON"):
+            register_scenario_file(path)

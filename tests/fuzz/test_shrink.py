@@ -1,0 +1,91 @@
+"""Shrinker behaviour against synthetic predicates (no simulation)."""
+
+import dataclasses
+
+from repro.fuzz.sampling import MIN_TRACE_LENGTH, sample
+from repro.fuzz.shrink import shrink, shrink_trail
+
+
+def find_multiphase_sample(seed=17):
+    for index in range(40):
+        candidate = sample(seed, index)
+        if len(candidate.scenario.phases) >= 2 and \
+                candidate.trace_length > 2 * MIN_TRACE_LENGTH:
+            return candidate
+    raise AssertionError("sampler produced no multi-phase sample in 40 draws")
+
+
+class TestShrink:
+    def test_trace_length_minimised(self):
+        start = find_multiphase_sample()
+        shrunk = shrink(start, lambda s: True, budget=200)
+        assert shrunk.trace_length == MIN_TRACE_LENGTH
+
+    def test_phases_minimised_when_failure_is_phase_independent(self):
+        start = find_multiphase_sample()
+        shrunk = shrink(start, lambda s: True, budget=200)
+        assert len(shrunk.scenario.phases) == 1
+
+    def test_result_always_satisfies_predicate(self):
+        start = find_multiphase_sample()
+        # Failure requires at least 2 phases: the shrinker must not drop
+        # below that.
+        predicate = lambda s: len(s.scenario.phases) >= 2  # noqa: E731
+        shrunk = shrink(start, predicate, budget=200)
+        assert predicate(shrunk)
+        assert len(shrunk.scenario.phases) == 2
+
+    def test_nothing_shrinkable_returns_original(self):
+        start = find_multiphase_sample()
+        shrunk = shrink(start, lambda s: s == start, budget=200)
+        assert shrunk == start
+
+    def test_budget_bounds_evaluations(self):
+        start = find_multiphase_sample()
+        calls = []
+
+        def predicate(candidate):
+            calls.append(candidate)
+            return True
+
+        shrink(start, predicate, budget=5)
+        assert len(calls) <= 5
+
+    def test_config_simplified(self):
+        start = find_multiphase_sample()
+        start = dataclasses.replace(
+            start, config=dataclasses.replace(
+                start.config, warmup=True, enable_wrong_path=True,
+                exception_rate=0.01))
+        # Failure depends only on the release policy, so every toggle
+        # should simplify away.
+        shrunk = shrink(start, lambda s: True, budget=300)
+        assert shrunk.config.warmup is False
+        assert shrunk.config.enable_wrong_path is False
+        assert shrunk.config.exception_rate == 0.0
+
+    def test_shrunk_candidates_stay_valid(self):
+        from repro.trace.workloads import validate_scenario_profile
+        start = find_multiphase_sample()
+        seen = []
+
+        def predicate(candidate):
+            validate_scenario_profile(candidate.scenario)
+            seen.append(candidate)
+            return len(candidate.scenario.phases) >= 1
+
+        shrink(start, predicate, budget=100)
+        assert seen, "predicate never evaluated"
+
+
+class TestShrinkTrail:
+    def test_trail_names_reductions(self):
+        start = find_multiphase_sample()
+        shrunk = shrink(start, lambda s: True, budget=200)
+        notes = " | ".join(shrink_trail(start, shrunk))
+        assert "trace length" in notes
+        assert "phases" in notes
+
+    def test_trail_for_identical_samples(self):
+        start = find_multiphase_sample()
+        assert shrink_trail(start, start) == ["already minimal"]
