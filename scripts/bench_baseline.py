@@ -31,7 +31,12 @@ plus two serial probes embedded into the snapshot:
   per-trace columns were amortised across the probe's points;
 * ``"generation"`` — trace-generation throughput (scalar oracle vs the
   vectorised bulk-draw path) over the scenario library plus
-  representative SPEC-like workloads.
+  representative SPEC-like workloads;
+* ``"serve"`` — the ``repro-serve`` HTTP service under zipf-skewed
+  concurrent load (local loopback, serial compute worker): throughput,
+  p50/p99 latency and the cache + single-flight hit rate (see
+  ``scripts/bench_serve.py`` for the full-size harness).  A degraded or
+  error-laden run is recorded but excluded from the gate.
 
 ``--probe-only`` (the CI mode) skips the pytest harness, runs the
 probes, and *gates*: it compares the probe against the newest committed
@@ -426,6 +431,36 @@ def format_generation_summary(generation: dict) -> str:
     return "\n".join(lines)
 
 
+#: Parameters of the CI-sized serve probe: small enough for seconds of
+#: wall clock, concurrent enough (6 clients over a 12-point pool) that
+#: single-flight joins and cache hits both actually occur.
+SERVE_PROBE_SETTINGS = dict(clients=6, requests=90, pool_size=12,
+                            zipf_skew=1.1, trace_length=1_000, seed=9)
+
+
+def collect_serve_probe(**overrides) -> dict:
+    """Run the CI-sized zipf load probe against an in-process server.
+
+    Self-hosts a loopback server with the serial compute worker over a
+    fresh temporary store (every first touch is a genuine miss), so the
+    resulting hit rate is a deterministic function of the sampled
+    request stream — exactly comparable PR over PR.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.serve.loadgen import collect_serve_report
+
+    settings = dict(SERVE_PROBE_SETTINGS)
+    settings.update(overrides)
+    return collect_serve_report(None, **settings)
+
+
+def serve_probe_gateable(serve: dict) -> bool:
+    """True when a serve section may be gated: it answered requests,
+    saw no client-visible errors, and the store never degraded."""
+    return bool(serve.get("answered")) and not serve.get("errors") \
+        and not serve.get("cache_degradation_reason")
+
+
 # ----------------------------------------------------------------------
 # The CI regression gate.
 # ----------------------------------------------------------------------
@@ -517,6 +552,24 @@ def compare_against_baseline(current: dict, baseline: dict,
     check("scenario-grid generation speedup (vector/scalar ratio)",
           current_generation.get("scenario_speedup", 0.0),
           baseline_generation.get("scenario_speedup", 0.0))
+    # Serve probe: gate the service's throughput and its cache +
+    # single-flight hit rate.  Strictly like-for-like, mirroring the
+    # engine sections: both runs must be clean (no degradation, no
+    # errors) and describe the same offered load — a probe whose shape
+    # changed measures a different workload, not a regression.
+    baseline_serve = baseline.get("serve") or {}
+    current_serve = current.get("serve") or {}
+    if (serve_probe_gateable(baseline_serve)
+            and serve_probe_gateable(current_serve)
+            and all(baseline_serve.get(field) == current_serve.get(field)
+                    for field in ("clients", "requests", "pool_size",
+                                  "zipf_skew", "trace_length", "seed"))):
+        check("serve probe requests/s",
+              current_serve.get("requests_per_s", 0.0),
+              baseline_serve.get("requests_per_s", 0.0))
+        check("serve probe hit rate (%)",
+              current_serve.get("hit_rate", 0.0) * 100.0,
+              baseline_serve.get("hit_rate", 0.0) * 100.0)
     return regressions
 
 
@@ -554,8 +607,9 @@ def main(argv=None) -> int:
                         help="pytest -k expression to run a subset of the harness")
     parser.add_argument("--probe-only", action="store_true",
                         help="skip the pytest harness and the Figure 11 grid "
-                             "comparison; run the fast scheduler + generation "
-                             "probes, gate against the newest committed "
+                             "comparison; run the fast scheduler, generation "
+                             "and serve probes, gate against the newest "
+                             "committed "
                              "BENCH_*.json, and print the summary (CI "
                              "signal). Appends to $GITHUB_STEP_SUMMARY when "
                              "set.")
@@ -597,6 +651,11 @@ def main(argv=None) -> int:
         generation = collect_generation_throughput(trace_length=20_000)
         current["generation"] = generation
         summaries.append(format_generation_summary(generation))
+        from repro.serve.loadgen import format_report
+
+        serve = collect_serve_probe()
+        current["serve"] = serve
+        summaries.append(format_report(serve))
         summary = "\n".join(summaries)
 
         gate_lines = []
@@ -661,6 +720,9 @@ def main(argv=None) -> int:
     sweep_point = collect_sweep_point_probe()
     compiled_sweep_point = collect_sweep_point_probe(engine="compiled")
     generation = collect_generation_throughput()
+    # The serve section keeps the CI probe's shape so the gate compares
+    # like-for-like against it.
+    serve = collect_serve_probe()
     with open(output) as handle:
         payload = json.load(handle)
     payload["scheduler"] = scheduler
@@ -668,6 +730,7 @@ def main(argv=None) -> int:
     payload["sweep_point"] = sweep_point
     payload["sweep_point_compiled"] = compiled_sweep_point
     payload["generation"] = generation
+    payload["serve"] = serve
     with open(output, "w") as handle:
         json.dump(payload, handle, indent=2)
 
@@ -682,6 +745,9 @@ def main(argv=None) -> int:
     print(format_sweep_point_summary(sweep_point))
     print(format_sweep_point_summary(compiled_sweep_point))
     print(format_generation_summary(generation))
+    from repro.serve.loadgen import format_report
+
+    print(format_report(serve))
     grid = scheduler["figure11_grid"]
     print(f"figure11 grid ({grid['points']} points, sizes {grid['sizes']}): "
           f"skip={grid['skip_fraction']:.2%} vs PR1 semantics "

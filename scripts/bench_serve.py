@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Load-generation harness for the ``repro-serve`` sweep service.
+
+Drives many concurrent clients with zipf-skewed scenario popularity
+against a server (an in-process one over a temporary store by default,
+or ``--url`` for an already-running endpoint) and reports p50/p99
+latency, throughput and hit rate — the ``"serve"`` section the
+``BENCH_*.json`` regression gate tracks.  Usage::
+
+    python scripts/bench_serve.py                         # self-hosted run
+    python scripts/bench_serve.py --clients 16 --requests 600
+    python scripts/bench_serve.py --url http://127.0.0.1:8713
+    python scripts/bench_serve.py --merge-into BENCH_x.json   # embed section
+
+The default run is deliberately CI-sized (seconds, serial compute
+worker); scale ``--clients``/``--requests``/``--trace-length`` up for a
+real capacity probe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Zipf-skewed load generation against repro-serve.")
+    parser.add_argument("--url", default=None,
+                        help="target an already-running server instead of "
+                             "self-hosting one over a temporary store")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client threads (default: 8)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="total requests across all clients "
+                             "(default: 200)")
+    parser.add_argument("--pool-size", type=int, default=24,
+                        help="distinct sweep points in the popularity pool "
+                             "(default: 24)")
+    parser.add_argument("--zipf-skew", type=float, default=1.1,
+                        help="popularity skew; 0 = uniform (default: 1.1)")
+    parser.add_argument("--trace-length", type=int, default=2_000,
+                        help="instructions per simulated point "
+                             "(default: 2000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="sampler seed (default: 0)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="self-hosted store root (default: a fresh "
+                             "temporary directory — every first touch is a "
+                             "genuine miss)")
+    parser.add_argument("--output", default=None,
+                        help="also write the report JSON here")
+    parser.add_argument("--merge-into", default=None, metavar="BENCH_JSON",
+                        help="embed the report as the 'serve' section of an "
+                             "existing BENCH_*.json snapshot")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.serve.loadgen import collect_serve_report, format_report
+
+    report = collect_serve_report(
+        args.url, clients=args.clients, requests=args.requests,
+        pool_size=args.pool_size, zipf_skew=args.zipf_skew,
+        trace_length=args.trace_length, seed=args.seed,
+        cache_dir=args.cache_dir)
+    print(format_report(report))
+
+    if args.output:
+        path = Path(args.output).resolve()
+        with open(path, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote report to {path}")
+    if args.merge_into:
+        path = Path(args.merge_into).resolve()
+        with open(path) as handle:
+            snapshot = json.load(handle)
+        snapshot["serve"] = report
+        with open(path, "w") as handle:
+            json.dump(snapshot, handle, indent=2)
+        print(f"merged 'serve' section into {path}")
+    return 1 if report["errors"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,13 @@ a process pool, and a persistent on-disk result cache so repeated sweeps
 only simulate points never simulated before.
 """
 
+from repro.analysis.backends import (
+    CacheBackend,
+    HTTPCacheBackend,
+    LocalDirBackend,
+    TieredBackend,
+    resolve_backend,
+)
 from repro.analysis.cache import SweepCache, config_digest, point_key
 
 from repro.analysis.metrics import (
@@ -36,6 +43,11 @@ from repro.analysis.reporting import (
 )
 
 __all__ = [
+    "CacheBackend",
+    "LocalDirBackend",
+    "HTTPCacheBackend",
+    "TieredBackend",
+    "resolve_backend",
     "SweepCache",
     "config_digest",
     "point_key",

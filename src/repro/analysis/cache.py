@@ -20,6 +20,13 @@ behaviour change.  The default cache directory is ``$REPRO_SWEEP_CACHE``
 when set, else ``~/.cache/repro/sweeps``.  Bump
 :data:`CACHE_SCHEMA_VERSION` whenever the pickled payload or the key
 inputs change meaning.
+
+Storage is pluggable (:mod:`repro.analysis.backends`): the default
+:class:`~repro.analysis.backends.LocalDirBackend` keeps today's on-disk
+layout byte-identically, while an HTTP remote (optionally tiered with
+local write-through) shares the same content-addressed entries across
+machines.  The key derivation and payload format in this module are
+backend-independent.
 """
 
 from __future__ import annotations
@@ -29,10 +36,11 @@ import functools
 import hashlib
 import os
 import pickle
-import tempfile
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple, Union
+
+from repro.analysis.backends import CacheBackend, LocalDirBackend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.sweep import SweepConfig, SweepPoint
@@ -55,7 +63,10 @@ CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 #: covers the C core sources, so results produced by the compiled and
 #: Python engines — equivalent by contract, but separately validated —
 #: occupy distinct entries and a core change invalidates compiled results.
-CACHE_SCHEMA_VERSION = 4
+#: v5: payloads additionally record their own point key, verified on
+#: read — a remote-synced entry that lands under the wrong key (buggy
+#: proxy, hand-copied store) is a miss, never a silently wrong result.
+CACHE_SCHEMA_VERSION = 5
 
 
 def default_cache_dir() -> Path:
@@ -152,13 +163,21 @@ class CacheStats:
     total_entries: int = 0
     total_bytes: int = 0
     unreadable_entries: int = 0
+    unreadable_bytes: int = 0
     stale_code_entries: int = 0
     oldest: Optional[float] = None
     #: workload name -> (entry count, bytes on disk).
     workloads: Dict[str, Tuple[int, int]] = dataclasses.field(default_factory=dict)
 
     def format(self) -> str:
-        """Human-readable report."""
+        """Human-readable report.
+
+        Corrupt/foreign/outdated-schema entries are a *distinct* bucket
+        with their own byte count: a remote-synced partial write (or any
+        file the cache cannot serve again) shows up as dead weight, never
+        blended into a workload's live-result totals.
+        """
+        live_bytes = self.total_bytes - self.unreadable_bytes
         lines = [f"entries: {self.total_entries} "
                  f"({self.total_bytes / 1024:.1f} KiB)"]
         if self.oldest is not None:
@@ -166,7 +185,12 @@ class CacheStats:
             lines.append(f"oldest entry: {age_days:.1f} days")
         lines.append(f"stale (old source code): {self.stale_code_entries}")
         if self.unreadable_entries:
-            lines.append(f"unreadable/outdated schema: {self.unreadable_entries}")
+            lines.append(
+                f"unreadable (corrupt/foreign/outdated schema): "
+                f"{self.unreadable_entries} entries  "
+                f"{self.unreadable_bytes / 1024:.1f} KiB "
+                f"(dead weight — excluded from the live "
+                f"{live_bytes / 1024:.1f} KiB below)")
         if self.workloads:
             lines.append("per workload:")
             for workload in sorted(self.workloads):
@@ -198,10 +222,24 @@ class SizePruneReport:
 
 
 class SweepCache:
-    """Directory-backed store of simulated sweep points."""
+    """Store of simulated sweep points over a pluggable backend.
 
-    def __init__(self, cache_dir: Union[None, str, Path] = None) -> None:
-        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+    The default backend is the directory-backed
+    :class:`~repro.analysis.backends.LocalDirBackend` (today's layout);
+    pass ``backend=`` to share entries through a remote store — see
+    :mod:`repro.analysis.backends`.  Key derivation, payload format and
+    the read-side validation are identical for every backend.
+    """
+
+    def __init__(self, cache_dir: Union[None, str, Path] = None,
+                 backend: Optional[CacheBackend] = None) -> None:
+        if backend is None:
+            backend = LocalDirBackend(
+                Path(cache_dir) if cache_dir else default_cache_dir())
+        self.backend = backend
+        #: Directory of the local layer (None for purely remote backends;
+        #: the maintenance surface below requires one).
+        self.cache_dir = backend.local_dir
         # run-time counters (telemetry for run_sweep reporting / tests)
         self.hits = 0
         self.misses = 0
@@ -209,23 +247,62 @@ class SweepCache:
         self.store_errors = 0
 
     # ------------------------------------------------------------------
+    def degradation_reason(self) -> Optional[str]:
+        """Why the backend is degraded (e.g. remote unreachable), or None.
+
+        Surfaced by ``run_sweep`` as ``SweepResult.cache_degradation_reason``
+        — the cache equivalent of the compiled engine's fallback reason.
+        """
+        return self.backend.degradation_reason()
+
     def path_for(self, sweep_config: "SweepConfig", point: "SweepPoint") -> Path:
-        """Filesystem path of one point's entry."""
+        """Filesystem path of one point's entry (local layer)."""
         key = point_key(sweep_config, point)
-        return self.cache_dir / key[:2] / f"{key}.pkl"
+        return self._require_local_dir() / key[:2] / f"{key}.pkl"
+
+    def _require_local_dir(self) -> Path:
+        if self.cache_dir is None:
+            raise ValueError(
+                f"backend {self.backend.name!r} has no local directory; "
+                f"path-based maintenance needs a local or tiered backend")
+        return self.cache_dir
+
+    @staticmethod
+    def _decode(blob: Optional[bytes], key: str) -> Optional["SimStats"]:
+        """Validate one payload blob; None for anything unservable.
+
+        Rejects foreign pickles, outdated schemas and — for v5 payloads —
+        entries whose recorded point key differs from the requested one
+        (a misfiled remote sync must be a miss, not a wrong result).
+        Blobs framed in the remote-wire integrity envelope (a purely
+        remote backend hands them over as received) are verified and
+        unwrapped first.
+        """
+        if blob is None:
+            return None
+        if blob.startswith(b"RSB1"):
+            from repro.analysis.backends import unwrap_envelope
+
+            blob = unwrap_envelope(key, blob)
+            if blob is None:
+                return None
+        try:
+            payload = pickle.loads(blob)
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise EOFError("schema mismatch")
+            if payload.get("key", key) != key:
+                raise EOFError("key mismatch")
+            return payload["stats"]
+        except (pickle.PickleError, EOFError, AttributeError,
+                KeyError, TypeError, ImportError):
+            return None
 
     def get(self, sweep_config: "SweepConfig",
             point: "SweepPoint") -> Optional["SimStats"]:
         """Cached statistics of ``point``, or None on a miss."""
-        path = self.path_for(sweep_config, point)
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-            if payload.get("schema") != CACHE_SCHEMA_VERSION:
-                raise EOFError("schema mismatch")
-            stats = payload["stats"]
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                KeyError, TypeError, ImportError):
+        key = point_key(sweep_config, point)
+        stats = self._decode(self.backend.get_blob(key), key)
+        if stats is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -235,12 +312,15 @@ class SweepCache:
             stats: "SimStats") -> None:
         """Store the statistics of one simulated point (atomic write).
 
-        Filesystem failures (full disk, read-only mount) degrade to an
-        uncached run instead of crashing a sweep whose simulation work is
-        already done; they are tallied in :attr:`store_errors`.
+        Storage failures (full disk, read-only mount, unreachable remote)
+        degrade to an uncached run instead of crashing a sweep whose
+        simulation work is already done; they are tallied in
+        :attr:`store_errors`.
         """
+        key = point_key(sweep_config, point)
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
             "point": (point.benchmark, point.policy, point.num_registers),
             "trace_length": sweep_config.trace_length,
             "seed": sweep_config.seed,
@@ -248,26 +328,16 @@ class SweepCache:
             "created": time.time(),
             "stats": stats,
         }
-        tmp_name = None
-        try:
-            path = self.path_for(sweep_config, point)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except OSError:
-            if tmp_name is not None:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.backend.put_blob(key, blob):
+            self.stores += 1
+        else:
             self.store_errors += 1
-            return
-        self.stores += 1
 
     # ------------------------------------------------------------------
-    # Maintenance (the ``repro-experiments cache`` subcommand)
+    # Maintenance (the ``repro-experiments cache`` subcommand).  Operates
+    # on the *local* layer of the backend — the directory this process
+    # owns; a shared remote store is maintained by its own server.
     # ------------------------------------------------------------------
     def iter_entries(self) -> Iterator[Tuple[Path, Optional[dict]]]:
         """Yield ``(path, payload)`` for every entry file on disk.
@@ -275,7 +345,8 @@ class SweepCache:
         ``payload`` is None for entries that cannot be read or that carry
         an outdated schema — those are unconditionally stale.
         """
-        if not self.cache_dir.exists():
+        cache_dir = self._require_local_dir()
+        if not cache_dir.exists():
             return
         for path in sorted(self.cache_dir.rglob("*.pkl")):
             payload: Optional[dict] = None
@@ -304,6 +375,7 @@ class SweepCache:
             result.total_bytes += size
             if payload is None:
                 result.unreadable_entries += 1
+                result.unreadable_bytes += size
                 continue
             workload = payload["point"][0]
             count, nbytes = result.workloads.get(workload, (0, 0))
@@ -396,14 +468,17 @@ class SweepCache:
     # ------------------------------------------------------------------
     def __contains__(self, item) -> bool:
         sweep_config, point = item
-        return self.path_for(sweep_config, point).exists()
+        if self.cache_dir is not None:
+            return self.path_for(sweep_config, point).exists()
+        return self.backend.get_blob(point_key(sweep_config, point)) is not None
 
     def clear(self) -> int:
         """Delete every entry below the cache directory; returns the count."""
         removed = 0
-        if not self.cache_dir.exists():
+        cache_dir = self._require_local_dir()
+        if not cache_dir.exists():
             return removed
-        for path in self.cache_dir.rglob("*.pkl"):
+        for path in cache_dir.rglob("*.pkl"):
             try:
                 path.unlink()
                 removed += 1
@@ -412,7 +487,7 @@ class SweepCache:
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"SweepCache({str(self.cache_dir)!r}, hits={self.hits}, "
+        return (f"SweepCache({self.backend!r}, hits={self.hits}, "
                 f"misses={self.misses}, stores={self.stores})")
 
 
@@ -421,7 +496,10 @@ def resolve_cache(cache: Union[None, bool, str, Path, SweepCache],
     """Normalise the ``cache`` argument accepted by ``run_sweep``.
 
     ``None`` / ``False`` → no caching; ``True`` → default directory;
-    a path → cache rooted there; a :class:`SweepCache` → itself.
+    a path → local cache rooted there; a backend spec string
+    (``"local"``, ``"http://…"``, ``"remote:http://…"`` — see
+    :func:`repro.analysis.backends.resolve_backend`) → cache over that
+    backend; a :class:`SweepCache` → itself.
     """
     if cache is None or cache is False:
         return None
@@ -429,4 +507,10 @@ def resolve_cache(cache: Union[None, bool, str, Path, SweepCache],
         return SweepCache()
     if isinstance(cache, SweepCache):
         return cache
+    if isinstance(cache, str) and (cache == "local"
+                                   or cache.startswith(("http://", "https://",
+                                                        "remote:"))):
+        from repro.analysis.backends import resolve_backend
+
+        return SweepCache(backend=resolve_backend(cache))
     return SweepCache(cache)

@@ -127,13 +127,21 @@ class SweepResult:
     simulated points for this result.  ``compiled_fallback_reason`` is
     set — once, however many workers observed it — when the sweep
     requested the compiled backend but ran on the Python engine.
+
+    ``cache_degradation_reason`` is the result-cache analogue: set when
+    the sweep's cache backend ran degraded (e.g. a tiered backend whose
+    remote store was unreachable continued local-only — see
+    :mod:`repro.analysis.backends`).  The sweep itself still completes
+    with correct results; the reason records that cross-machine sharing
+    did not happen.
     """
 
     def __init__(self, sweep_config: SweepConfig,
                  results: Dict[SweepPoint, SimStats],
                  simulated: int = 0, cached: int = 0,
                  export_cache_hits: int = 0, export_cache_misses: int = 0,
-                 compiled_fallback_reason: Optional[str] = None) -> None:
+                 compiled_fallback_reason: Optional[str] = None,
+                 cache_degradation_reason: Optional[str] = None) -> None:
         self.config = sweep_config
         self._results = dict(results)
         self.simulated = simulated
@@ -141,6 +149,7 @@ class SweepResult:
         self.export_cache_hits = export_cache_hits
         self.export_cache_misses = export_cache_misses
         self.compiled_fallback_reason = compiled_fallback_reason
+        self.cache_degradation_reason = cache_degradation_reason
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -233,7 +242,9 @@ class SweepResult:
             export_cache_misses=(self.export_cache_misses
                                  + other.export_cache_misses),
             compiled_fallback_reason=(self.compiled_fallback_reason
-                                      or other.compiled_fallback_reason))
+                                      or other.compiled_fallback_reason),
+            cache_degradation_reason=(self.cache_degradation_reason
+                                      or other.cache_degradation_reason))
 
 
 def _empty_point_telemetry() -> Dict:
@@ -326,4 +337,6 @@ def run_sweep(sweep_config: SweepConfig, parallel: bool = True,
         simulated=len(missing), cached=len(points) - len(missing),
         export_cache_hits=telemetry["export_cache_hits"],
         export_cache_misses=telemetry["export_cache_misses"],
-        compiled_fallback_reason=telemetry["fallback_reason"])
+        compiled_fallback_reason=telemetry["fallback_reason"],
+        cache_degradation_reason=(store.degradation_reason()
+                                  if store is not None else None))

@@ -30,7 +30,8 @@ configuration hash, trace length, seed and engine backend), so
 re-generating a figure — or generating Table 4 after Figure 11 — only
 simulates points never simulated before.  ``--no-cache`` disables the
 cache, ``--cache-dir`` relocates it (default: ``$REPRO_SWEEP_CACHE`` or
-``~/.cache/repro/sweeps``).
+``~/.cache/repro/sweeps``) and ``--cache-backend`` points it at a shared
+``repro-serve`` store (tiered local+remote; see ``docs/sweep-cache.md``).
 
 The ``cache`` subcommand inspects and maintains that store::
 
@@ -45,6 +46,11 @@ engine backends and trace-generation paths — see ``docs/fuzzing.md``)::
     repro-experiments fuzz --seed 20260808 --samples 80
     repro-experiments fuzz --budget-seconds 60 --report fuzz-report.json
     repro-experiments fuzz --replay tests/fuzz/corpus
+
+The ``serve`` subcommand starts the HTTP sweep service (identical to the
+``repro-serve`` console script — see ``docs/serving.md``)::
+
+    repro-experiments serve --port 8713 --cache-dir /srv/repro-cache
 """
 
 from __future__ import annotations
@@ -174,13 +180,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.fuzz.cli import fuzz_main
 
         return fuzz_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "serve":
+        from repro.serve.cli import serve_main
+
+        return serve_main(raw_argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of 'Hardware Schemes for "
                     "Early Register Release' (ICPP 2002).")
     parser.add_argument("experiments", nargs="+",
                         help="experiment names (%s), 'all', or the 'cache' / "
-                             "'fuzz' subcommands"
+                             "'fuzz' / 'serve' subcommands"
                              % ", ".join(sorted(EXPERIMENTS)))
     parser.add_argument("--trace-length", type=int, default=None,
                         help="dynamic instructions per benchmark simulation")
@@ -201,6 +211,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="root of the sweep result cache (default: "
                              "$REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)")
+    parser.add_argument("--cache-backend", default=None, metavar="SPEC",
+                        help="result-store backend: 'local' (default), "
+                             "'http(s)://HOST:PORT' for a tiered local+remote "
+                             "store backed by a repro-serve endpoint, or "
+                             "'remote:URL' for remote-only (default: "
+                             "$REPRO_CACHE_BACKEND); an unreachable remote "
+                             "degrades to local-only, never fails the sweep")
     parser.add_argument("--scenario-file", action="append", default=[],
                         metavar="PATH",
                         help="register the user-defined scenarios in this "
@@ -237,11 +254,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                        if args.scenarios is not None else None)
 
     if args.no_cache:
+        if args.cache_backend is not None:
+            parser.error("--cache-backend conflicts with --no-cache")
         cache = None
     else:
+        from repro.analysis.backends import resolve_backend
         from repro.analysis.cache import SweepCache
 
-        cache = SweepCache(args.cache_dir)
+        cache = SweepCache(backend=resolve_backend(
+            args.cache_backend, cache_dir=args.cache_dir))
 
     names = list(args.experiments)
     if names == ["all"]:

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — start the sweep service."""
+
+import sys
+
+from repro.serve.cli import serve_main
+
+if __name__ == "__main__":
+    sys.exit(serve_main())

@@ -1,0 +1,81 @@
+"""Command line for ``repro-serve``::
+
+    repro-serve --port 8713 --cache-dir /srv/repro-cache
+    repro-serve --cache-backend https://cache.internal:8713  # tiered
+    repro-experiments serve ...                              # same thing
+
+Starts the stdlib asyncio HTTP front over the shared sweep-result store
+and blocks until interrupted.  See ``docs/serving.md`` for the API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+__all__ = ["serve_main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve sweep-point and export-artefact queries from the "
+                    "shared result store over HTTP.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default: loopback only)")
+    parser.add_argument("--port", type=int, default=8713,
+                        help="TCP port (0 picks a free one; default: 8713)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="root of the sweep result store (default: "
+                             "$REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)")
+    parser.add_argument("--cache-backend", default=None, metavar="SPEC",
+                        help="result-store backend: 'local' (default), "
+                             "'http(s)://HOST:PORT' for a tiered "
+                             "local+remote store, or 'remote:URL' for "
+                             "remote-only (default: $REPRO_CACHE_BACKEND)")
+    parser.add_argument("--compute-threads", type=int, default=1,
+                        help="concurrent cache-miss computations "
+                             "(default: 1 — misses queue behind each other)")
+    parser.add_argument("--max-workers", type=int, default=1,
+                        help="sweep-runner processes per computation "
+                             "(default: 1, in-process)")
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    from repro.analysis.backends import resolve_backend
+    from repro.analysis.cache import SweepCache
+    from repro.serve.http import HTTPServer
+    from repro.serve.service import SweepService
+
+    backend = resolve_backend(args.cache_backend, cache_dir=args.cache_dir)
+    cache = SweepCache(backend=backend)
+    service = SweepService(cache=cache,
+                           compute_threads=args.compute_threads,
+                           max_workers=args.max_workers)
+    server = HTTPServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        location = f"{server.url} (backend: {backend.name}"
+        if cache.cache_dir is not None:
+            location += f", store: {cache.cache_dir}"
+        print(f"repro-serve listening on {location})", flush=True)
+        reason = cache.degradation_reason()
+        if reason:
+            print(f"warning: {reason}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro-serve: interrupted, shutting down", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(serve_main())

@@ -1,0 +1,112 @@
+"""Blocking stdlib client for a ``repro-serve`` endpoint.
+
+Used by the load harness, the CI smoke script and tests; intentionally
+plain ``urllib`` so it exercises exactly the transport a third-party
+client would (fresh connection per request, no keep-alive, no retries —
+retrying belongs to :class:`repro.analysis.backends.HTTPCacheBackend`,
+not to a latency probe that must count every round trip it makes).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional, Tuple
+
+__all__ = ["ServeClient", "ServeResponse"]
+
+
+class ServeResponse:
+    """One HTTP exchange: status, body bytes, selected headers."""
+
+    def __init__(self, status: int, body: bytes,
+                 served_from: Optional[str] = None) -> None:
+        self.status = status
+        self.body = body
+        self.served_from = served_from
+
+    def json(self) -> dict:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ServeClient:
+    """Talk to one server; every method returns a :class:`ServeResponse`
+    (HTTP error statuses included) and only raises on transport failure
+    (``URLError``/``OSError``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: Optional[bytes] = None,
+                 content_type: str = "application/json") -> ServeResponse:
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": content_type} if body is not None else {})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return ServeResponse(resp.status, resp.read(),
+                                     resp.headers.get("X-Repro-Served-From"))
+        except urllib.error.HTTPError as exc:
+            # An HTTP-level error is still an answer; read it out.
+            return ServeResponse(exc.code, exc.read(),
+                                 exc.headers.get("X-Repro-Served-From"))
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> ServeResponse:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics").json()
+
+    def sweep_point(self, benchmark: str, policy: str = "conv",
+                    num_registers: int = 48, *,
+                    trace_length: Optional[int] = None,
+                    seed: Optional[int] = None,
+                    engine: Optional[str] = None,
+                    config: Optional[dict] = None) -> ServeResponse:
+        payload = {"benchmark": benchmark, "policy": policy,
+                   "num_registers": num_registers}
+        if trace_length is not None:
+            payload["trace_length"] = trace_length
+        if seed is not None:
+            payload["seed"] = seed
+        if engine is not None:
+            payload["engine"] = engine
+        if config:
+            payload["config"] = config
+        return self._request("POST", "/v1/sweep-point",
+                             json.dumps(payload).encode("utf-8"))
+
+    def sweep_point_raw(self, payload: dict) -> ServeResponse:
+        """Send an arbitrary (possibly invalid) request body."""
+        return self._request("POST", "/v1/sweep-point",
+                             json.dumps(payload).encode("utf-8"))
+
+    def cache_get(self, key: str) -> ServeResponse:
+        return self._request("GET", f"/v1/cache/{key}")
+
+    def cache_put(self, key: str, blob: bytes) -> ServeResponse:
+        return self._request("PUT", f"/v1/cache/{key}", blob,
+                             content_type="application/octet-stream")
+
+    def artefact(self, workload: str, trace_length: int = 20_000,
+                 seed: int = 0) -> ServeResponse:
+        payload = {"workload": workload, "trace_length": trace_length,
+                   "seed": seed}
+        return self._request("POST", "/v1/artefact",
+                             json.dumps(payload).encode("utf-8"))
+
+
+def parse_hostport(value: str, default_port: int = 8713) -> Tuple[str, int]:
+    """``"host:port"`` / ``"host"`` / ``":port"`` -> ``(host, port)``."""
+    host, _, port = value.rpartition(":")
+    if not host:
+        return (port or "127.0.0.1", default_port)
+    return host, int(port)

@@ -1,0 +1,220 @@
+"""Minimal asyncio HTTP/1.1 transport for ``repro-serve``.
+
+The service runs in environments where only the standard library is
+available, so the transport is a small hand-rolled HTTP/1.1 server over
+:func:`asyncio.start_server`: request line + headers + Content-Length
+body in, status line + headers + body out, one request per connection
+(``Connection: close`` — the stdlib ``urllib`` clients the repo ships
+open a fresh connection per request anyway, and closing keeps the
+parser trivially robust).
+
+Routes::
+
+    GET  /healthz           liveness (also reports backend degradation)
+    GET  /metrics           JSON counters + latency percentiles
+    POST /v1/sweep-point    answer one sweep point (single-flight)
+    GET  /v1/cache/<key>    fetch one store entry (envelope-framed)
+    PUT  /v1/cache/<key>    upload one store entry (envelope-verified)
+    POST /v1/artefact       describe/build one export artefact
+
+Everything interesting lives in :mod:`repro.serve.service`; this module
+only parses, routes, times and serialises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.serve.service import SweepService
+
+__all__ = ["HTTPServer", "MAX_BODY_BYTES", "MAX_HEADER_BYTES"]
+
+#: Upload ceiling: a pickled sweep payload is tens of KiB; 32 MiB leaves
+#: room for large traces' artefact metadata without letting one client
+#: buffer the process into the ground.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Header-section ceiling (request line included).
+MAX_HEADER_BYTES = 32 * 1024
+
+_REASONS = {200: "OK", 204: "No Content", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 500: "Internal Server Error",
+            507: "Insufficient Storage"}
+
+
+class HTTPServer:
+    """Serve a :class:`SweepService` over loopback (or any interface)."""
+
+    def __init__(self, service: SweepService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        # With port 0 the OS picks; surface the bound port for clients.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            started = time.monotonic()
+            status, headers, payload = await self._dispatch(method, path, body)
+            self.service.metrics.observe_latency(
+                _route_label(method, path), time.monotonic() - started)
+            self.service.metrics.increment("http_requests")
+            await self._write_response(writer, status, headers, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        except Exception as exc:  # absolute backstop: never drop silently
+            self.service.metrics.increment("http_errors")
+            try:
+                await self._write_response(
+                    writer, 500, {},
+                    json.dumps({"error": f"{type(exc).__name__}: {exc}"},
+                               sort_keys=True).encode("utf-8"))
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            ) -> Optional[Tuple[str, str, bytes]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            return None
+        if len(head) > MAX_HEADER_BYTES:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return None
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target.split("?", 1)[0], body
+
+    async def _write_response(self, writer: asyncio.StreamWriter, status: int,
+                              headers: Dict[str, str], body: bytes) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        out = [f"HTTP/1.1 {status} {reason}"]
+        merged = {"Content-Type": "application/json; charset=utf-8",
+                  "Content-Length": str(len(body)),
+                  "Connection": "close"}
+        merged.update(headers)
+        merged["Content-Length"] = str(len(body))
+        for name, value in merged.items():
+            out.append(f"{name}: {value}")
+        writer.write(("\r\n".join(out) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        ) -> Tuple[int, Dict[str, str], bytes]:
+        service = self.service
+        if path == "/healthz":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return 200, {}, _json_bytes({
+                "status": "ok",
+                "cache_backend": service.cache.backend.name,
+                "cache_degradation_reason": service.cache.degradation_reason(),
+            })
+        if path == "/metrics":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return 200, {}, _json_bytes(service.metrics_snapshot())
+        if path == "/v1/sweep-point":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            payload, error = _parse_json(body)
+            if error is not None:
+                return 400, {}, _json_bytes({"error": error})
+            return await service.sweep_point(payload)
+        if path.startswith("/v1/cache/"):
+            key = path[len("/v1/cache/"):]
+            if method == "GET":
+                return service.cache_get(key)
+            if method == "PUT":
+                return service.cache_put(key, body)
+            return _method_not_allowed("GET, PUT")
+        if path == "/v1/artefact":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            payload, error = _parse_json(body)
+            if error is not None:
+                return 400, {}, _json_bytes({"error": error})
+            return await service.artefact(payload)
+        return 404, {}, _json_bytes({"error": f"no such route: {path}"})
+
+
+def _route_label(method: str, path: str) -> str:
+    if path.startswith("/v1/cache/"):
+        return f"{method} /v1/cache"
+    return f"{method} {path}"
+
+
+def _method_not_allowed(allowed: str) -> Tuple[int, Dict[str, str], bytes]:
+    return 405, {"Allow": allowed}, _json_bytes(
+        {"error": f"method not allowed; use {allowed}"})
+
+
+def _parse_json(body: bytes) -> Tuple[Optional[dict], Optional[str]]:
+    if not body:
+        return None, "request body must be a JSON object"
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return None, f"invalid JSON body: {exc}"
+    if not isinstance(payload, dict):
+        return None, "request body must be a JSON object"
+    return payload, None
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")

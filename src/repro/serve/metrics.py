@@ -1,0 +1,92 @@
+"""Service telemetry: counters and latency distributions.
+
+``repro-serve`` exposes one ``/metrics`` endpoint returning a JSON
+snapshot of everything here.  The design constraints are the service's
+own: counters are updated from the asyncio loop *and* from compute
+threads (so every mutation takes the lock), and latency percentiles are
+computed over a bounded ring of recent observations — the serving layer
+is long-lived, an unbounded list would be a slow leak and a full
+histogram is overkill for a p50/p99 regression gate.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import Counter, deque
+from typing import Deque, Dict, Optional, Sequence
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1]).
+
+    The nearest-rank definition keeps the value an *observed* sample —
+    a p99 that was actually paid by a request — instead of an
+    interpolated point between two of them.  Empty input returns 0.0.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+class ServiceMetrics:
+    """Thread-safe counters plus per-route latency rings."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self.window = window
+        self._lock = threading.Lock()
+        self._counters: Counter = Counter()
+        self._latencies: Dict[str, Deque[float]] = {}
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += amount
+
+    def count(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    def observe_latency(self, route: str, seconds: float) -> None:
+        with self._lock:
+            ring = self._latencies.get(route)
+            if ring is None:
+                ring = self._latencies[route] = deque(maxlen=self.window)
+            ring.append(seconds)
+
+    # ------------------------------------------------------------------
+    def latency_summary(self, route: str) -> Optional[dict]:
+        """count/p50/p99 (milliseconds) of one route's recent requests."""
+        with self._lock:
+            ring = self._latencies.get(route)
+            samples = list(ring) if ring else []
+        if not samples:
+            return None
+        return {
+            "count": len(samples),
+            "p50_ms": round(percentile(samples, 0.50) * 1000.0, 3),
+            "p99_ms": round(percentile(samples, 0.99) * 1000.0, 3),
+            "max_ms": round(max(samples) * 1000.0, 3),
+        }
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` payload: counters, latencies, uptime."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            routes = list(self._latencies)
+        latencies = {}
+        for route in sorted(routes):
+            summary = self.latency_summary(route)
+            if summary is not None:
+                latencies[route] = summary
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "counters": counters,
+            "latency": latencies,
+        }

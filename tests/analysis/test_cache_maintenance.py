@@ -51,6 +51,51 @@ class TestCacheStats:
         assert stats.total_entries == 2
         assert stats.unreadable_entries == 1
 
+    def test_unreadable_bucket_accounts_bytes(self, tmp_path):
+        """Corrupt/foreign entries get a distinct bucket with their own
+        byte count — dead weight is visible, never blended into a
+        workload's live totals."""
+        cache = populated_cache(tmp_path, benchmarks=("swim",))
+        garbage = b"x" * 2048
+        bad = cache.cache_dir / "zz" / ("0" * 64 + ".pkl")
+        bad.parent.mkdir(parents=True)
+        bad.write_bytes(garbage)
+        stats = cache.stats()
+        assert stats.unreadable_entries == 1
+        assert stats.unreadable_bytes == len(garbage)
+        # total includes the dead weight; the workload map never does
+        assert stats.total_bytes == \
+            stats.unreadable_bytes + sum(b for _, b in
+                                         stats.workloads.values())
+        assert set(stats.workloads) == {"swim"}
+
+    def test_unreadable_bucket_in_format(self, tmp_path):
+        cache = populated_cache(tmp_path, benchmarks=("swim",))
+        bad = cache.cache_dir / "zz" / ("0" * 64 + ".pkl")
+        bad.parent.mkdir(parents=True)
+        bad.write_bytes(b"x" * 2048)
+        report = cache.stats().format()
+        assert "unreadable (corrupt/foreign/outdated schema)" in report
+        assert "2.0 KiB" in report
+        assert "dead weight" in report
+
+    def test_outdated_schema_entry_lands_in_unreadable_bucket(self,
+                                                              tmp_path):
+        """A structurally valid pickle from an older schema version can
+        never be served again: it is dead weight, same as corruption."""
+        cache = populated_cache(tmp_path, benchmarks=("swim",))
+        stale = cache.cache_dir / "ff" / ("f" * 64 + ".pkl")
+        stale.parent.mkdir(parents=True)
+        stale.write_bytes(pickle.dumps({"schema": 1, "stats": None,
+                                        "point": ("swim", "conv", 48)}))
+        stats = cache.stats()
+        assert stats.unreadable_entries == 1
+        assert stats.unreadable_bytes == stale.stat().st_size
+
+    def test_clean_cache_format_has_no_unreadable_line(self, tmp_path):
+        cache = populated_cache(tmp_path, benchmarks=("swim",))
+        assert "unreadable" not in cache.stats().format()
+
     def test_empty_cache(self, tmp_path):
         stats = SweepCache(tmp_path / "missing").stats()
         assert stats.total_entries == 0

@@ -1,0 +1,173 @@
+"""End-to-end tests over the real HTTP transport.
+
+A :class:`BackgroundServer` on a loopback socket, driven by the stdlib
+:class:`ServeClient` — the same path CI's smoke job and the load
+harness use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis.backends import resolve_backend, wrap_envelope
+from repro.analysis.cache import SweepCache
+from repro.analysis.sweep import SweepConfig, run_sweep
+from repro.serve import BackgroundServer, ServeClient
+
+TINY = {"benchmark": "gcc", "policy": "conv", "num_registers": 48,
+        "trace_length": 300, "seed": 1}
+
+
+@pytest.fixture(scope="module")
+def server():
+    import tempfile
+
+    with BackgroundServer(cache=SweepCache(tempfile.mkdtemp())) as server:
+        yield server
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(server.url)
+
+
+class TestRoutes:
+    def test_healthz(self, client):
+        response = client.healthz()
+        assert response.ok
+        assert response.json()["status"] == "ok"
+        assert response.json()["cache_backend"] == "local"
+
+    def test_unknown_route_is_404_json(self, client):
+        response = client._request("GET", "/nope")
+        assert response.status == 404
+        assert "no such route" in response.json()["error"]
+
+    def test_wrong_method_is_405(self, client):
+        response = client._request("GET", "/v1/sweep-point")
+        assert response.status == 405
+
+    def test_invalid_json_body_is_400(self, client):
+        response = client._request("POST", "/v1/sweep-point", b"not json{")
+        assert response.status == 400
+        assert "invalid JSON" in response.json()["error"]
+
+    def test_empty_body_is_400(self, client):
+        response = client._request("POST", "/v1/sweep-point", b"")
+        assert response.status == 400
+
+
+class TestSweepPointOverHTTP:
+    def test_concurrent_duplicates_share_bytes(self, client):
+        results = [None] * 6
+
+        def hit(index):
+            results[index] = client.sweep_point_raw(dict(TINY))
+
+        threads = [threading.Thread(target=hit, args=(index,))
+                   for index in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(response.ok for response in results)
+        assert len({response.body for response in results}) == 1
+        origins = [response.served_from for response in results]
+        assert origins.count("computed") <= 1
+        assert set(origins) <= {"computed", "joined", "cache"}
+
+    def test_metrics_reflect_the_traffic(self, client):
+        client.sweep_point_raw(dict(TINY))
+        metrics = client.metrics()
+        assert metrics["counters"]["sweep_computations"] == 1
+        assert metrics["in_flight"] == 0
+        assert "POST /v1/sweep-point" in metrics["latency"]
+        summary = metrics["latency"]["POST /v1/sweep-point"]
+        assert summary["p50_ms"] <= summary["p99_ms"] <= summary["max_ms"]
+
+    def test_stats_are_stable_across_requests(self, client):
+        first = client.sweep_point_raw(dict(TINY)).json()
+        second = client.sweep_point_raw(dict(TINY)).json()
+        assert first["stats"] == second["stats"]
+
+    def test_error_is_json_not_dropped_connection(self, client):
+        response = client.sweep_point_raw(dict(TINY, num_registers=8))
+        assert response.status == 400
+        assert "error" in response.json()
+
+    def test_distinct_points_are_distinct_results(self, client):
+        conv = client.sweep_point_raw(dict(TINY)).json()
+        extended = client.sweep_point_raw(
+            dict(TINY, policy="extended")).json()
+        assert conv["key"] != extended["key"]
+
+
+class TestCacheProtocolOverHTTP:
+    def test_round_trip_with_envelope(self, client):
+        key = "cd" * 32
+        envelope = wrap_envelope(key, b"remote entry")
+        assert client.cache_put(key, envelope).status == 204
+        fetched = client.cache_get(key)
+        assert fetched.status == 200
+        assert fetched.body == envelope
+
+    def test_corrupt_upload_rejected(self, client):
+        key = "ef" * 32
+        assert client.cache_put(key, b"garbage").status == 400
+        assert client.cache_get(key).status == 404
+
+
+class TestSweepAgainstLiveServer:
+    """The distributed story end-to-end: a sweep with a tiered backend
+    shares results through a live server."""
+
+    def test_tiered_sweep_shares_results(self, server, tmp_path):
+        config = SweepConfig(benchmarks=("gcc",), policies=("basic",),
+                             register_sizes=(48,), trace_length=300, seed=7)
+        first = SweepCache(backend=resolve_backend(
+            server.url, cache_dir=tmp_path / "node1"))
+        result = run_sweep(config, parallel=False, cache=first)
+        assert result.cache_degradation_reason is None
+        assert first.stores == 1
+
+        second = SweepCache(backend=resolve_backend(
+            server.url, cache_dir=tmp_path / "node2"))
+        rerun = run_sweep(config, parallel=False, cache=second)
+        assert second.hits == 1                    # served via the remote
+        assert second.backend.remote.remote_hits == 1
+        point = config.points()[0]
+        assert result.stats(point.benchmark, point.policy,
+                            point.num_registers) == \
+            rerun.stats(point.benchmark, point.policy, point.num_registers)
+
+    def test_server_outage_degrades_to_local(self, tmp_path):
+        config = SweepConfig(benchmarks=("gcc",), policies=("conv",),
+                             register_sizes=(48,), trace_length=300, seed=9)
+        backend = resolve_backend("http://127.0.0.1:9",
+                                  cache_dir=tmp_path, retries=0)
+        cache = SweepCache(backend=backend)
+        result = run_sweep(config, parallel=False, cache=cache)
+        assert result.cache_degradation_reason is not None
+        assert "local-only" in result.cache_degradation_reason
+        point = config.points()[0]
+        assert result.stats(point.benchmark, point.policy,
+                            point.num_registers).committed_instructions > 0
+
+
+class TestBackgroundServerLifecycle:
+    def test_start_stop_leaves_no_threads(self, tmp_path):
+        before = {thread.name for thread in threading.enumerate()}
+        server = BackgroundServer(cache=SweepCache(tmp_path))
+        server.start()
+        assert ServeClient(server.url).healthz().ok
+        server.stop()
+        after = {thread.name for thread in threading.enumerate()}
+        assert "repro-serve" not in after - before
+
+    def test_double_start_is_an_error(self, tmp_path):
+        with BackgroundServer(cache=SweepCache(tmp_path)) as server:
+            with pytest.raises(RuntimeError):
+                server.start()

@@ -182,6 +182,102 @@ class TestSweepPointGate:
         assert "python-engine sweep-point" in messages[0]
 
 
+def serve_section(requests_per_s=100.0, hit_rate=0.85, errors=0,
+                  degradation=None):
+    """A serve probe section with the CI probe's shape parameters."""
+    return {
+        "clients": 6, "requests": 90, "answered": 90, "pool_size": 12,
+        "zipf_skew": 1.1, "trace_length": 1000, "seed": 9,
+        "requests_per_s": requests_per_s,
+        "p50_ms": 20.0, "p99_ms": 200.0,
+        "hit_rate": hit_rate,
+        "errors": errors,
+        "cache_degradation_reason": degradation,
+    }
+
+
+class TestServeGate:
+    def test_equal_serve_sections_pass(self):
+        baseline, current = snapshot(), snapshot()
+        baseline["serve"] = serve_section()
+        current["serve"] = serve_section()
+        assert bench.compare_against_baseline(current, baseline, 1.4) == []
+
+    def test_throughput_regression_fails(self):
+        baseline, current = snapshot(), snapshot()
+        baseline["serve"] = serve_section(requests_per_s=100.0)
+        current["serve"] = serve_section(requests_per_s=40.0)  # 2.5x slower
+        messages = bench.compare_against_baseline(current, baseline, 1.4)
+        assert len(messages) == 1
+        assert "serve probe requests/s" in messages[0]
+
+    def test_hit_rate_regression_fails(self):
+        """A collapsed hit rate means the cache or single-flight layer
+        stopped absorbing load — a functional regression even if raw
+        throughput survived on a fast machine."""
+        baseline, current = snapshot(), snapshot()
+        baseline["serve"] = serve_section(hit_rate=0.85)
+        current["serve"] = serve_section(hit_rate=0.30)
+        messages = bench.compare_against_baseline(current, baseline, 1.4)
+        assert len(messages) == 1
+        assert "hit rate" in messages[0]
+
+    def test_degraded_run_is_excluded(self):
+        """A probe whose store ran degraded measured an outage, not the
+        service: it must be excluded from the gate, like a fallen-back
+        compiled probe."""
+        baseline, current = snapshot(), snapshot()
+        baseline["serve"] = serve_section()
+        current["serve"] = serve_section(
+            requests_per_s=1.0,
+            degradation="remote cache http://x unreachable; local-only")
+        assert bench.compare_against_baseline(current, baseline, 1.4) == []
+
+    def test_degraded_baseline_is_excluded_too(self):
+        baseline, current = snapshot(), snapshot()
+        baseline["serve"] = serve_section(
+            requests_per_s=1000.0,
+            degradation="remote cache http://x unreachable; local-only")
+        current["serve"] = serve_section(requests_per_s=10.0)
+        assert bench.compare_against_baseline(current, baseline, 1.4) == []
+
+    def test_error_laden_run_is_excluded(self):
+        baseline, current = snapshot(), snapshot()
+        baseline["serve"] = serve_section()
+        current["serve"] = serve_section(requests_per_s=1.0, errors=3)
+        assert bench.compare_against_baseline(current, baseline, 1.4) == []
+
+    def test_shape_mismatch_is_excluded(self):
+        """A probe whose offered load changed (more clients, different
+        pool) measures a different workload — not comparable."""
+        baseline, current = snapshot(), snapshot()
+        baseline["serve"] = serve_section()
+        current["serve"] = serve_section(requests_per_s=1.0)
+        current["serve"]["clients"] = 32
+        assert bench.compare_against_baseline(current, baseline, 1.4) == []
+
+    def test_missing_serve_baseline_is_skipped(self):
+        # Pre-PR-9 snapshots have no serve section: the gate only arms
+        # once a snapshot recording it is committed.
+        current = snapshot()
+        current["serve"] = serve_section(requests_per_s=1.0, hit_rate=0.0)
+        assert bench.compare_against_baseline(current, snapshot(), 1.4) == []
+
+    def test_faster_and_hotter_is_never_a_regression(self):
+        baseline, current = snapshot(), snapshot()
+        baseline["serve"] = serve_section()
+        current["serve"] = serve_section(requests_per_s=10_000.0,
+                                         hit_rate=0.99)
+        assert bench.compare_against_baseline(current, baseline, 1.4) == []
+
+    def test_gateable_predicate(self):
+        assert bench.serve_probe_gateable(serve_section())
+        assert not bench.serve_probe_gateable(serve_section(errors=1))
+        assert not bench.serve_probe_gateable(
+            serve_section(degradation="outage"))
+        assert not bench.serve_probe_gateable({})
+
+
 class TestSnapshotDiscovery:
     def test_picks_newest_by_date(self, tmp_path):
         (tmp_path / "BENCH_20260101_pr1.json").write_text("{}")
@@ -232,6 +328,20 @@ class TestSnapshotDiscovery:
         assert compiled.get("points")
         assert bench.probe_backend_label(compiled) == "compiled"
         assert compiled.get("export_cache_hits", 0) > 0
+
+    def test_repo_baseline_arms_the_serve_gate(self):
+        """The newest committed snapshot records a clean serve probe
+        (no errors, no degradation, same shape as the CI probe), so the
+        serve throughput + hit-rate gate is armed."""
+        import json
+        newest = bench.find_latest_snapshot(REPO_ROOT)
+        payload = json.loads(newest.read_text())
+        serve = payload.get("serve", {})
+        assert bench.serve_probe_gateable(serve)
+        assert serve.get("requests_per_s", 0) > 0
+        assert serve.get("hit_rate", 0) > 0
+        for field, value in bench.SERVE_PROBE_SETTINGS.items():
+            assert serve.get(field) == value
 
 
 class TestProbeBackendLabel:
