@@ -398,7 +398,7 @@ def collect_generation_throughput(trace_length: int = 30_000) -> dict:
             "speedup": round(best[False] / best[True], 3),
         })
     scenario_points = [p for p in points if p["scenario"]]
-    aggregate = {
+    return {
         "trace_length": trace_length,
         "points": points,
         "scenario_vector_inst_per_s": round(
@@ -411,7 +411,6 @@ def collect_generation_throughput(trace_length: int = 30_000) -> dict:
             / sum(p["instructions"] / p["vector_inst_per_s"]
                   for p in scenario_points), 3),
     }
-    return aggregate
 
 
 def format_generation_summary(generation: dict) -> str:

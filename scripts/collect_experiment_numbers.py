@@ -30,8 +30,8 @@ def main() -> int:
         "lus_energy_pj": fig9.energy_pj["LUsT"][0],
         "delay_margin_vs_smallest_int": fig9.lus_delay_margin_vs_smallest_int(),
         "energy_fraction_of_smallest_int": fig9.lus_energy_fraction_of_smallest_int(),
-        "int_access_time_ns": dict(zip(fig9.sizes, fig9.access_time_ns["INT"])),
-        "fp_access_time_ns": dict(zip(fig9.sizes, fig9.access_time_ns["FP"])),
+        "int_access_time_ns": dict(zip(fig9.sizes, fig9.access_time_ns["INT"], strict=True)),
+        "fp_access_time_ns": dict(zip(fig9.sizes, fig9.access_time_ns["FP"], strict=True)),
     }
     sec44 = section44.run()
     data["section44"] = {

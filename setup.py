@@ -1,12 +1,29 @@
 """Setup shim.
 
-The canonical project metadata lives in ``pyproject.toml``; this file only
-exists so the package can be installed in environments without the
-``wheel`` package (offline machines), via::
+The canonical project metadata lives in ``pyproject.toml``; this file
+declares just enough (package layout + console scripts) for the package
+to be installed in environments without the ``wheel`` package (offline
+machines), via::
 
     pip install -e . --no-use-pep517 --no-build-isolation
+
+CI never installs the package — every job runs with ``PYTHONPATH=src``
+and the module entry points (``python -m repro.experiments.runner``,
+``python -m repro.serve``, ``python -m repro.checks``), which behave
+identically to the console scripts declared here.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-early-register-release",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.runner:main",
+            "repro-serve=repro.serve.cli:serve_main",
+            "repro-lint=repro.checks.cli:main",
+        ],
+    },
+)

@@ -122,7 +122,7 @@ class CacheBackend:
 
     def degradation_reason(self) -> Optional[str]:
         """Why the backend is running in a degraded mode, or None."""
-        return None
+        return
 
     @property
     def local_dir(self) -> Optional[Path]:
@@ -132,7 +132,7 @@ class CacheBackend:
         directory; purely remote backends return None and the cache layer
         refuses maintenance with a clear error.
         """
-        return None
+        return
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"

@@ -450,7 +450,7 @@ class SweepCache:
             total += size
         entries.sort(key=lambda entry: entry[0])
         report = SizePruneReport(bytes_remaining=total)
-        for created, path, size, workload in entries:
+        for _created, path, size, workload in entries:
             if total <= budget:
                 break
             try:

@@ -68,7 +68,7 @@ def iso_ipc_register_requirement(sizes: Sequence[int], ipcs: Sequence[float],
     ipcs_arr = np.asarray(ipcs, dtype=float)[order]
     # IPC is (essentially) monotone in the register count; walk until the
     # target is reached.
-    for index, (size, ipc) in enumerate(zip(sizes_arr, ipcs_arr)):
+    for index, (size, ipc) in enumerate(zip(sizes_arr, ipcs_arr, strict=True)):
         if ipc >= target_ipc:
             if index == 0:
                 return float(size)

@@ -35,7 +35,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
             widths[index] = max(widths[index], len(cell))
 
     def format_row(cells: Sequence[str]) -> str:
-        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths, strict=True))
 
     lines: List[str] = []
     if title:

@@ -1,0 +1,6 @@
+"""``python -m repro.checks`` — same driver as the ``repro-lint`` script."""
+
+from repro.checks.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

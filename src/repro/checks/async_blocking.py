@@ -1,0 +1,132 @@
+"""Rule ``async-blocking``: no synchronous blocking calls inside
+``async def`` bodies under ``serve/``.
+
+The sweep service runs a single asyncio event loop; one blocking call in
+a coroutine stalls *every* in-flight request, which defeats the
+single-flight design (requests that should coalesce instead pile up
+behind the stalled handler).  Blocking work is fine — it just has to be
+pushed through ``asyncio.to_thread`` / ``loop.run_in_executor`` the way
+``serve/service.py`` pushes simulation runs.
+
+Flagged inside coroutine bodies (nested ``def``/``async def`` are
+excluded — an inner sync function is usually exactly the thing handed to
+an executor):
+
+* ``time.sleep`` (use ``asyncio.sleep``),
+* ``subprocess.*`` and ``os.system`` / ``os.popen`` / ``os.wait*``,
+* synchronous HTTP/socket work: ``urllib.request.*``, ``requests.*``,
+  ``http.client.*``, ``socket.create_connection``,
+* file I/O: builtin ``open`` and ``Path.read_text`` /
+  ``Path.write_text`` / ``read_bytes`` / ``write_bytes`` method calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.checks.base import (Checker, Finding, Project, import_aliases,
+                               qualified_name, register)
+
+#: Only the service layer runs an event loop.
+ASYNC_DIRS = ("serve",)
+
+#: Dotted names (after import resolution) that block the loop outright.
+_BLOCKING_CALLS = {
+    "time.sleep": "use asyncio.sleep instead",
+    "os.system": "run it via asyncio.to_thread or an executor",
+    "os.popen": "run it via asyncio.to_thread or an executor",
+    "os.wait": "run it via asyncio.to_thread or an executor",
+    "os.waitpid": "run it via asyncio.to_thread or an executor",
+    "socket.create_connection": "use asyncio.open_connection instead",
+    "open": "wrap the file access in asyncio.to_thread",
+}
+
+#: Any call resolving under these module prefixes blocks.
+_BLOCKING_PREFIXES = {
+    "subprocess": "use asyncio.create_subprocess_exec instead",
+    "urllib.request": "wrap the request in asyncio.to_thread",
+    "requests": "wrap the request in asyncio.to_thread",
+    "http.client": "wrap the request in asyncio.to_thread",
+}
+
+#: Method names that are file I/O no matter the receiver (Path API).
+_BLOCKING_METHODS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+
+def _blocking_reason(name: Optional[str]) -> Optional[str]:
+    if name is None:
+        return None
+    if name in _BLOCKING_CALLS:
+        return _BLOCKING_CALLS[name]
+    for prefix, reason in _BLOCKING_PREFIXES.items():
+        if name == prefix or name.startswith(prefix + "."):
+            return reason
+    return None
+
+
+class _CoroutineVisitor(ast.NodeVisitor):
+    """Collects blocking calls that execute *on* the event loop.
+
+    Nested function definitions (sync or async) inside a coroutine body
+    do not run when the coroutine runs, so recursion stops there; nested
+    coroutines are visited independently via the module walk.
+    """
+
+    def __init__(self, checker: "AsyncBlockingChecker", project: Project,
+                 path, aliases) -> None:
+        self.checker = checker
+        self.project = project
+        self.path = path
+        self.aliases = aliases
+        self.findings: List[Finding] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        del node  # nested sync def: runs off-loop (typically in an executor)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        del node  # nested coroutine: visited via its own module-walk entry
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = qualified_name(node.func, self.aliases)
+        reason = _blocking_reason(name)
+        if reason is not None:
+            self.findings.append(self.checker.finding(
+                self.project, self.path, node.lineno,
+                f"blocking call {name}(...) inside an async handler stalls "
+                f"the event loop; {reason}"))
+        elif isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _BLOCKING_METHODS:
+            self.findings.append(self.checker.finding(
+                self.project, self.path, node.lineno,
+                f"blocking file I/O .{node.func.attr}(...) inside an async "
+                f"handler stalls the event loop; wrap it in "
+                f"asyncio.to_thread"))
+        self.generic_visit(node)
+
+
+@register
+class AsyncBlockingChecker(Checker):
+    rule = "async-blocking"
+    description = ("synchronous blocking calls (sleep, subprocess, sync "
+                   "HTTP, file I/O) inside async handlers under serve/")
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for path in project.python_files(*ASYNC_DIRS):
+            tree, error = project.ast_for(path)
+            if tree is None:
+                findings.append(self.finding(
+                    project, path, 0, f"cannot analyse file: {error}"))
+                continue
+            aliases = import_aliases(tree)
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.AsyncFunctionDef):
+                    continue
+                visitor = _CoroutineVisitor(self, project, path, aliases)
+                for stmt in node.body:
+                    visitor.visit(stmt)
+                findings.extend(visitor.findings)
+        return findings

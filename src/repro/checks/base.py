@@ -1,0 +1,417 @@
+"""Framework core of ``repro-lint``: findings, project model, registry.
+
+A :class:`Checker` analyses a :class:`Project` (a repository root) and
+yields :class:`Finding` objects.  The driver (:func:`run_checks`) then
+applies two suppression layers before anything is reported:
+
+* **in-source suppressions** — ``# repro-lint: disable=<rule> -- reason``
+  comments.  A trailing comment (code before the ``#``) suppresses
+  findings of that rule on that line only; a comment on a line of its
+  own suppresses the rule for the whole file.  The ``-- reason`` part is
+  mandatory: a suppression without one does not suppress and is itself
+  reported (rule ``bad-suppression``), so every silenced finding carries
+  its justification next to the code it silences.
+* **the committed baseline** — grandfathered findings recorded in
+  ``lint-baseline.json`` with a one-line justification each.  Baselined
+  findings don't fail the run; baseline entries that no longer match
+  anything are reported as *stale* so the file shrinks over time.
+
+Finding identity (the baseline fingerprint) is ``(rule, path, message)``
+— deliberately **not** the line number, so unrelated edits above a
+grandfathered finding never invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Finding", "Project", "Checker", "CHECKERS", "register",
+           "Baseline", "LintResult", "run_checks", "find_project_root"]
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one place in the tree."""
+
+    rule: str
+    #: repository-relative POSIX path
+    path: str
+    #: 1-based line number (0 for whole-file findings)
+    line: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline (line-number free)."""
+        payload = f"{self.rule}\x00{self.path}\x00{self.message}".encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message, "fingerprint": self.fingerprint}
+
+
+# ----------------------------------------------------------------------
+# Project model
+# ----------------------------------------------------------------------
+def find_project_root(start: Optional[Path] = None) -> Path:
+    """Locate the repository root (the directory holding ``src/repro``).
+
+    Searches upward from ``start`` (default: the current directory);
+    falls back to the root this installed package lives under, so the
+    console script works from anywhere inside a checkout.
+    """
+    candidates = []
+    base = (start or Path.cwd()).resolve()
+    candidates.extend([base, *base.parents])
+    package_root = Path(__file__).resolve().parents[3]
+    candidates.append(package_root)
+    for candidate in candidates:
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    raise FileNotFoundError(
+        f"cannot find a repository root (a directory containing src/repro) "
+        f"above {base} or at {package_root}")
+
+
+class Project:
+    """A checked-out repository, with cached file reads and ASTs."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root).resolve()
+        self.package = self.root / "src" / "repro"
+        self._text: Dict[Path, Optional[str]] = {}
+        self._trees: Dict[Path, Tuple[Optional[ast.AST], Optional[str]]] = {}
+
+    def rel(self, path: Path) -> str:
+        """Repository-relative POSIX path (finding identity)."""
+        return path.resolve().relative_to(self.root).as_posix()
+
+    def read_text(self, path: Path) -> Optional[str]:
+        """File contents, or None if unreadable (cached)."""
+        path = Path(path)
+        if path not in self._text:
+            try:
+                self._text[path] = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                self._text[path] = None
+        return self._text[path]
+
+    def ast_for(self, path: Path) -> Tuple[Optional[ast.AST], Optional[str]]:
+        """``(tree, error)`` for one Python file (cached).
+
+        ``tree`` is None when the file is unreadable or does not parse;
+        ``error`` then carries the reason.
+        """
+        path = Path(path)
+        if path not in self._trees:
+            text = self.read_text(path)
+            if text is None:
+                self._trees[path] = (None, "unreadable file")
+            else:
+                try:
+                    self._trees[path] = (ast.parse(text), None)
+                except SyntaxError as exc:
+                    self._trees[path] = (None, f"syntax error: {exc}")
+        return self._trees[path]
+
+    def python_files(self, *subdirs: str) -> List[Path]:
+        """Sorted ``*.py`` files under ``src/repro/<subdir>`` for each
+        ``subdir`` ("" = the whole package)."""
+        out: List[Path] = []
+        roots = [self.package / sub if sub else self.package
+                 for sub in (subdirs or ("",))]
+        for directory in roots:
+            if not directory.is_dir():
+                continue
+            out.extend(path for path in directory.rglob("*.py")
+                       if "__pycache__" not in path.parts)
+        return sorted(set(out))
+
+
+# ----------------------------------------------------------------------
+# Checker registry
+# ----------------------------------------------------------------------
+class Checker:
+    """Base class: subclass, set ``rule``/``description``, implement
+    :meth:`run`, and decorate with :func:`register`."""
+
+    #: short kebab-case rule id (used in suppressions and the baseline)
+    rule: str = ""
+    #: one-line description for ``repro-lint --list-rules``
+    description: str = ""
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, project: Project, path: Path, line: int,
+                message: str) -> Finding:
+        return Finding(rule=self.rule, path=project.rel(path), line=line,
+                       message=message)
+
+
+CHECKERS: Dict[str, Checker] = {}
+
+
+def register(cls):
+    """Class decorator adding one checker instance to the registry."""
+    instance = cls()
+    if not instance.rule:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if instance.rule in CHECKERS:
+        raise ValueError(f"duplicate checker rule {instance.rule!r}")
+    CHECKERS[instance.rule] = instance
+    return cls
+
+
+# ----------------------------------------------------------------------
+# In-source suppressions
+# ----------------------------------------------------------------------
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,-]+)(?:\s+--\s*(\S.*))?")
+
+
+@dataclasses.dataclass
+class _FileSuppressions:
+    #: rule -> reason, for whole-file suppressions
+    file_level: Dict[str, str] = dataclasses.field(default_factory=dict)
+    #: line -> {rule: reason}
+    line_level: Dict[int, Dict[str, str]] = dataclasses.field(default_factory=dict)
+    #: malformed suppression comments (missing reason / unknown rule)
+    bad: List[Finding] = dataclasses.field(default_factory=list)
+
+
+def _parse_suppressions(rel_path: str, text: str,
+                        known_rules: Sequence[str]) -> _FileSuppressions:
+    out = _FileSuppressions()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = [rule.strip() for rule in match.group(1).split(",") if rule.strip()]
+        reason = match.group(2)
+        if reason is None or not reason.strip():
+            out.bad.append(Finding(
+                rule="bad-suppression", path=rel_path, line=lineno,
+                message=f"suppression of {', '.join(rules)} carries no "
+                        f"'-- reason'; it is ignored until one is given"))
+            continue
+        unknown = [rule for rule in rules if rule not in known_rules]
+        if unknown:
+            out.bad.append(Finding(
+                rule="bad-suppression", path=rel_path, line=lineno,
+                message=f"suppression names unknown rule(s) "
+                        f"{', '.join(unknown)} (known: "
+                        f"{', '.join(sorted(known_rules))})"))
+        valid = [rule for rule in rules if rule in known_rules]
+        whole_file = line.split("#", 1)[0].strip() == ""
+        for rule in valid:
+            if whole_file:
+                out.file_level[rule] = reason.strip()
+            else:
+                out.line_level.setdefault(lineno, {})[rule] = reason.strip()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclasses.dataclass
+class Baseline:
+    """The committed list of grandfathered findings."""
+
+    #: fingerprint -> entry dict (rule/path/message/justification)
+    entries: Dict[str, dict] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            raise ValueError(f"baseline {path} must be a version-1 document")
+        entries = {}
+        for entry in payload.get("entries", []):
+            fingerprint = entry.get("fingerprint")
+            if not isinstance(fingerprint, str):
+                raise ValueError(f"baseline {path}: entry without fingerprint")
+            entries[fingerprint] = entry
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      justifications: Optional[Dict[str, str]] = None,
+                      ) -> "Baseline":
+        entries = {}
+        justifications = justifications or {}
+        for finding in findings:
+            entries[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+                "justification": justifications.get(
+                    finding.fingerprint, "TODO: justify this entry"),
+            }
+        return cls(entries=entries)
+
+    def dump(self, path: Path) -> None:
+        ordered = sorted(self.entries.values(),
+                         key=lambda e: (e.get("path", ""), e.get("rule", ""),
+                                        e.get("message", "")))
+        payload = {"version": 1, "entries": ordered}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class LintResult:
+    """Everything one lint run produced, pre-partitioned for reporting."""
+
+    #: findings that fail the run (not suppressed, not baselined)
+    findings: List[Finding] = dataclasses.field(default_factory=list)
+    #: findings silenced by an in-source suppression, with its reason
+    suppressed: List[Tuple[Finding, str]] = dataclasses.field(default_factory=list)
+    #: findings matched by the committed baseline
+    baselined: List[Finding] = dataclasses.field(default_factory=list)
+    #: baseline fingerprints that matched nothing this run
+    stale_baseline: List[dict] = dataclasses.field(default_factory=list)
+    #: rules that actually ran
+    rules: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "clean": self.clean,
+            "rules": self.rules,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [dict(f.to_dict(), reason=reason)
+                           for f, reason in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": self.stale_baseline,
+        }
+
+
+def run_checks(project: Project, rules: Optional[Sequence[str]] = None,
+               baseline: Optional[Baseline] = None) -> LintResult:
+    """Run the selected checkers over ``project`` and partition the
+    findings through suppressions and the baseline."""
+    selected = sorted(CHECKERS) if rules is None else list(rules)
+    unknown = [rule for rule in selected if rule not in CHECKERS]
+    if unknown:
+        raise ValueError(f"unknown rule(s): {', '.join(unknown)} "
+                         f"(known: {', '.join(sorted(CHECKERS))})")
+    raw: List[Finding] = []
+    for rule in selected:
+        raw.extend(CHECKERS[rule].run(project))
+
+    known_rules = sorted(CHECKERS)
+    suppressions: Dict[str, _FileSuppressions] = {}
+
+    def suppressions_for(rel_path: str) -> _FileSuppressions:
+        if rel_path not in suppressions:
+            text = project.read_text(project.root / rel_path)
+            suppressions[rel_path] = (
+                _parse_suppressions(rel_path, text, known_rules)
+                if text is not None and rel_path.endswith(".py")
+                else _FileSuppressions())
+        return suppressions[rel_path]
+
+    result = LintResult(rules=selected)
+    baseline = baseline or Baseline()
+    matched_fingerprints = set()
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
+        per_file = suppressions_for(finding.path)
+        reason = per_file.line_level.get(finding.line, {}).get(finding.rule)
+        if reason is None:
+            reason = per_file.file_level.get(finding.rule)
+        if reason is not None:
+            result.suppressed.append((finding, reason))
+            continue
+        if finding.fingerprint in baseline.entries:
+            matched_fingerprints.add(finding.fingerprint)
+            result.baselined.append(finding)
+            continue
+        result.findings.append(finding)
+
+    # Malformed suppression comments are findings in their own right —
+    # scan every package file, not only those with findings, so a
+    # reason-less or unknown-rule suppression can never hide silently.
+    visited = {f.path for f in raw}
+    visited.update(project.rel(path) for path in project.python_files())
+    for rel_path in sorted(visited):
+        result.findings.extend(suppressions_for(rel_path).bad)
+
+    result.stale_baseline = [
+        entry for fingerprint, entry in sorted(baseline.entries.items())
+        if fingerprint not in matched_fingerprints]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers (used by several checkers)
+# ----------------------------------------------------------------------
+def import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the dotted module/attribute they refer to.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy import random as rnd`` -> ``{"rnd": "numpy.random"}``;
+    ``from time import time`` -> ``{"time": "time.time"}``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return aliases
+
+
+def qualified_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve a Name/Attribute chain to a dotted name, through imports.
+
+    Returns None for anything that isn't a plain ``a.b.c`` chain rooted
+    at a known import (or at a bare name, returned as itself).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))

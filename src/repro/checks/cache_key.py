@@ -1,0 +1,204 @@
+"""Rule ``cache-key``: every config knob the engine reads must be covered
+by the sweep-cache key derivation.
+
+A cached sweep point is only valid if its key captures **everything**
+the simulation depends on.  The key derivation
+(``analysis/cache.py::point_key``) covers the full ``ProcessorConfig``
+via ``config_digest`` — which canonicalises *every dataclass field* with
+``dataclasses.fields`` — plus the workload content digest, trace length,
+seed, code digest and requested engine backend.
+
+Two things can silently break that completeness:
+
+1. engine code starts reading a configuration attribute that is **not a
+   declared ProcessorConfig field** (a typo, a monkey-patched extra, a
+   ``getattr`` side-channel) — its value influences the simulation but
+   never the key, so a change to it serves stale hits;
+2. the key derivation itself loses one of its ingredients (someone
+   "simplifies" ``point_key`` or replaces the all-fields
+   ``config_digest`` with a hand-maintained list).
+
+This checker guards both directions: it cross-checks every
+``config.<attr>`` / ``cfg.<attr>`` / ``state.config.<attr>`` read under
+``engine/`` and ``core/`` against the fields, properties and methods
+declared on ``ProcessorConfig``, and it verifies the required
+ingredients are still present in ``point_key`` / ``config_digest`` /
+``_canonical``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.checks.base import Checker, Finding, Project, register
+
+CONFIG_PY = Path("src/repro/pipeline/config.py")
+CACHE_PY = Path("src/repro/analysis/cache.py")
+
+#: Directories whose ProcessorConfig reads must be key-covered.
+ENGINE_DIRS = ("engine", "core")
+
+#: Bare variable names treated as a ProcessorConfig receiver.
+_CONFIG_NAMES = frozenset({"config", "cfg", "proc_config", "processor_config"})
+
+#: ``<name>.config.<attr>`` receivers treated as a ProcessorConfig.
+_CONFIG_HOLDERS = frozenset({"self", "state", "machine_state"})
+
+#: Ingredients ``point_key`` must keep folding into every key.
+_POINT_KEY_INGREDIENTS = ("config_digest", "workload_digest", "code_digest",
+                          "requested_backend", "CACHE_SCHEMA_VERSION",
+                          "trace_length", "seed")
+
+
+# ----------------------------------------------------------------------
+def declared_config_surface(tree: ast.AST,
+                            ) -> Optional[Tuple[Set[str], Set[str]]]:
+    """``(fields, callables)`` of the ProcessorConfig class definition.
+
+    ``fields`` are the annotated dataclass fields (what the cache key
+    digests); ``callables`` are properties/methods — reads of those are
+    pure functions of the fields and therefore key-covered too.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "ProcessorConfig":
+            fields: Set[str] = set()
+            callables: Set[str] = set()
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and \
+                        isinstance(stmt.target, ast.Name):
+                    fields.add(stmt.target.id)
+                elif isinstance(stmt, ast.FunctionDef):
+                    callables.add(stmt.name)
+            return fields, callables
+    return None
+
+
+def config_attribute_reads(tree: ast.AST) -> Dict[str, List[int]]:
+    """All ``<config receiver>.<attr>`` reads in one module.
+
+    Only syntactically certain receivers are counted: a bare name from
+    :data:`_CONFIG_NAMES`, or ``<holder>.config`` with the holder in
+    :data:`_CONFIG_HOLDERS` — a ``cache.config`` (some other class's
+    config object) is deliberately not matched.
+    """
+    reads: Dict[str, List[int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        value = node.value
+        is_config = (isinstance(value, ast.Name)
+                     and value.id in _CONFIG_NAMES)
+        if not is_config and isinstance(value, ast.Attribute) and \
+                value.attr == "config" and \
+                isinstance(value.value, ast.Name) and \
+                value.value.id in _CONFIG_HOLDERS:
+            is_config = True
+        if is_config:
+            reads.setdefault(node.attr, []).append(node.lineno)
+    return reads
+
+
+def _function(tree: ast.AST, name: str) -> Optional[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _names_used(fn: ast.FunctionDef) -> Set[str]:
+    """Every bare name and attribute name referenced inside ``fn``."""
+    used: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            used.add(node.attr)
+    return used
+
+
+# ----------------------------------------------------------------------
+@register
+class CacheKeyChecker(Checker):
+    rule = "cache-key"
+    description = ("ProcessorConfig reads in engine/ and core/ that the "
+                   "sweep-cache key derivation would not cover")
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        config_tree, error = project.ast_for(project.root / CONFIG_PY)
+        if config_tree is None:
+            return [Finding(self.rule, CONFIG_PY.as_posix(), 0,
+                            f"cannot analyse file: {error}")]
+        surface = declared_config_surface(config_tree)
+        if surface is None:
+            return [Finding(self.rule, CONFIG_PY.as_posix(), 0,
+                            "config.py no longer defines ProcessorConfig")]
+        fields, callables = surface
+        covered = fields | callables
+
+        for path in project.python_files(*ENGINE_DIRS):
+            tree, error = project.ast_for(path)
+            if tree is None:
+                findings.append(self.finding(
+                    project, path, 0, f"cannot analyse file: {error}"))
+                continue
+            for attr, lines in sorted(config_attribute_reads(tree).items()):
+                if attr in covered or attr.startswith("__"):
+                    continue
+                findings.append(self.finding(
+                    project, path, lines[0],
+                    f"reads config.{attr}, which is not a declared "
+                    f"ProcessorConfig field/property — its value would "
+                    f"influence simulation without entering the sweep-cache "
+                    f"key (stale-hit risk); declare it on ProcessorConfig"))
+
+        findings.extend(self._check_key_derivation(project))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_key_derivation(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        tree, error = project.ast_for(project.root / CACHE_PY)
+        if tree is None:
+            return [Finding(self.rule, CACHE_PY.as_posix(), 0,
+                            f"cannot analyse file: {error}")]
+        rel = CACHE_PY.as_posix()
+
+        point_key = _function(tree, "point_key")
+        if point_key is None:
+            findings.append(Finding(
+                self.rule, rel, 0, "cache.py no longer defines point_key"))
+        else:
+            used = _names_used(point_key)
+            for ingredient in _POINT_KEY_INGREDIENTS:
+                if ingredient not in used:
+                    findings.append(Finding(
+                        self.rule, rel, point_key.lineno,
+                        f"point_key no longer folds {ingredient!r} into "
+                        f"the sweep-point key — entries keyed without it "
+                        f"can serve stale results"))
+
+        config_digest = _function(tree, "config_digest")
+        if config_digest is None:
+            findings.append(Finding(
+                self.rule, rel, 0,
+                "cache.py no longer defines config_digest"))
+        elif "_canonical" not in _names_used(config_digest):
+            findings.append(Finding(
+                self.rule, rel, config_digest.lineno,
+                "config_digest no longer canonicalises the full config "
+                "via _canonical — a partial digest cannot cover every "
+                "field"))
+
+        canonical = _function(tree, "_canonical")
+        if canonical is None:
+            findings.append(Finding(
+                self.rule, rel, 0, "cache.py no longer defines _canonical"))
+        elif "fields" not in _names_used(canonical):
+            findings.append(Finding(
+                self.rule, rel, canonical.lineno,
+                "_canonical no longer walks dataclasses.fields(...) — "
+                "hand-enumerated fields will drift from ProcessorConfig"))
+        return findings

@@ -1,0 +1,100 @@
+"""Rule ``except-swallow``: broad exception handlers must not discard
+the exception.
+
+``except Exception`` backstops are legitimate at subsystem boundaries —
+the sweep service converts simulation failures into structured HTTP 500
+bodies, the cache maintenance paths must not corrupt the store on a
+failed prune.  What is never legitimate is a broad handler that throws
+the exception *away*: a bare ``pass``/``return`` hides bit-identity
+violations, compile failures and cache corruption behind silently wrong
+behaviour.
+
+A handler catching ``Exception``, ``BaseException`` or everything
+(``except:``) passes this rule if its body does at least one of:
+
+* re-raise (``raise`` / ``raise X from exc``),
+* call a logging method (``log.warning(...)``, ``logger.exception(...)``,
+  ``logging.error(...)``, ``warnings.warn(...)``),
+* reference the bound exception name at all — attaching ``exc`` to a
+  structured response, an error field or a wrapped result counts as
+  handling it.
+
+Handlers for *specific* exception types (``except KeyError:``) are out
+of scope: naming the type is already a statement about what is being
+swallowed and why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.checks.base import Checker, Finding, Project, register
+
+#: Method / function names whose call counts as logging the failure.
+_LOG_METHODS = frozenset({
+    "debug", "info", "warning", "warn", "error", "exception", "critical",
+    "log", "print_exc", "format_exc",
+})
+
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _catches_broadly(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:  # bare except:
+        return True
+    types = node.elts if isinstance(node, ast.Tuple) else [node]
+    for t in types:
+        if isinstance(t, ast.Name) and t.id in _BROAD_TYPES:
+            return True
+        if isinstance(t, ast.Attribute) and t.attr in _BROAD_TYPES:
+            return True
+    return False
+
+
+def _handles_exception(handler: ast.ExceptHandler,
+                       bound_name: Optional[str]) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _LOG_METHODS:
+                return True
+            if isinstance(func, ast.Name) and func.id in _LOG_METHODS:
+                return True
+        if bound_name is not None and isinstance(node, ast.Name) and \
+                isinstance(node.ctx, ast.Load) and node.id == bound_name:
+            return True
+    return False
+
+
+@register
+class ExceptSwallowChecker(Checker):
+    rule = "except-swallow"
+    description = ("broad except handlers that neither re-raise, log, nor "
+                   "reference the caught exception")
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for path in project.python_files():
+            tree, error = project.ast_for(path)
+            if tree is None:
+                findings.append(self.finding(
+                    project, path, 0, f"cannot analyse file: {error}"))
+                continue
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not _catches_broadly(node):
+                    continue
+                if _handles_exception(node, node.name):
+                    continue
+                caught = "except:" if node.type is None else \
+                    f"except {ast.unparse(node.type)}:"
+                findings.append(self.finding(
+                    project, path, node.lineno,
+                    f"{caught} swallows the exception — re-raise it, log "
+                    f"it, or attach it to the returned/structured context"))
+        return findings

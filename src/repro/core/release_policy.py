@@ -191,7 +191,7 @@ class ReleasePolicy(abc.ABC):
     # ------------------------------------------------------------------
     def snapshot_state(self) -> Any:
         """Policy-private state to store in a branch checkpoint (None = nothing)."""
-        return None
+        return
 
     def restore_state(self, snapshot: Any) -> None:
         """Restore policy-private state from a branch checkpoint."""

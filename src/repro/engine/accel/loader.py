@@ -12,7 +12,9 @@ Build products are cached by content digest in
 ``$REPRO_ACCEL_CACHE`` (default ``~/.cache/repro/accel``); a source or
 compiler change produces a new file name, so stale binaries can never be
 loaded.  ``$REPRO_ACCEL_CC`` overrides the compiler invocation (the
-toolchain-failure tests point it at a nonexistent binary).
+toolchain-failure tests point it at a nonexistent binary) and
+``$REPRO_ACCEL_CFLAGS`` appends extra flags after the defaults (the
+sanitizer CI job builds with ``-O1 -fsanitize=address,undefined``).
 
 Every failure mode — missing cffi, missing/broken compiler, dlopen
 failure, ABI mismatch — raises :class:`ToolchainError`; the backend
@@ -48,6 +50,12 @@ CACHE_DIR_ENV = "REPRO_ACCEL_CACHE"
 #: Environment variable overriding the compiler command line (shlex-split;
 #: ``-O2 -shared -fPIC -o <out> <src>`` is appended).
 CC_ENV = "REPRO_ACCEL_CC"
+
+#: Environment variable appending extra compiler flags (shlex-split) after
+#: the defaults, so e.g. ``-O1 -fsanitize=address,undefined`` overrides
+#: ``-O2`` — the sanitizer CI job uses this.  Folded into the build
+#: digest: flipping the flags produces a different cached ``.so``.
+CFLAGS_ENV = "REPRO_ACCEL_CFLAGS"
 
 _DEFAULT_CC = "cc"
 _CC_FALLBACKS = ("cc", "gcc", "clang")
@@ -166,12 +174,18 @@ def _compiler_command() -> Tuple[str, ...]:
     return (_DEFAULT_CC,)
 
 
-def _compile(source_path: Path, out_path: Path, cc: Tuple[str, ...]) -> None:
+def _extra_cflags() -> Tuple[str, ...]:
+    """Extra compiler flags from ``$REPRO_ACCEL_CFLAGS`` (may be empty)."""
+    return tuple(shlex.split(os.environ.get(CFLAGS_ENV, "")))
+
+
+def _compile(source_path: Path, out_path: Path, cc: Tuple[str, ...],
+             extra_flags: Tuple[str, ...] = ()) -> None:
     """Compile ``core.c`` into ``out_path`` (atomic via tmp + rename)."""
     out_path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(dir=out_path.parent, suffix=".so.tmp")
     os.close(fd)
-    command = list(cc) + ["-O2", "-shared", "-fPIC",
+    command = list(cc) + ["-O2", "-shared", "-fPIC", *extra_flags,
                           "-o", tmp_name, str(source_path)]
     try:
         proc = subprocess.run(command, capture_output=True, text=True,
@@ -239,13 +253,15 @@ def _load_core_uncached() -> Tuple[object, object]:
         raise ToolchainError(f"cannot read {_SOURCE_PATH}: {exc}") from exc
 
     cc = _compiler_command()
+    extra_flags = _extra_cflags()
     digest = hashlib.sha256()
     digest.update(source.encode())
     digest.update(repr(cc).encode())
+    digest.update(repr(extra_flags).encode())
     digest.update(getattr(cffi, "__version__", "?").encode())
     so_path = build_cache_dir() / f"repro_core_{digest.hexdigest()[:16]}.so"
     if not so_path.exists():
-        _compile(_SOURCE_PATH, so_path, cc)
+        _compile(_SOURCE_PATH, so_path, cc, extra_flags)
 
     ffi = cffi.FFI()
     try:

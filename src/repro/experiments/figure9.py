@@ -33,7 +33,7 @@ class Figure9Result:
     def series(self, panel: str) -> Dict[str, List[Tuple[float, float]]]:
         """(size, value) series of one panel ("time" or "energy")."""
         data = self.access_time_ns if panel == "time" else self.energy_pj
-        return {name: list(zip(self.sizes, values)) for name, values in data.items()}
+        return {name: list(zip(self.sizes, values, strict=True)) for name, values in data.items()}
 
     def lus_delay_margin_vs_smallest_int(self) -> float:
         """Fractional delay advantage of the LUs Table over the smallest int file."""

@@ -51,6 +51,13 @@ The ``serve`` subcommand starts the HTTP sweep service (identical to the
 ``repro-serve`` console script — see ``docs/serving.md``)::
 
     repro-experiments serve --port 8713 --cache-dir /srv/repro-cache
+
+The ``lint`` subcommand runs the contract-checking static analysis
+(identical to the ``repro-lint`` console script — see
+``docs/static-analysis.md``)::
+
+    repro-experiments lint                    # all rules, text report
+    repro-experiments lint --format json --output lint-report.json
 """
 
 from __future__ import annotations
@@ -184,13 +191,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.serve.cli import serve_main
 
         return serve_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "lint":
+        from repro.checks.cli import main as lint_main
+
+        return lint_main(raw_argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of 'Hardware Schemes for "
                     "Early Register Release' (ICPP 2002).")
     parser.add_argument("experiments", nargs="+",
                         help="experiment names (%s), 'all', or the 'cache' / "
-                             "'fuzz' / 'serve' subcommands"
+                             "'fuzz' / 'serve' / 'lint' subcommands"
                              % ", ".join(sorted(EXPERIMENTS)))
     parser.add_argument("--trace-length", type=int, default=None,
                         help="dynamic instructions per benchmark simulation")

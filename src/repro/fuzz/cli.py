@@ -45,6 +45,7 @@ def _parse_oracles(value: Optional[str], parser: argparse.ArgumentParser):
         return resolve_oracle_names(names)
     except ValueError as exc:
         parser.error(str(exc))
+        return None  # pragma: no cover - parser.error raises SystemExit
 
 
 def _write_failures(report: FuzzReport, failure_dir: Path) -> List[Path]:
@@ -200,7 +201,7 @@ def fuzz_main(argv: List[str]) -> int:
         entry_paths = _write_failures(report, Path(args.failure_dir))
     if args.report:
         report_dict = report.to_dict()
-        for failure_dict, path in zip(report_dict["failures"], entry_paths):
+        for failure_dict, path in zip(report_dict["failures"], entry_paths, strict=True):
             failure_dict["entry_path"] = str(path)
             failure_dict["repro_command"] = (
                 f"repro-experiments fuzz --replay {path} "
@@ -213,7 +214,7 @@ def fuzz_main(argv: List[str]) -> int:
             handle.write("\n")
 
     print(report.summary())
-    for failure, path in zip(report.failures, entry_paths):
+    for failure, path in zip(report.failures, entry_paths, strict=True):
         print(f"  corpus entry written: {path}")
         print(f"  repro: repro-experiments fuzz --replay {path} "
               f"--oracles {failure.oracle}")

@@ -180,7 +180,8 @@ def check_generation(sample: FuzzSample, ctx: SampleContext) -> OracleOutcome:
             f"vectorised trace has {len(trace_vec)} instructions, scalar "
             f"oracle {len(trace_scalar)}")
     for index, (vec, scalar) in enumerate(
-            zip(trace_vec.instructions, trace_scalar.instructions)):
+            zip(trace_vec.instructions, trace_scalar.instructions,
+                strict=True)):
         if vec != scalar:
             return _failed(
                 f"instruction {index} diverges: vectorised {vec!r} vs "

@@ -199,7 +199,7 @@ class StreamOffsetsState(StateDescriptor):
 
     def write_back(self, kernel, view) -> None:
         offsets = getattr(view, self.attr + "_offsets")
-        for stream, offset in zip(getattr(kernel, self.attr), offsets):
+        for stream, offset in zip(getattr(kernel, self.attr), offsets, strict=False):
             stream.offset = offset
 
 
@@ -212,7 +212,7 @@ class ChasePositionsState(StateDescriptor):
 
     def write_back(self, kernel, view) -> None:
         positions = getattr(view, self.attr + "_positions")
-        for chase, position in zip(getattr(kernel, self.attr), positions):
+        for chase, position in zip(getattr(kernel, self.attr), positions, strict=False):
             chase._pos = position
 
 
@@ -235,7 +235,7 @@ class SiteCountsState(StateDescriptor):
 
     def write_back(self, kernel, view) -> None:
         counts = getattr(view, self.attr + "_counts")
-        for site, count in zip(getattr(kernel, self.attr), counts):
+        for site, count in zip(getattr(kernel, self.attr), counts, strict=False):
             site._count = count
 
 
@@ -889,7 +889,7 @@ class IntComputeKernel(_KernelBase):
                                srcs=((INT, self.int_rot.recent(2)),)))
         pc += 4
         chain_heads: List[int] = []
-        for chain in range(p.n_parallel_chains):
+        for _chain in range(p.n_parallel_chains):
             load_dest = self.int_rot.next_dest()
             out.append(Instruction(pc=pc, op=OpClass.LOAD, dest=(INT, load_dest),
                                    srcs=((INT, addr_reg),),
@@ -1165,20 +1165,20 @@ class BranchyKernel(_KernelBase):
             # consecutive blocks are (mostly) independent of each other.
             local = self.int_rot.recent(3)
             for i in range(p.block_len):
-                if i == 0 and s % 3 == 0:
-                    dest = self.int_rot.next_dest()
-                    out.append(Instruction(pc=pc, op=OpClass.LOAD, dest=(INT, dest),
-                                           srcs=((INT, local),),
-                                           mem_addr=self.data.next_address(rng)))
-                elif i == p.block_len - 1 and s % 4 == 3:
+                is_load = i == 0 and s % 3 == 0
+                if not is_load and i == p.block_len - 1 and s % 4 == 3:
                     out.append(Instruction(
                         pc=pc, op=OpClass.STORE,
                         srcs=((INT, local), (INT, self.int_rot.recent(4))),
                         mem_addr=self.data.next_address(rng)))
                     pc += 4
                     continue
+                dest = self.int_rot.next_dest()
+                if is_load:
+                    out.append(Instruction(pc=pc, op=OpClass.LOAD, dest=(INT, dest),
+                                           srcs=((INT, local),),
+                                           mem_addr=self.data.next_address(rng)))
                 else:
-                    dest = self.int_rot.next_dest()
                     out.append(Instruction(
                         pc=pc, op=OpClass.INT_ALU, dest=(INT, dest),
                         srcs=((INT, local), (INT, self.int_rot.recent(5)))))
@@ -1282,12 +1282,8 @@ class BranchyKernel(_KernelBase):
                 local = (ihist[-3] if nh >= 3 else
                          (ihist[-nh] if nh else iwin[0]))
                 for i in range(block_len):
-                    if i == 0 and s % 3 == 0:
-                        dest = iwin[icur % iwn]; icur += 1; ihist.append(dest)
-                        append(Inst(pc=pc, op=LOAD, dest=(INT, dest),
-                                    srcs=((INT, local),),
-                                    mem_addr=value_lists[load_index][j]))
-                    elif i == block_len - 1 and s % 4 == 3:
+                    is_load = i == 0 and s % 3 == 0
+                    if not is_load and i == block_len - 1 and s % 4 == 3:
                         nh = len(ihist)
                         store_src = (ihist[-4] if nh >= 4 else
                                      (ihist[-nh] if nh else iwin[0]))
@@ -1296,8 +1292,12 @@ class BranchyKernel(_KernelBase):
                                     mem_addr=value_lists[store_index][j]))
                         pc += 4
                         continue
+                    dest = iwin[icur % iwn]; icur += 1; ihist.append(dest)
+                    if is_load:
+                        append(Inst(pc=pc, op=LOAD, dest=(INT, dest),
+                                    srcs=((INT, local),),
+                                    mem_addr=value_lists[load_index][j]))
                     else:
-                        dest = iwin[icur % iwn]; icur += 1; ihist.append(dest)
                         nh = len(ihist)
                         alu_src = ihist[-5] if nh >= 5 else ihist[-nh]
                         key = (pc, dest, local, alu_src)
@@ -1419,7 +1419,7 @@ class PointerChaseKernel(_KernelBase):
         out: List[Instruction] = []
         pc = p.pc_base
         work_values: List[int] = []
-        for step in range(p.load_chain_len):
+        for _step in range(p.load_chain_len):
             for chase_id, chase in enumerate(self.chases):
                 ptr_reg = self._ptr_regs[chase_id]
                 # p = p->next: the load reads and redefines the pointer register.
@@ -1541,7 +1541,7 @@ class PointerChaseKernel(_KernelBase):
             for _ in range(k):
                 pc = pc0
                 first_work = last_work = -1
-                for step in range(load_chain_len):
+                for _step in range(load_chain_len):
                     for chase_id in range(len(chases)):
                         ptr_reg = ptr_regs[chase_id]
                         addr = chase_addrs[chase_id][chase_cursors[chase_id]]

@@ -1,0 +1,15 @@
+"""Fixtures for the repro-lint test suite (helpers in lint_helpers.py)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from lint_helpers import copy_real_inputs
+
+
+@pytest.fixture
+def real_tree_copy(tmp_path: Path) -> Path:
+    """A scratch project seeded with the real cross-file checker inputs."""
+    return copy_real_inputs(tmp_path)

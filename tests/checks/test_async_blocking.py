@@ -1,0 +1,89 @@
+"""The async-blocking rule: blocking primitives inside serve/ coroutines."""
+
+from __future__ import annotations
+
+from repro.checks.base import run_checks
+
+from lint_helpers import make_project
+
+
+def _findings(tmp_path, text, rel="src/repro/serve/fixture.py"):
+    project = make_project(tmp_path, {rel: text})
+    return run_checks(project, rules=["async-blocking"]).findings
+
+
+def test_time_sleep_in_coroutine_flagged(tmp_path):
+    found = _findings(tmp_path,
+                      "import time\n"
+                      "async def handler():\n"
+                      "    time.sleep(1)\n")
+    assert len(found) == 1
+    assert "asyncio.sleep" in found[0].message
+
+
+def test_subprocess_and_os_system_flagged(tmp_path):
+    found = _findings(tmp_path,
+                      "import os\n"
+                      "import subprocess\n"
+                      "async def handler():\n"
+                      "    subprocess.run(['ls'])\n"
+                      "    subprocess.check_output(['ls'])\n"
+                      "    os.system('ls')\n")
+    assert len(found) == 3
+
+
+def test_sync_http_flagged(tmp_path):
+    found = _findings(tmp_path,
+                      "import urllib.request\n"
+                      "async def handler(url):\n"
+                      "    return urllib.request.urlopen(url)\n")
+    assert len(found) == 1
+    assert "to_thread" in found[0].message
+
+
+def test_file_io_flagged(tmp_path):
+    found = _findings(tmp_path,
+                      "from pathlib import Path\n"
+                      "async def handler(path: Path):\n"
+                      "    with open(path) as fh:\n"
+                      "        first = fh.read()\n"
+                      "    return first + path.read_text()\n")
+    assert len(found) == 2
+
+
+def test_sync_function_and_nested_def_not_flagged(tmp_path):
+    """Blocking work in plain functions — including workers defined
+    inside a coroutine and handed to an executor — is the intended
+    pattern, not a finding."""
+    assert _findings(tmp_path,
+                     "import time\n"
+                     "def worker():\n"
+                     "    time.sleep(1)\n"
+                     "async def handler(loop):\n"
+                     "    def blocking_part():\n"
+                     "        time.sleep(1)\n"
+                     "    return await loop.run_in_executor(None, "
+                     "blocking_part)\n") == []
+
+
+def test_asyncio_sleep_is_clean(tmp_path):
+    assert _findings(tmp_path,
+                     "import asyncio\n"
+                     "async def handler():\n"
+                     "    await asyncio.sleep(0.1)\n") == []
+
+
+def test_blocking_outside_serve_ignored(tmp_path):
+    assert _findings(tmp_path,
+                     "import time\n"
+                     "async def helper():\n"
+                     "    time.sleep(1)\n",
+                     rel="src/repro/analysis/fixture.py") == []
+
+
+def test_live_serve_tree_is_clean():
+    from repro.checks.base import Project, find_project_root
+
+    result = run_checks(Project(find_project_root()),
+                        rules=["async-blocking"])
+    assert result.findings == []

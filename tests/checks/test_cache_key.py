@@ -1,0 +1,115 @@
+"""The cache-key rule: unknown config reads and gutted key derivations."""
+
+from __future__ import annotations
+
+from repro.checks.base import Project, run_checks
+
+from lint_helpers import make_project, mutate
+
+
+def _run(root):
+    return run_checks(Project(root), rules=["cache-key"]).findings
+
+
+def test_live_tree_config_reads_are_covered(real_tree_copy):
+    assert _run(real_tree_copy) == []
+
+
+def test_unknown_config_attribute_read_is_reported(real_tree_copy):
+    engine_file = (real_tree_copy /
+                   "src/repro/engine/experimental.py")
+    engine_file.write_text(
+        "def width_of(config):\n"
+        "    return config.fetch_width + config.speculative_depth\n",
+        encoding="utf-8")
+    found = _run(real_tree_copy)
+    assert len(found) == 1
+    assert "config.speculative_depth" in found[0].message
+    assert "stale-hit risk" in found[0].message
+
+
+def test_state_config_receiver_is_checked(real_tree_copy):
+    engine_file = real_tree_copy / "src/repro/engine/experimental.py"
+    engine_file.write_text(
+        "def probe(state):\n"
+        "    return state.config.not_a_real_knob\n", encoding="utf-8")
+    found = _run(real_tree_copy)
+    assert len(found) == 1
+    assert "not_a_real_knob" in found[0].message
+
+
+def test_foreign_config_receivers_not_flagged(real_tree_copy):
+    """``cache.config.associativity`` is a CacheConfig, not a
+    ProcessorConfig — receivers other than config/cfg/self.config/
+    state.config must stay out of scope."""
+    engine_file = real_tree_copy / "src/repro/engine/experimental.py"
+    engine_file.write_text(
+        "def assoc(cache, backend):\n"
+        "    return cache.config.associativity + backend.config.retries\n",
+        encoding="utf-8")
+    assert _run(real_tree_copy) == []
+
+
+def test_properties_and_methods_are_covered(real_tree_copy):
+    engine_file = real_tree_copy / "src/repro/engine/experimental.py"
+    engine_file.write_text(
+        "def variants(config):\n"
+        "    loose = config.is_loose_int\n"
+        "    return config.with_registers(64, 64) if loose else config\n",
+        encoding="utf-8")
+    assert _run(real_tree_copy) == []
+
+
+def test_reads_outside_engine_core_ignored(real_tree_copy):
+    helper = real_tree_copy / "src/repro/analysis/experimental.py"
+    helper.write_text("def f(config):\n    return config.bogus_attr\n",
+                      encoding="utf-8")
+    assert _run(real_tree_copy) == []
+
+
+def test_point_key_losing_an_ingredient_is_reported(real_tree_copy):
+    mutate(real_tree_copy, "src/repro/analysis/cache.py",
+           "        sweep_config.trace_length, sweep_config.seed,\n",
+           "        sweep_config.trace_length, 0,\n")
+    found = _run(real_tree_copy)
+    assert any("'seed'" in f.message and "point_key" in f.message
+               for f in found)
+
+
+def test_config_digest_without_canonical_is_reported(tmp_path):
+    project = make_project(tmp_path, {
+        "src/repro/pipeline/config.py":
+            "import dataclasses\n"
+            "@dataclasses.dataclass(frozen=True)\n"
+            "class ProcessorConfig:\n"
+            "    fetch_width: int = 4\n",
+        "src/repro/analysis/cache.py":
+            "CACHE_SCHEMA_VERSION = 1\n"
+            "def _canonical(config):\n"
+            "    return repr(config)\n"  # no dataclasses.fields walk
+            "def config_digest(config):\n"
+            "    return hash(repr(config))\n"  # no _canonical
+            "def point_key(benchmark, config, trace_length, seed,\n"
+            "              requested_backend):\n"
+            "    return (CACHE_SCHEMA_VERSION, config_digest(config),\n"
+            "            workload_digest(benchmark), code_digest(),\n"
+            "            trace_length, seed, requested_backend)\n",
+    })
+    messages = [f.message for f in _run(tmp_path)]
+    assert any("_canonical" in m and "config_digest" in m for m in messages)
+    assert any("dataclasses.fields" in m for m in messages)
+
+
+def test_missing_derivation_functions_reported(tmp_path):
+    project = make_project(tmp_path, {
+        "src/repro/pipeline/config.py":
+            "import dataclasses\n"
+            "@dataclasses.dataclass(frozen=True)\n"
+            "class ProcessorConfig:\n"
+            "    fetch_width: int = 4\n",
+        "src/repro/analysis/cache.py": "x = 1\n",
+    })
+    messages = [f.message for f in _run(tmp_path)]
+    assert any("point_key" in m for m in messages)
+    assert any("config_digest" in m for m in messages)
+    assert any("_canonical" in m for m in messages)

@@ -1,0 +1,96 @@
+"""The determinism rule: trip each sub-pattern, keep clean idioms clean."""
+
+from __future__ import annotations
+
+from repro.checks.base import run_checks
+
+from lint_helpers import make_project
+
+
+def _findings(tmp_path, text, rel="src/repro/engine/fixture.py"):
+    project = make_project(tmp_path, {rel: text})
+    return run_checks(project, rules=["determinism"]).findings
+
+
+def test_stdlib_global_rng_flagged(tmp_path):
+    found = _findings(tmp_path,
+                      "import random\n"
+                      "a = random.random()\n"
+                      "b = random.randint(0, 7)\n")
+    assert len(found) == 2
+    assert all("process-global stdlib RNG" in f.message for f in found)
+
+
+def test_numpy_global_rng_flagged(tmp_path):
+    found = _findings(tmp_path,
+                      "import numpy as np\n"
+                      "x = np.random.rand(4)\n"
+                      "y = np.random.shuffle([1, 2])\n")
+    assert len(found) == 2
+    assert all("process-global RNG" in f.message for f in found)
+
+
+def test_unseeded_default_rng_flagged_seeded_ok(tmp_path):
+    found = _findings(tmp_path,
+                      "import numpy as np\n"
+                      "bad = np.random.default_rng()\n"
+                      "good = np.random.default_rng(1234)\n")
+    assert len(found) == 1
+    assert "without a seed" in found[0].message
+    assert found[0].line == 2
+
+
+def test_seeded_generator_construction_is_clean(tmp_path):
+    assert _findings(tmp_path,
+                     "import numpy as np\n"
+                     "rng = np.random.Generator(np.random.PCG64(7))\n"
+                     "import random\n"
+                     "local = random.Random(99)\n") == []
+
+
+def test_clock_reads_flagged(tmp_path):
+    found = _findings(tmp_path,
+                      "import time\n"
+                      "import datetime\n"
+                      "a = time.time()\n"
+                      "b = time.perf_counter()\n"
+                      "c = datetime.datetime.now()\n")
+    assert len(found) == 3
+    assert all("wall-clock read" in f.message for f in found)
+
+
+def test_from_import_clock_resolved_through_alias(tmp_path):
+    found = _findings(tmp_path,
+                      "from time import perf_counter\n"
+                      "t = perf_counter()\n")
+    assert len(found) == 1
+
+
+def test_set_iteration_flagged(tmp_path):
+    found = _findings(tmp_path,
+                      "for x in {3, 1, 2}:\n"
+                      "    print(x)\n"
+                      "items = [y for y in set([2, 1])]\n"
+                      "ordered = list({'b', 'a'})\n")
+    assert len(found) == 3
+
+
+def test_sorted_set_iteration_is_clean(tmp_path):
+    assert _findings(tmp_path,
+                     "for x in sorted({3, 1, 2}):\n"
+                     "    print(x)\n"
+                     "ordered = sorted(set([2, 1]))\n") == []
+
+
+def test_files_outside_deterministic_subtree_ignored(tmp_path):
+    assert _findings(tmp_path,
+                     "import time\nt = time.time()\n",
+                     rel="src/repro/analysis/bench_helper.py") == []
+
+
+def test_live_tree_is_clean():
+    """The real deterministic subtree upholds its own contract."""
+    from repro.checks.base import Project, find_project_root
+
+    result = run_checks(Project(find_project_root()), rules=["determinism"])
+    assert result.findings == []

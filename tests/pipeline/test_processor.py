@@ -95,7 +95,7 @@ class TestRegisterPressure:
         # 33 live integer values cannot fit in 40 physical registers minus the
         # 32 architectural ones, so dispatch must stall on the free list.
         builder = InstructionBuilder()
-        for block in range(12):
+        for _block in range(12):
             for i in range(16):
                 builder.alu(dest=i, srcs=(16 + (i % 8),))
         trace = make_trace("pressure", builder.trace())

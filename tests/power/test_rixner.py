@@ -60,12 +60,12 @@ class TestScaling:
     def test_access_time_monotone_in_registers(self, model):
         times = [model.access_time_ns(model.int_register_file(size))
                  for size in range(40, 161, 8)]
-        assert all(b > a for a, b in zip(times, times[1:]))
+        assert all(b > a for a, b in zip(times, times[1:], strict=False))
 
     def test_energy_monotone_in_registers(self, model):
         energies = [model.energy_pj(model.fp_register_file(size))
                     for size in range(40, 161, 8)]
-        assert all(b > a for a, b in zip(energies, energies[1:]))
+        assert all(b > a for a, b in zip(energies, energies[1:], strict=False))
 
     def test_fp_file_costs_more_than_int_file(self, model):
         # More ports (50 vs 44) at equal size.

@@ -48,7 +48,7 @@ def test_template_matches_scalar_stream(template, k):
     expected, oracle = scalar_columns(123, template, k)
     rng = np.random.Generator(np.random.PCG64(123))
     columns = replay_template(rng, template, k)
-    for got, want in zip(columns, expected):
+    for got, want in zip(columns, expected, strict=True):
         assert list(got) == want
     assert rng.bit_generator.state == oracle.bit_generator.state
 
@@ -68,7 +68,7 @@ def test_template_resumes_mid_stream():
             else:
                 expected[j].append(int(oracle.integers(0, slot)))
     columns = replay_template(rng, template, 5)
-    for got, want in zip(columns, expected):
+    for got, want in zip(columns, expected, strict=True):
         assert list(got) == want
     # The streams stay aligned afterwards.
     assert rng.random() == oracle.random()

@@ -56,7 +56,7 @@ class TestBindWriteBack:
         view = kernel.bind_chunk_state()
         view.ghist = 0x1234
         view.iteration += 100
-        for name, value in vars(view).items():
+        for _name, value in vars(view).items():
             if isinstance(value, list):
                 value.append(-1)
         assert kernel.state_snapshot() == before

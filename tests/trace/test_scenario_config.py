@@ -227,7 +227,7 @@ class TestTraceIdentity:
         trace_a = generate_scenario_trace(simple_profile("bc"), 600, seed=0)
         trace_b = generate_scenario_trace(simple_profile("db"), 600, seed=0)
         assert any(a.mem_addr != b.mem_addr or a.taken != b.taken
-                   for a, b in zip(trace_a, trace_b))
+                   for a, b in zip(trace_a, trace_b, strict=True))
 
     def test_profile_digest_tracks_content(self):
         assert (profile_digest(simple_profile("dig"))

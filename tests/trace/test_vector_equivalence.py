@@ -27,7 +27,8 @@ def assert_streams_equal(reference, candidate, label):
         f"{label}: stream lengths differ "
         f"({len(reference)} scalar vs {len(candidate)} vectorised)")
     for position, (want, got) in enumerate(
-            zip(reference.instructions, candidate.instructions)):
+            zip(reference.instructions, candidate.instructions,
+                strict=True)):
         assert want == got, (
             f"{label}: first divergence at instruction {position}:\n"
             f"  scalar:     {want}\n  vectorised: {got}")

@@ -43,13 +43,13 @@ class TestGeneration:
         a = generate_trace(get_profile("li"), 1000, seed=5)
         b = generate_trace(get_profile("li"), 1000, seed=5)
         assert len(a) == len(b)
-        assert all(x == y for x, y in zip(a, b))
+        assert all(x == y for x, y in zip(a, b, strict=True))
 
     def test_different_seeds_differ(self):
         a = generate_trace(get_profile("go"), 1500, seed=1)
         b = generate_trace(get_profile("go"), 1500, seed=2)
         assert any(x.mem_addr != y.mem_addr or x.taken != y.taken
-                   for x, y in zip(a, b))
+                   for x, y in zip(a, b, strict=True))
 
     def test_rejects_nonpositive_length(self):
         with pytest.raises(ValueError):
